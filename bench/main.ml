@@ -1,0 +1,431 @@
+(* The PDT benchmark & reproduction harness.
+
+   Part 1 regenerates every table and figure of the paper as a deterministic
+   artifact (the paper's evaluation is qualitative: worked tool outputs).
+   Part 2 adds quantitative benchmarks (bechamel micro-benchmarks and
+   deterministic sweeps) for the performance claims made in prose:
+
+     B1  used-mode vs automatic (prelinker) instantiation      (paper §2)
+     B2  pdbmerge duplicate-instantiation elimination          (Table 2)
+     B3  front-end / analyzer throughput                       (infrastructure)
+     B4  TAU instrumentation overhead                          (§4.1)
+     B5  DUCTAPE query costs                                   (§3.3)
+
+   See EXPERIMENTS.md for the paper-vs-measured record. *)
+
+module D = Pdt_ductape.Ductape
+module P = Pdt_pdb.Pdb
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let sub title = Printf.printf "\n--- %s ---\n" title
+
+(* ------------------------------------------------------------------ *)
+(* Shared compilations                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let stack_compiled =
+  lazy
+    (let vfs = Pdt_workloads.Stack.vfs () in
+     (vfs, Pdt.compile_exn ~vfs Pdt_workloads.Stack.main_file))
+
+let stack_pdb = lazy (Pdt_analyzer.Analyzer.run (snd (Lazy.force stack_compiled)).Pdt.program)
+let stack_d = lazy (D.index (Lazy.force stack_pdb))
+
+(* ------------------------------------------------------------------ *)
+(* Figure / table artifacts                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fig1 () =
+  section "Figure 1: the templated Stack program (input corpus)";
+  let lines = String.split_on_char '\n' Pdt_workloads.Stack.stackar_h in
+  List.iteri (fun i l -> if i < 24 then print_endline l) lines;
+  Printf.printf "... (%d source files, see lib/workloads/stack.ml)\n"
+    (List.length Pdt_workloads.Stack.files)
+
+let fig3 () =
+  section "Figure 3: PDB excerpts for the Stack code";
+  let pdb = Lazy.force stack_pdb in
+  let s = Pdt_pdb.Pdb_write.to_string pdb in
+  (* print the header, the Stack template, the push routine and Stack<int> —
+     the items Figure 3 shows *)
+  let blocks = String.split_on_char '\n' s in
+  let want prefixes line =
+    List.exists
+      (fun p -> String.length line >= String.length p && String.sub line 0 (String.length p) = p)
+      prefixes
+  in
+  let printing = ref false in
+  List.iter
+    (fun line ->
+      if line = "" then printing := false
+      else if want [ "<PDB"; "so#"; "te#2 "; "cl#" ] line then printing := true
+      else if want [ "ro#" ] line then begin
+        (* routines named push / isFull, as in the figure *)
+        printing :=
+          want [ "ro#" ] line
+          && (let has sub =
+                let n = String.length line and m = String.length sub in
+                let rec go i = i + m <= n && (String.sub line i m = sub || go (i + 1)) in
+                go 0
+              in
+              has " push" || has " isFull" || has " main")
+      end;
+      if !printing then print_endline line)
+    blocks;
+  sub "summary";
+  Printf.printf
+    "items: %d files, %d namespaces, %d templates, %d routines, %d classes, %d types, %d macros\n"
+    (List.length pdb.P.files) (List.length pdb.P.namespaces)
+    (List.length pdb.P.templates) (List.length pdb.P.routines)
+    (List.length pdb.P.classes) (List.length pdb.P.types)
+    (List.length pdb.P.pdb_macros)
+
+let table1 () =
+  section "Table 1: PDB item types, attributes and prefixes";
+  let pdb = Lazy.force stack_pdb in
+  let s = Pdt_pdb.Pdb_write.to_string pdb in
+  let count_attr a =
+    List.length
+      (List.filter
+         (fun line ->
+           String.length line > String.length a
+           && String.sub line 0 (String.length a) = a)
+         (String.split_on_char '\n' s))
+  in
+  Printf.printf "%-12s %-8s %s\n" "Item type" "Prefix" "attribute lines emitted";
+  Printf.printf "%-12s %-8s sinc=%d\n" "SOURCE FILES" "so" (count_attr "sinc ");
+  Printf.printf "%-12s %-8s rloc=%d rclass=%d rsig=%d rcall=%d rtempl=%d rpos=%d\n"
+    "ROUTINES" "ro" (count_attr "rloc ") (count_attr "rclass ") (count_attr "rsig ")
+    (count_attr "rcall ") (count_attr "rtempl ") (count_attr "rpos ");
+  Printf.printf "%-12s %-8s ckind=%d ctempl=%d cfunc=%d cmem=%d cpos=%d\n" "CLASSES" "cl"
+    (count_attr "ckind ") (count_attr "ctempl ") (count_attr "cfunc ")
+    (count_attr "cmem ") (count_attr "cpos ");
+  Printf.printf "%-12s %-8s ykind=%d yrett=%d yargt=%d\n" "TYPES" "ty"
+    (count_attr "ykind ") (count_attr "yrett ") (count_attr "yargt ");
+  Printf.printf "%-12s %-8s tkind=%d ttext=%d\n" "TEMPLATES" "te" (count_attr "tkind ")
+    (count_attr "ttext ");
+  Printf.printf "%-12s %-8s nmem=%d\n" "NAMESPACES" "na" (count_attr "nmem ");
+  Printf.printf "%-12s %-8s makind=%d matext=%d\n" "MACROS" "ma" (count_attr "makind ")
+    (count_attr "matext ")
+
+let fig4 () =
+  section "Figure 4: the DUCTAPE item hierarchy";
+  let d = Lazy.force stack_d in
+  let items = D.items d in
+  let count p = List.length (List.filter p items) in
+  Printf.printf "pdbSimpleItem (all items)        : %d\n" (List.length items);
+  Printf.printf "  pdbFile                        : %d\n"
+    (count (function D.File _ -> true | _ -> false));
+  Printf.printf "  pdbItem                        : %d\n" (count D.is_item);
+  Printf.printf "    pdbMacro                     : %d\n"
+    (count (function D.Macro _ -> true | _ -> false));
+  Printf.printf "    pdbType                      : %d\n"
+    (count (function D.Type _ -> true | _ -> false));
+  Printf.printf "    pdbFatItem                   : %d\n" (count D.is_fat_item);
+  Printf.printf "      pdbTemplate                : %d\n"
+    (count (function D.Template _ -> true | _ -> false));
+  Printf.printf "      pdbNamespace               : %d\n"
+    (count (function D.Namespace _ -> true | _ -> false));
+  Printf.printf "      pdbTemplateItem            : %d\n" (count D.is_template_item);
+  Printf.printf "        pdbClass                 : %d\n"
+    (count (function D.Class _ -> true | _ -> false));
+  Printf.printf "        pdbRoutine               : %d\n"
+    (count (function D.Routine _ -> true | _ -> false));
+  Printf.printf "template instantiations (list<pdbTemplateItem>): %d\n"
+    (List.length (D.template_items d))
+
+let table2_fig5 () =
+  section "Table 2 / Figure 5: the DUCTAPE utilities on the Stack PDB";
+  let d = Lazy.force stack_d in
+  sub "pdbtree: file inclusion";
+  print_string (Pdt_tools.Pdbtree.include_tree d);
+  sub "pdbtree: class hierarchy";
+  print_string (Pdt_tools.Pdbtree.class_hierarchy d);
+  sub "pdbtree: static call graph (the Figure 5 routine)";
+  print_string (Pdt_tools.Pdbtree.call_graph d);
+  sub "pdbconv (first lines)";
+  let conv = Pdt_tools.Pdbconv.convert d in
+  String.split_on_char '\n' conv |> List.filteri (fun i _ -> i < 8) |> List.iter print_endline;
+  sub "pdbhtml";
+  Printf.printf "%d HTML pages generated\n" (List.length (Pdt_tools.Pdbhtml.generate d));
+  sub "pdbmerge (3 TUs sharing instantiations)";
+  let vfs, files = Pdt_workloads.Generator.project_vfs ~n_tus:3 () in
+  let pdbs =
+    List.map (fun f -> Pdt_analyzer.Analyzer.run (Pdt.compile_exn ~vfs f).Pdt.program) files
+  in
+  let _, stats = Pdt_tools.Pdbmerge.merge pdbs in
+  print_endline (Pdt_tools.Pdbmerge.stats_to_string stats)
+
+let fig6_fig7 () =
+  section "Figures 6 & 7: TAU instrumentation and the Krylov-solver profile";
+  let vfs = Pdt_workloads.Pooma_like.vfs ~n:24 () in
+  let main = Pdt_workloads.Pooma_like.main_file in
+  let c = Pdt.compile_exn ~vfs main in
+  let d = D.index (Pdt_analyzer.Analyzer.run c.Pdt.program) in
+  let plan = Pdt_tau.Instrument.plan d in
+  sub "instrumentation plan (the Figure 6 filter)";
+  List.iter
+    (fun (ir : Pdt_tau.Instrument.item_ref) ->
+      Printf.printf "  %-12s %-18s line %-4d %s\n" ir.ir_name ir.ir_file ir.ir_line
+        (if ir.ir_use_ct_this then "CT(*this)" else "\"" ^ ir.ir_signature ^ "\""))
+    plan;
+  let vfs', _ = Pdt_tau.Instrument.instrument_vfs vfs plan in
+  let c' = Pdt.compile_exn ~vfs:vfs' main in
+  let r = Pdt_tau.Interp.run c'.Pdt.program in
+  sub "program output";
+  print_string r.output;
+  sub "profile (the Figure 7 display)";
+  print_string (Pdt_tau.Pprof.format ~title:"TAU profile: Krylov solver (CG, n=24)" r.profile)
+
+let fig8 () =
+  section "Figure 8: SILOON bridging-code generation for the Stack library";
+  let d = Lazy.force stack_d in
+  let plan = Pdt_siloon.Siloon.plan d in
+  Printf.printf "exported classes   : %d\n" (List.length plan.Pdt_siloon.Siloon.classes);
+  Printf.printf "exported functions : %d\n" (List.length plan.Pdt_siloon.Siloon.functions);
+  let bridge = Pdt_siloon.Siloon.generate_bridge d plan in
+  let perl = Pdt_siloon.Siloon.generate_perl d plan ~module_name:"StackLib" in
+  let py = Pdt_siloon.Siloon.generate_python d plan ~module_name:"StackLib" in
+  Printf.printf "bridge code        : %d lines\n"
+    (List.length (String.split_on_char '\n' bridge));
+  Printf.printf "perl wrapper       : %d lines\n"
+    (List.length (String.split_on_char '\n' perl));
+  Printf.printf "python wrapper     : %d lines\n"
+    (List.length (String.split_on_char '\n' py));
+  sub "bridge excerpt: the Stack<int>::push binding";
+  String.split_on_char '\n' bridge
+  |> List.filter (fun l ->
+         let has sub =
+           let n = String.length l and m = String.length sub in
+           let rec go i = i + m <= n && (String.sub l i m = sub || go (i + 1)) in
+           go 0
+         in
+         has "Stack_Lint_G__push")
+  |> List.iter print_endline
+
+let parallel_profile () =
+  section "Parallel profiling: SPMD stencil over 4 simulated ranks (pprof -s)";
+  let vfs = Pdt_workloads.Parallel_stencil.vfs () in
+  let main = Pdt_workloads.Parallel_stencil.main_file in
+  let c = Pdt.compile_exn ~vfs main in
+  let d = D.index (Pdt_analyzer.Analyzer.run c.Pdt.program) in
+  let plan = Pdt_tau.Instrument.plan d in
+  let vfs2, _ = Pdt_tau.Instrument.instrument_vfs vfs plan in
+  let prog = (Pdt.compile_exn ~vfs:vfs2 main).Pdt.program in
+  let rs = Pdt_tau.Parallel.run_ranks ~nranks:4 prog in
+  List.iter
+    (fun (rr : Pdt_tau.Parallel.rank_result) -> print_string rr.result.output)
+    rs;
+  print_newline ();
+  print_string (Pdt_tau.Parallel.format_summary rs)
+
+(* ------------------------------------------------------------------ *)
+(* B1: used-mode vs automatic instantiation (paper §2)                 *)
+(* ------------------------------------------------------------------ *)
+
+let b1_instantiation_modes () =
+  section "B1: used-mode vs automatic (prelinker) template instantiation (§2)";
+  Printf.printf "%-14s %-14s %-18s %-20s %-18s\n" "chain length" "used: passes"
+    "used: IL entities" "auto: prelink rounds" "auto: IL entities";
+  List.iter
+    (fun n_templates ->
+      let cfg =
+        { Pdt_workloads.Generator.default_config with
+          n_class_templates = n_templates; chain_depth = 2 }
+      in
+      let src = Pdt_workloads.Generator.single_file_program ~cfg () in
+      let c = Pdt.compile_string src in
+      let rep = Pdt_prelink.Prelink.simulate c.Pdt.program in
+      Printf.printf "%-14d %-14d %-18d %-20d %-18d\n" n_templates 1
+        rep.Pdt_prelink.Prelink.used_mode_il_entities
+        rep.Pdt_prelink.Prelink.rounds
+        rep.Pdt_prelink.Prelink.automatic_mode_il_entities)
+    [ 2; 4; 6; 8; 10; 12 ];
+  print_endline
+    "(used mode: one compilation pass, every instantiation visible in the IL;\n\
+     \ automatic: instantiations live in object files only — invisible to tools —\n\
+     \ and deeper template chains force more prelink/recompile rounds)"
+
+(* ------------------------------------------------------------------ *)
+(* B2: pdbmerge duplicate elimination                                  *)
+(* ------------------------------------------------------------------ *)
+
+let b2_pdbmerge_scaling () =
+  section "B2: pdbmerge duplicate-instantiation elimination (Table 2)";
+  Printf.printf "%-6s %-14s %-14s %-22s %-10s\n" "TUs" "items before" "items after"
+    "dup instantiations" "ratio";
+  List.iter
+    (fun n_tus ->
+      let vfs, files = Pdt_workloads.Generator.project_vfs ~n_tus () in
+      let pdbs =
+        List.map
+          (fun f -> Pdt_analyzer.Analyzer.run (Pdt.compile_exn ~vfs f).Pdt.program)
+          files
+      in
+      let _, stats = Pdt_tools.Pdbmerge.merge pdbs in
+      Printf.printf "%-6d %-14d %-14d %-22d %.2f\n" n_tus
+        stats.Pdt_tools.Pdbmerge.items_before stats.Pdt_tools.Pdbmerge.items_after
+        stats.Pdt_tools.Pdbmerge.duplicate_instantiations
+        (float_of_int stats.Pdt_tools.Pdbmerge.items_before
+         /. float_of_int (max 1 stats.Pdt_tools.Pdbmerge.items_after)))
+    [ 2; 4; 8; 12 ]
+
+(* ------------------------------------------------------------------ *)
+(* B3-B5: bechamel micro-benchmarks                                    *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_benches () =
+  section "B3/B4/B5: timing micro-benchmarks (bechamel, OLS ns/run)";
+  let open Bechamel in
+  let open Toolkit in
+  (* workloads prepared outside the timed region *)
+  let small_src =
+    Pdt_workloads.Generator.single_file_program
+      ~cfg:{ Pdt_workloads.Generator.default_config with n_class_templates = 4 } ()
+  in
+  let large_src =
+    Pdt_workloads.Generator.single_file_program
+      ~cfg:{ Pdt_workloads.Generator.default_config with
+             n_class_templates = 16; methods_per_class = 6 } ()
+  in
+  let stack_vfs, stack_c = Lazy.force stack_compiled in
+  let stack_pdb_text = Pdt_pdb.Pdb_write.to_string (Lazy.force stack_pdb) in
+  let merge_pdbs =
+    let vfs, files = Pdt_workloads.Generator.project_vfs ~n_tus:4 () in
+    List.map (fun f -> Pdt_analyzer.Analyzer.run (Pdt.compile_exn ~vfs f).Pdt.program) files
+  in
+  let instr_prog =
+    let d = Lazy.force stack_d in
+    let plan = Pdt_tau.Instrument.plan d in
+    let vfs2, _ = Pdt_tau.Instrument.instrument_vfs stack_vfs plan in
+    (Pdt.compile_exn ~vfs:vfs2 Pdt_workloads.Stack.main_file).Pdt.program
+  in
+  let lex_only src () =
+    let diags = Pdt_util.Diag.create () in
+    ignore (Pdt_lex.Lexer.tokenize ~diags ~file:"bench.cpp" src)
+  in
+  let full_compile src () = ignore (Pdt.compile_string src) in
+  let tests =
+    [ Test.make ~name:"b3/lex-small" (Staged.stage (lex_only small_src));
+      Test.make ~name:"b3/lex-large" (Staged.stage (lex_only large_src));
+      Test.make ~name:"b3/compile-small" (Staged.stage (full_compile small_src));
+      Test.make ~name:"b3/compile-large" (Staged.stage (full_compile large_src));
+      Test.make ~name:"b3/analyze-stack"
+        (Staged.stage (fun () ->
+             ignore (Pdt_analyzer.Analyzer.run stack_c.Pdt.program)));
+      Test.make ~name:"b3/pdb-parse"
+        (Staged.stage (fun () -> ignore (Pdt_pdb.Pdb_parse.of_string stack_pdb_text)));
+      Test.make ~name:"b2/merge-4tu"
+        (Staged.stage (fun () -> ignore (D.merge merge_pdbs)));
+      Test.make ~name:"b4/run-plain"
+        (Staged.stage (fun () -> ignore (Pdt_tau.Interp.run stack_c.Pdt.program)));
+      Test.make ~name:"b4/run-instrumented"
+        (Staged.stage (fun () -> ignore (Pdt_tau.Interp.run instr_prog)));
+      Test.make ~name:"b5/index+calltree"
+        (Staged.stage (fun () ->
+             let d = D.index (Lazy.force stack_pdb) in
+             ignore (D.call_tree d)));
+      Test.make ~name:"b5/class-hierarchy"
+        (Staged.stage (fun () ->
+             ignore (D.class_hierarchy (Lazy.force stack_d))));
+      Test.make ~name:"b5/include-tree"
+        (Staged.stage (fun () -> ignore (D.include_tree (Lazy.force stack_d)))) ]
+  in
+  let grouped = Test.make_grouped ~name:"pdt" ~fmt:"%s %s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) ~kde:None () in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-28s %16s\n" "benchmark" "ns/run (OLS)";
+  List.iter
+    (fun (name, est) ->
+      match Analyze.OLS.estimates est with
+      | Some [ e ] -> Printf.printf "%-28s %16.0f\n" name e
+      | Some es ->
+          Printf.printf "%-28s %16s\n" name
+            (String.concat "," (List.map (Printf.sprintf "%.0f") es))
+      | None -> Printf.printf "%-28s %16s\n" name "n/a")
+    rows;
+  (* headline overhead figure for B4 *)
+  let find n =
+    List.fold_left
+      (fun acc (name, est) ->
+        if name = n then
+          match Analyze.OLS.estimates est with Some [ e ] -> Some e | _ -> acc
+        else acc)
+      None rows
+  in
+  (match (find "pdt b4/run-plain", find "pdt b4/run-instrumented") with
+   | Some p, Some i when p > 0.0 ->
+       Printf.printf "\nB4: instrumentation overhead (wall): %.2fx\n" (i /. p)
+   | _ -> ());
+  (* deterministic virtual-cycle view of the same overhead *)
+  let plain = Pdt_tau.Interp.run stack_c.Pdt.program in
+  let instr = Pdt_tau.Interp.run instr_prog in
+  Printf.printf "B4: instrumentation overhead (virtual cycles): %Ld -> %Ld (%.2fx)\n"
+    plain.cycles instr.cycles
+    (Int64.to_float instr.cycles /. Int64.to_float plain.cycles)
+
+(* ------------------------------------------------------------------ *)
+(* Specialization-mapping ablation                                     *)
+(* ------------------------------------------------------------------ *)
+
+let specialization_mapping () =
+  section "Ablation: specialization back-mapping (§3.1 limitation and remedy)";
+  let src =
+    "template <class T> class Traits { public: int size() { return 1; } };\n\
+     template <> class Traits<char> { public: int size() { return 99; } };\n\
+     template <class T> class Traits<T *> { public: int size() { return 8; } };\n\
+     int main() { Traits<int> a; Traits<char> b; Traits<double *> c;\n\
+     \  return a.size() + b.size() + c.size(); }"
+  in
+  let opts = { Pdt_sema.Sema.default_options with map_specializations = true } in
+  let c = Pdt.compile_string ~opts src in
+  let count mapping =
+    let pdb =
+      Pdt_analyzer.Analyzer.run
+        ~opts:{ Pdt_analyzer.Analyzer.default_options with mapping }
+        c.Pdt.program
+    in
+    let mapped =
+      List.length
+        (List.filter
+           (fun (cl : P.class_item) -> cl.cl_templ <> None || cl.cl_stempl <> None)
+           pdb.P.classes)
+    in
+    let total =
+      List.length
+        (List.filter (fun (cl : P.class_item) -> String.contains cl.P.cl_name '<') pdb.P.classes)
+    in
+    (mapped, total)
+  in
+  let m_loc, total = count Pdt_analyzer.Analyzer.Location_based in
+  let m_ids, _ = count Pdt_analyzer.Analyzer.Il_ids in
+  Printf.printf "instantiations+specializations : %d\n" total;
+  Printf.printf "mapped, location-based (paper) : %d  (specializations unmapped)\n" m_loc;
+  Printf.printf "mapped, IL ids (proposed fix)  : %d\n" m_ids
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  fig1 ();
+  fig3 ();
+  table1 ();
+  fig4 ();
+  table2_fig5 ();
+  fig6_fig7 ();
+  fig8 ();
+  parallel_profile ();
+  b1_instantiation_modes ();
+  b2_pdbmerge_scaling ();
+  specialization_mapping ();
+  if not quick then bechamel_benches ();
+  print_newline ()

@@ -1,0 +1,36 @@
+(* pdbconv: converts the compact PDB format into a more readable form
+   (Table 2), or validates it with --check. *)
+
+open Cmdliner
+
+let run pdb_file check =
+  match Pdt_ductape.Ductape.of_file pdb_file with
+  | exception Pdt_pdb.Pdb_parse.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: not a valid PDB file: %s\n" pdb_file line msg;
+      1
+  | d ->
+  if check then begin
+    match Pdt_tools.Pdbconv.check d with
+    | [] ->
+        print_endline "PDB is consistent";
+        0
+    | problems ->
+        List.iter prerr_endline problems;
+        1
+  end
+  else begin
+    print_string (Pdt_tools.Pdbconv.convert d);
+    0
+  end
+
+let pdb_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PDB" ~doc:"Program database file")
+
+let check =
+  Arg.(value & flag & info [ "c"; "check" ] ~doc:"Validate cross-references only")
+
+let cmd =
+  let doc = "convert a PDB file into a readable format" in
+  Cmd.v (Cmd.info "pdbconv" ~doc) Term.(const run $ pdb_file $ check)
+
+let () = exit (Cmd.eval' cmd)

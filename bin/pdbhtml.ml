@@ -1,0 +1,26 @@
+(* pdbhtml: creates web-based documentation enabling navigation of the code
+   via HTML links (Table 2). *)
+
+open Cmdliner
+
+let run pdb_file outdir =
+  match Pdt_ductape.Ductape.of_file pdb_file with
+  | exception Pdt_pdb.Pdb_parse.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: not a valid PDB file: %s\n" pdb_file line msg;
+      1
+  | d ->
+  let n = Pdt_tools.Pdbhtml.generate_to_dir d outdir in
+  Printf.printf "wrote %d pages to %s/\n" n outdir;
+  0
+
+let pdb_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PDB" ~doc:"Program database file")
+
+let outdir =
+  Arg.(value & opt string "html" & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory")
+
+let cmd =
+  let doc = "generate HTML documentation from a PDB file" in
+  Cmd.v (Cmd.info "pdbhtml" ~doc) Term.(const run $ pdb_file $ outdir)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,28 @@
+(* pdbmerge: merges PDB files from separate compilations into one PDB file,
+   eliminating duplicate template instantiations in the process (Table 2). *)
+
+open Cmdliner
+
+let run pdb_files output =
+  match List.map Pdt_pdb.Pdb_parse.of_file pdb_files with
+  | exception Pdt_pdb.Pdb_parse.Parse_error (line, msg) ->
+      Printf.eprintf "line %d: not a valid PDB file: %s\n" line msg;
+      1
+  | pdbs ->
+  let merged, stats = Pdt_tools.Pdbmerge.merge pdbs in
+  Pdt_pdb.Pdb_write.to_file merged output;
+  print_endline (Pdt_tools.Pdbmerge.stats_to_string stats);
+  Printf.printf "wrote %s\n" output;
+  0
+
+let pdb_files =
+  Arg.(non_empty & pos_all file [] & info [] ~docv:"PDB" ~doc:"Program database files")
+
+let output =
+  Arg.(value & opt string "merged.pdb" & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file")
+
+let cmd =
+  let doc = "merge PDB files, eliminating duplicate template instantiations" in
+  Cmd.v (Cmd.info "pdbmerge" ~doc) Term.(const run $ pdb_files $ output)
+
+let () = exit (Cmd.eval' cmd)

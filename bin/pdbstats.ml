@@ -1,0 +1,22 @@
+(* pdbstats: static software metrics over a program database (a fifth tool
+   demonstrating how cheaply DUCTAPE supports new analyses). *)
+
+open Cmdliner
+
+let run pdb_file =
+  match Pdt_ductape.Ductape.of_file pdb_file with
+  | exception Pdt_pdb.Pdb_parse.Parse_error (line, msg) ->
+      Printf.eprintf "%s:%d: not a valid PDB file: %s\n" pdb_file line msg;
+      1
+  | d ->
+  print_string (Pdt_tools.Pdbstats.report d);
+  0
+
+let pdb_file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"PDB" ~doc:"Program database file")
+
+let cmd =
+  let doc = "static software metrics (fan-in/out, coupling, dead code) from a PDB" in
+  Cmd.v (Cmd.info "pdbstats" ~doc) Term.(const run $ pdb_file)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,70 @@
+(* siloon_gen: the SILOON glue-code generator (paper §4.2, Figure 8).
+
+   Parses a C++ library with PDT and generates the Perl and Python wrapper
+   modules plus the C++ bridge code. *)
+
+open Cmdliner
+
+let run source includes outdir module_name list_templates =
+  let vfs = Pdt_util.Vfs.create ~include_paths:includes () in
+  Pdt_util.Vfs.set_disk_fallback vfs true;
+  Pdt_workloads.Ministl.mount vfs;
+  let c = Pdt.compile ~vfs source in
+  let diag_text = Pdt_util.Diag.to_string c.Pdt.diags in
+  if diag_text <> "" then prerr_endline diag_text;
+  if Pdt_util.Diag.has_errors c.Pdt.diags then 1
+  else begin
+    let pdb = Pdt_analyzer.Analyzer.run c.Pdt.program in
+    let d = Pdt_ductape.Ductape.index pdb in
+    if list_templates then begin
+      (* the §4.2 proposed extension: list templates with instantiation counts *)
+      print_endline "templates available in the library:";
+      List.iter
+        (fun ((te : Pdt_pdb.Pdb.template_item), n) ->
+          Printf.printf "  %s (%s): %d instantiation(s)\n" te.te_name te.te_kind n)
+        (Pdt_siloon.Siloon.template_inventory d);
+      0
+    end
+    else begin
+      let plan = Pdt_siloon.Siloon.plan d in
+      if not (Sys.file_exists outdir) then Unix.mkdir outdir 0o755;
+      let write name contents =
+        let path = Filename.concat outdir name in
+        let oc = open_out path in
+        output_string oc contents;
+        close_out oc;
+        Printf.printf "wrote %s\n" path
+      in
+      write (module_name ^ "_bridge.cc") (Pdt_siloon.Siloon.generate_bridge d plan);
+      write (module_name ^ ".pm") (Pdt_siloon.Siloon.generate_perl d plan ~module_name);
+      write (module_name ^ ".py") (Pdt_siloon.Siloon.generate_python d plan ~module_name);
+      Printf.printf "exported %d classes, %d functions\n"
+        (List.length plan.Pdt_siloon.Siloon.classes)
+        (List.length plan.Pdt_siloon.Siloon.functions);
+      0
+    end
+  end
+
+let source =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE" ~doc:"C++ source file")
+
+let includes =
+  Arg.(value & opt_all dir [] & info [ "I"; "include" ] ~docv:"DIR" ~doc:"Include directory")
+
+let outdir =
+  Arg.(value & opt string "siloon_out" & info [ "o"; "output" ] ~docv:"DIR" ~doc:"Output directory")
+
+let module_name =
+  Arg.(value & opt string "Library" & info [ "m"; "module" ] ~docv:"NAME" ~doc:"Module name")
+
+let list_templates =
+  Arg.(value & flag
+       & info [ "list-templates" ]
+           ~doc:"List the library's templates and instantiation counts instead of generating")
+
+let cmd =
+  let doc = "generate Perl/Python bindings for a C++ library via PDT" in
+  Cmd.v (Cmd.info "siloon_gen" ~doc)
+    Term.(const run $ source $ includes $ outdir $ module_name $ list_templates)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,67 @@
+(* Static-analysis trees (the pdbtree utility, paper Table 2 / Figure 5).
+
+   Builds a class library with inheritance and virtual functions, compiles
+   it, and prints the three trees pdbtree offers: file inclusion, class
+   hierarchy, and the static call graph — including the "(VIRTUAL)" call
+   annotations and recursion cut-offs ("...") of Figure 5.
+
+   Run with:  dune exec examples/callgraph.exe *)
+
+let shapes_source =
+  {|#include <iostream.h>
+
+class Shape {
+public:
+    Shape( ) { }
+    virtual double area( ) const { return 0.0; }
+    virtual ~Shape( ) { }
+    void describe( ) const {
+        cout << "area=" << area( ) << endl;
+    }
+};
+
+class Circle : public Shape {
+public:
+    Circle( double r ) : radius_( r ) { }
+    virtual double area( ) const { return 3.14159265 * radius_ * radius_; }
+private:
+    double radius_;
+};
+
+class Square : public Shape {
+public:
+    Square( double s ) : side_( s ) { }
+    virtual double area( ) const { return side_ * side_; }
+private:
+    double side_;
+};
+
+int factorial( int n ) {
+    if( n <= 1 )
+        return 1;
+    return n * factorial( n - 1 );
+}
+
+int main( ) {
+    Circle c( 2.0 );
+    Square s( 3.0 );
+    c.describe( );
+    s.describe( );
+    cout << factorial( 5 ) << endl;
+    return 0;
+}
+|}
+
+let () =
+  let vfs = Pdt_util.Vfs.create () in
+  Pdt_workloads.Ministl.mount vfs;
+  Pdt_util.Vfs.add_file vfs "shapes.cpp" shapes_source;
+  let c = Pdt.compile_exn ~vfs "shapes.cpp" in
+  let pdb = Pdt_analyzer.Analyzer.run c.Pdt.program in
+  let d = Pdt_ductape.Ductape.index pdb in
+  print_endline "=== File inclusion tree ===";
+  print_string (Pdt_tools.Pdbtree.include_tree d);
+  print_endline "\n=== Class hierarchy ===";
+  print_string (Pdt_tools.Pdbtree.class_hierarchy d);
+  print_endline "\n=== Static call graph (Figure 5 algorithm) ===";
+  print_string (Pdt_tools.Pdbtree.call_graph d)

@@ -1,0 +1,72 @@
+(* Quickstart: the full PDT pipeline on the paper's Figure 1 Stack program.
+
+   Compiles the templated Stack corpus, prints the PDB (the Figure 3
+   artifact), and then uses DUCTAPE to answer the questions the paper's
+   Figure 3 caption walks through: which files include which, which template
+   each instantiation came from, what a routine's signature and call sites
+   are.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module D = Pdt_ductape.Ductape
+module P = Pdt_pdb.Pdb
+
+let () =
+  (* 1. compile: preprocess -> parse -> semantic analysis (used-mode
+     template instantiation) -> IL *)
+  let vfs = Pdt_workloads.Stack.vfs () in
+  let c = Pdt.compile_exn ~vfs Pdt_workloads.Stack.main_file in
+
+  (* 2. the IL Analyzer produces the program database *)
+  let pdb = Pdt_analyzer.Analyzer.run c.Pdt.program in
+  print_endline "===== PDB (Figure 3 artifact) =====";
+  print_string (Pdt_pdb.Pdb_write.to_string pdb);
+
+  (* 3. DUCTAPE: navigate the program information *)
+  let d = D.index pdb in
+  print_endline "===== DUCTAPE queries =====";
+
+  (* which template produced each instantiated class? *)
+  List.iter
+    (fun (cl : P.class_item) ->
+      match cl.cl_templ with
+      | Some te_id ->
+          let te = Option.get (D.template d te_id) in
+          Printf.printf "class %-14s instantiates template '%s' (defined at so#%d line %d)\n"
+            cl.cl_name te.te_name te.te_loc.P.lfile te.te_loc.P.lline
+      | None -> ())
+    (D.classes d);
+
+  (* the instantiations of each template, via the pdbTemplateItem list *)
+  List.iter
+    (fun (te : P.template_item) ->
+      match D.instantiations d te with
+      | [] -> ()
+      | insts ->
+          Printf.printf "template %-10s (%s) -> %s\n" te.te_name te.te_kind
+            (String.concat ", " (List.map (D.item_name d) insts)))
+    (D.templates d);
+
+  (* a routine's signature, callees and the used-mode definition state *)
+  print_endline "\nmember functions of Stack<int>:";
+  (match List.find_opt (fun (c : P.class_item) -> c.cl_name = "Stack<int>") (D.classes d) with
+   | Some stack ->
+       List.iter
+         (fun (r : P.routine_item) ->
+           Printf.printf "  %-12s : %-24s %s\n" r.ro_name
+             (D.typeref_name d r.ro_sig)
+             (if r.ro_defined then "(instantiated)" else "(declared only — unused)"))
+         (D.member_functions d stack)
+   | None -> print_endline "  Stack<int> not found!");
+
+  print_endline "\ncalls made by main():";
+  (match List.find_opt (fun (r : P.routine_item) -> r.ro_name = "main") (D.routines d) with
+   | Some main ->
+       List.iter
+         (fun ((call : P.call), callee) ->
+           Printf.printf "  %s%s at line %d\n"
+             (D.routine_full_name d callee)
+             (if call.c_virt then " (virtual)" else "")
+             call.c_loc.P.lline)
+         (D.callees d main)
+   | None -> ())

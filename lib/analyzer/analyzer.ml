@@ -1,0 +1,398 @@
+(** The IL Analyzer: walks the IL and emits a program database (paper §3.1).
+
+    The analyzer runs one traversal per construct kind — source files,
+    templates, routines, classes, types, namespaces, macros — exactly as the
+    paper describes ("Separate traversals ... allow selection of the
+    constructs to be reported"), and each traversal can be disabled through
+    {!options} (the [pdbconv -c/-r/...] style selection).
+
+    {b Template back-mapping.}  The EDG IL marks entities as instantiated but
+    does not record which template produced them.  The paper's IL Analyzer
+    compensates by building the template list in advance and scanning it to
+    find the template whose definition location matches the instantiation's
+    locations — and, as §3.1 admits, this fails for specializations, whose
+    locations lie outside the primary template's definition.  [`Location]
+    mode reproduces that algorithm (including the limitation); [`Il_ids]
+    mode implements the remedy the paper proposes (template ids carried in
+    the IL), mapping specializations correctly. *)
+
+open Pdt_util
+open Pdt_il
+module P = Pdt_pdb.Pdb
+
+type mapping = Location_based | Il_ids
+
+type options = {
+  mapping : mapping;
+  emit_files : bool;
+  emit_routines : bool;
+  emit_classes : bool;
+  emit_types : bool;
+  emit_templates : bool;
+  emit_namespaces : bool;
+  emit_macros : bool;
+}
+
+let default_options =
+  { mapping = Location_based; emit_files = true; emit_routines = true;
+    emit_classes = true; emit_types = true; emit_templates = true;
+    emit_namespaces = true; emit_macros = true }
+
+type state = {
+  prog : Il.program;
+  opts : options;
+  pdb : P.t;
+  file_map : (Il.file_id, int) Hashtbl.t;
+  class_map : (Il.class_id, int) Hashtbl.t;
+  routine_map : (Il.routine_id, int) Hashtbl.t;
+  type_map : (Il.type_id, int) Hashtbl.t;
+  template_map : (Il.template_id, int) Hashtbl.t;
+  namespace_map : (Il.namespace_id, int) Hashtbl.t;
+  macro_map : (Il.macro_id, int) Hashtbl.t;
+  file_by_name : (string, int) Hashtbl.t;
+  (* the "list of templates created in advance" for location-based mapping *)
+  mutable template_index : (Il.template_entity * int) list;
+}
+
+let mk_loc st (l : Srcloc.t) : P.loc =
+  if Srcloc.is_dummy l then P.null_loc
+  else
+    match Hashtbl.find_opt st.file_by_name l.Srcloc.file with
+    | Some fid -> { P.lfile = fid; lline = l.Srcloc.line; lcol = l.Srcloc.col }
+    | None -> P.null_loc
+
+let mk_extent st (e : Srcloc.extent) : P.extent =
+  let r = function
+    | Some (range : Srcloc.range) -> (mk_loc st range.Srcloc.start, mk_loc st range.Srcloc.stop)
+    | None -> (P.null_loc, P.null_loc)
+  in
+  let hstart, hstop = r e.Srcloc.header in
+  let bstart, bstop = r e.Srcloc.body in
+  { P.hstart; hstop; bstart; bstop }
+
+let access_str (a : Il.access) = Il.access_to_string a
+
+(* ------------------------------------------------------------------ *)
+(* Id pre-assignment                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Assign PDB ids in creation order.  Classes that stand for IL class types
+   get their ids first so type references can point at them. *)
+let assign_ids st =
+  let next = ref 1 in
+  List.iter
+    (fun (f : Il.file_entity) ->
+      Hashtbl.replace st.file_map f.fi_id !next;
+      Hashtbl.replace st.file_by_name f.fi_name !next;
+      incr next)
+    (Il.files st.prog);
+  let next = ref 1 in
+  List.iter
+    (fun (n : Il.namespace_entity) ->
+      Hashtbl.replace st.namespace_map n.na_id !next;
+      incr next)
+    (Il.namespaces st.prog);
+  let next = ref 1 in
+  List.iter
+    (fun (te : Il.template_entity) ->
+      Hashtbl.replace st.template_map te.te_id !next;
+      incr next)
+    (Il.templates st.prog);
+  let next = ref 1 in
+  List.iter
+    (fun (r : Il.routine_entity) ->
+      Hashtbl.replace st.routine_map r.ro_id !next;
+      incr next)
+    (Il.routines st.prog);
+  let next = ref 1 in
+  List.iter
+    (fun (c : Il.class_entity) ->
+      Hashtbl.replace st.class_map c.cl_id !next;
+      incr next)
+    (Il.classes st.prog);
+  let next = ref 1 in
+  List.iter
+    (fun (ty : Il.type_entity) ->
+      match ty.ty_kind with
+      | Tclass _ -> ()  (* class types are referenced as cl# items *)
+      | _ ->
+          Hashtbl.replace st.type_map ty.ty_id !next;
+          incr next)
+    (Il.types st.prog);
+  let next = ref 1 in
+  List.iter
+    (fun (m : Il.macro_entity) ->
+      Hashtbl.replace st.macro_map m.ma_id !next;
+      incr next)
+    (Il.macros st.prog)
+
+let typeref st (ty : Il.type_id) : P.typeref =
+  match (Il.type_ st.prog ty).ty_kind with
+  | Tclass c -> P.Clref (Hashtbl.find st.class_map c)
+  | _ -> P.Tyref (Hashtbl.find st.type_map ty)
+
+let parentref st : Il.parent -> P.parentref = function
+  | Pclass c -> P.Pcl (Hashtbl.find st.class_map c)
+  | Pnamespace n -> P.Pna (Hashtbl.find st.namespace_map n)
+  | Pnone -> P.Pnone
+
+(* ------------------------------------------------------------------ *)
+(* Location-based template mapping                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Does [loc] fall within template [te]'s definition (header or body)? *)
+let loc_within (te : Il.template_entity) (l : Srcloc.t) : bool =
+  let within (r : Srcloc.range) =
+    String.equal r.Srcloc.start.Srcloc.file l.Srcloc.file
+    && Srcloc.compare r.Srcloc.start l <= 0
+    && Srcloc.compare l r.Srcloc.stop <= 0
+  in
+  (match te.te_extent.Srcloc.header with Some r -> within r | None -> false)
+  || (match te.te_extent.Srcloc.body with Some r -> within r | None -> false)
+
+(* Scan the template list for the template containing this location. *)
+let template_at st ~kind_filter (l : Srcloc.t) : int option =
+  let rec scan = function
+    | [] -> None
+    | ((te : Il.template_entity), pdb_id) :: rest ->
+        if kind_filter te.te_kind && loc_within te l then Some pdb_id else scan rest
+  in
+  scan st.template_index
+
+let class_template_ref st (c : Il.class_entity) : int option * int option =
+  (* returns (ctempl, cstempl) *)
+  match st.opts.mapping with
+  | Il_ids ->
+      let f te = Option.bind (Hashtbl.find_opt st.template_map te) Option.some in
+      ( Option.bind c.cl_template (fun te -> f te),
+        Option.bind c.cl_spec_of (fun te -> f te) )
+  | Location_based ->
+      (* an entity is "instantiated" if its name carries template arguments;
+         we then scan the template list by location *)
+      if String.contains c.cl_name '<' then
+        ( template_at st ~kind_filter:(fun k -> k = Tk_class || k = Tk_memclass)
+            c.cl_loc,
+          None )
+      else (None, None)
+
+let routine_template_ref st (r : Il.routine_entity) : int option =
+  match st.opts.mapping with
+  | Il_ids -> Option.bind r.ro_template (Hashtbl.find_opt st.template_map)
+  | Location_based ->
+      (* a routine is a template instantiation if its defining location lies
+         within some function/memfunc template's definition *)
+      let probe =
+        match r.ro_extent.Srcloc.body with
+        | Some b -> b.Srcloc.start
+        | None -> r.ro_loc
+      in
+      template_at st
+        ~kind_filter:(fun k -> k = Tk_func || k = Tk_memfunc || k = Tk_statmem
+                               || k = Tk_class)
+        probe
+
+(* ------------------------------------------------------------------ *)
+(* Traversals                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let traverse_files st =
+  st.pdb.P.files <-
+    List.map
+      (fun (f : Il.file_entity) ->
+        { P.so_id = Hashtbl.find st.file_map f.fi_id;
+          so_name = f.fi_name;
+          so_includes =
+            List.filter_map (Hashtbl.find_opt st.file_map) f.fi_includes })
+      (Il.files st.prog)
+
+let traverse_namespaces st =
+  st.pdb.P.namespaces <-
+    List.map
+      (fun (n : Il.namespace_entity) ->
+        { P.na_id = Hashtbl.find st.namespace_map n.na_id;
+          na_name = n.na_name;
+          na_loc = mk_loc st n.na_loc;
+          na_parent = parentref st n.na_parent;
+          na_members =
+            List.rev_map
+              (fun (r : Il.item_ref) ->
+                match r with
+                | Rclass c -> P.Rcl (Hashtbl.find st.class_map c)
+                | Rroutine r -> P.Rro (Hashtbl.find st.routine_map r)
+                | Rnamespace n -> P.Rna (Hashtbl.find st.namespace_map n)
+                | Rtype ty -> (
+                    match typeref st ty with
+                    | P.Tyref i -> P.Rty i
+                    | P.Clref i -> P.Rcl i)
+                | Rtemplate te -> P.Rte (Hashtbl.find st.template_map te))
+              n.na_members;
+          na_alias = n.na_alias })
+      (Il.namespaces st.prog)
+
+let traverse_templates st =
+  let items =
+    List.map
+      (fun (te : Il.template_entity) ->
+        let pdb_id = Hashtbl.find st.template_map te.te_id in
+        { P.te_id = pdb_id;
+          te_name = te.te_name;
+          te_loc = mk_loc st te.te_loc;
+          te_parent = parentref st te.te_parent;
+          te_acs = access_str te.te_access;
+          te_kind = Il.template_kind_to_string te.te_kind;
+          te_text = te.te_text;
+          te_pos = mk_extent st te.te_extent })
+      (Il.templates st.prog)
+  in
+  st.pdb.P.templates <- items;
+  (* the advance list used for location-based instantiation mapping *)
+  st.template_index <-
+    List.map
+      (fun (te : Il.template_entity) -> (te, Hashtbl.find st.template_map te.te_id))
+      (Il.templates st.prog)
+
+let traverse_routines st =
+  st.pdb.P.routines <-
+    List.map
+      (fun (r : Il.routine_entity) ->
+        { P.ro_id = Hashtbl.find st.routine_map r.ro_id;
+          ro_name = r.ro_name;
+          ro_loc = mk_loc st r.ro_loc;
+          ro_parent = parentref st r.ro_parent;
+          ro_acs = access_str r.ro_access;
+          ro_sig = typeref st r.ro_sig;
+          ro_link = r.ro_link;
+          ro_store = r.ro_store;
+          ro_virt = Il.virt_to_string r.ro_virt;
+          ro_kind =
+            (match r.ro_kind with
+             | Rk_normal -> "NA"
+             | Rk_ctor -> "ctor"
+             | Rk_dtor -> "dtor"
+             | Rk_conversion -> "conv"
+             | Rk_operator -> "op");
+          ro_static = r.ro_static;
+          ro_inline = r.ro_inline;
+          ro_templ = routine_template_ref st r;
+          ro_calls =
+            List.map
+              (fun (cs : Il.call_site) ->
+                { P.c_callee = Hashtbl.find st.routine_map cs.cs_callee;
+                  c_virt = cs.cs_virtual;
+                  c_loc = mk_loc st cs.cs_loc })
+              (Il.calls r);
+          ro_pos = mk_extent st r.ro_extent;
+          ro_defined = r.ro_defined })
+      (Il.routines st.prog)
+
+let traverse_classes st =
+  st.pdb.P.classes <-
+    List.map
+      (fun (c : Il.class_entity) ->
+        let ctempl, cstempl = class_template_ref st c in
+        { P.cl_id = Hashtbl.find st.class_map c.cl_id;
+          cl_name = c.cl_name;
+          cl_loc = mk_loc st c.cl_loc;
+          cl_kind = Il.class_kind_to_string c.cl_kind;
+          cl_parent = parentref st c.cl_parent;
+          cl_acs = access_str c.cl_access;
+          cl_templ = ctempl;
+          cl_stempl = cstempl;
+          cl_bases =
+            List.map
+              (fun (b : Il.base_spec) ->
+                (access_str b.ba_access, b.ba_virtual, Hashtbl.find st.class_map b.ba_class))
+              c.cl_bases;
+          cl_friends =
+            List.rev_map
+              (function
+                | Il.Friend_class fc -> `Cl (Hashtbl.find st.class_map fc)
+                | Il.Friend_routine fr -> `Ro (Hashtbl.find st.routine_map fr))
+              c.cl_friends;
+          cl_funcs =
+            List.map
+              (fun rid ->
+                let r = Il.routine st.prog rid in
+                (Hashtbl.find st.routine_map rid, mk_loc st r.ro_loc))
+              c.cl_funcs;
+          cl_members =
+            List.map
+              (fun (m : Il.data_member) ->
+                { P.m_name = m.dm_name;
+                  m_loc = mk_loc st m.dm_loc;
+                  m_acs = access_str m.dm_access;
+                  m_kind = "var";
+                  m_type = typeref st m.dm_type;
+                  m_static = m.dm_static;
+                  m_mutable = m.dm_mutable })
+              c.cl_members;
+          cl_pos = mk_extent st c.cl_extent })
+      (Il.classes st.prog)
+
+let traverse_types st =
+  st.pdb.P.types <-
+    List.filter_map
+      (fun (ty : Il.type_entity) ->
+        match ty.ty_kind with
+        | Tclass _ -> None
+        | k ->
+            let info =
+              match k with
+              | Tbuiltin { yikind; _ } -> P.Ybuiltin { yikind }
+              | Tptr inner -> P.Yptr (typeref st inner)
+              | Tref inner -> P.Yref (typeref st inner)
+              | Tqual { base; q_const; q_volatile } ->
+                  P.Ytref { target = typeref st base; yconst = q_const; yvolatile = q_volatile }
+              | Tarray (inner, n) -> P.Yarray { elem = typeref st inner; size = n }
+              | Tfunc { rett; params; ellipsis; cqual; exceptions } ->
+                  P.Yfunc
+                    { rett = typeref st rett;
+                      args = List.map (fun (p, d) -> (typeref st p, d)) params;
+                      ellipsis; cqual;
+                      exceptions = Option.map (List.map (typeref st)) exceptions }
+              | Tenum { constants; _ } ->
+                  P.Yenum { constants = List.map (fun (n, v, _) -> (n, v)) constants }
+              | Ttparam _ -> P.Ytparam
+              | Terror -> P.Yerror
+              | Tclass _ -> assert false
+            in
+            Some
+              { P.ty_id = Hashtbl.find st.type_map ty.ty_id;
+                ty_name = Il.type_name st.prog ty.ty_id;
+                ty_loc = mk_loc st ty.ty_loc;
+                ty_parent = parentref st ty.ty_parent;
+                ty_acs = access_str ty.ty_access;
+                ty_info = info;
+                ty_names = ty.ty_typedef_names })
+      (Il.types st.prog)
+
+let traverse_macros st =
+  st.pdb.P.pdb_macros <-
+    List.map
+      (fun (m : Il.macro_entity) ->
+        { P.ma_id = Hashtbl.find st.macro_map m.ma_id;
+          ma_name = m.ma_name;
+          ma_kind = m.ma_kind;
+          ma_text = m.ma_text;
+          ma_loc = mk_loc st m.ma_loc })
+      (Il.macros st.prog)
+
+(** Run the IL Analyzer over an IL program, producing a PDB. *)
+let run ?(opts = default_options) (prog : Il.program) : P.t =
+  let st =
+    { prog; opts; pdb = P.create ();
+      file_map = Hashtbl.create 16; class_map = Hashtbl.create 64;
+      routine_map = Hashtbl.create 256; type_map = Hashtbl.create 256;
+      template_map = Hashtbl.create 64; namespace_map = Hashtbl.create 16;
+      macro_map = Hashtbl.create 64; file_by_name = Hashtbl.create 16;
+      template_index = [] }
+  in
+  assign_ids st;
+  if opts.emit_files then traverse_files st;
+  if opts.emit_namespaces then traverse_namespaces st;
+  if opts.emit_templates then traverse_templates st;
+  if opts.emit_routines then traverse_routines st;
+  if opts.emit_classes then traverse_classes st;
+  if opts.emit_types then traverse_types st;
+  if opts.emit_macros then traverse_macros st;
+  st.pdb

@@ -1,0 +1,92 @@
+(** Abstract syntax for the Fortran 90 subset. *)
+
+open Pdt_util
+
+type type_spec =
+  | Tinteger
+  | Treal
+  | Tlogical
+  | Tcharacter of int option       (** character(len=n) *)
+  | Tderived of string             (** type(name) *)
+
+type attr =
+  | Adimension of int list         (** declared extents; 0 = deferred *)
+  | Aallocatable
+  | Aparameter
+  | Aintent of string              (** in | out | inout *)
+
+type expr = { e : expr_kind; eloc : Srcloc.t }
+
+and expr_kind =
+  | Eint of int64
+  | Ereal of float
+  | Estr of string
+  | Elogical of bool
+  | Evar of string
+  | Ecomponent of expr * string    (** v%field *)
+  | Ecall of string * expr list    (** function reference or array element *)
+  | Ebinop of string * expr * expr
+  | Eunop of string * expr
+
+type stmt = { s : stmt_kind; sloc : Srcloc.t }
+
+and stmt_kind =
+  | Sassign of expr * expr
+  | Scall of string * expr list * Srcloc.t  (** call foo(args) *)
+  | Sif of expr * stmt list * stmt list
+  | Sdo of string option * expr option * expr option * expr option * stmt list
+      (** do var = lo, hi [, step] / do while *)
+  | Sdo_while of expr * stmt list
+  | Sreturn
+  | Sprint of expr list
+
+type var_decl = {
+  v_name : string;
+  v_type : type_spec;
+  v_attrs : attr list;
+  v_init : expr option;
+  v_loc : Srcloc.t;
+}
+
+type routine = {
+  r_name : string;
+  r_kind : [ `Subroutine | `Function ];
+  r_args : string list;
+  r_result : string option;                (** function result variable *)
+  r_decls : var_decl list;
+  r_body : stmt list;
+  r_loc : Srcloc.t;
+  r_end_loc : Srcloc.t;
+  r_recursive : bool;
+}
+
+type derived_type = {
+  dt_name : string;
+  dt_fields : var_decl list;
+  dt_loc : Srcloc.t;
+  dt_end_loc : Srcloc.t;
+}
+
+type interface = {
+  i_name : string;                          (** the generic name *)
+  i_procedures : string list;               (** module procedures (aliases) *)
+  i_loc : Srcloc.t;
+}
+
+type module_unit = {
+  m_name : string;
+  m_uses : string list;
+  m_types : derived_type list;
+  m_decls : var_decl list;
+  m_interfaces : interface list;
+  m_routines : routine list;
+  m_loc : Srcloc.t;
+  m_end_loc : Srcloc.t;
+}
+
+type program_unit =
+  | Pmodule of module_unit
+  | Pprogram of routine                     (** program NAME ... end program *)
+  | Proutine of routine                     (** bare external routine *)
+
+type compilation_unit = { cu_file : string; cu_units : program_unit list }

@@ -1,0 +1,173 @@
+(** Free-form Fortran 90 lexer.
+
+    Implements the paper's §6 plan ("A Fortran 90 IL Analyzer is currently
+    being implemented"): a second language front end feeding the same
+    program database.  Fortran is case-insensitive; identifiers and keywords
+    are lowercased on the way in.  [!] starts a comment; [&] at end of line
+    continues the statement; statements end at newline or [;]. *)
+
+open Pdt_util
+
+type token =
+  | Ident of string                (** lowercased *)
+  | Int_lit of int64
+  | Real_lit of float
+  | Str_lit of string
+  | Punct of string
+  | Newline                        (** statement separator *)
+  | Eof
+
+type tok = { tok : token; loc : Srcloc.t }
+
+let keywords =
+  [ "module"; "program"; "contains"; "end"; "subroutine"; "function"; "type";
+    "interface"; "use"; "implicit"; "none"; "integer"; "real"; "logical";
+    "character"; "call"; "if"; "then"; "else"; "elseif"; "endif"; "do";
+    "enddo"; "while"; "return"; "result"; "intent"; "in"; "out"; "inout";
+    "print"; "dimension"; "allocatable"; "parameter"; "public"; "private";
+    "procedure"; "true"; "false"; "recursive"; "pure" ]
+
+let is_keyword s = List.mem s keywords
+
+let punctuators =
+  [ "::"; "=>"; "=="; "/="; "<="; ">="; "**"; "("; ")"; ","; "="; "+"; "-";
+    "*"; "/"; "<"; ">"; "%"; ";"; ":"; "'" ]
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  diags : Diag.engine;
+}
+
+let loc st = Srcloc.make ~file:st.file ~line:st.line ~col:st.col
+
+let tokenize ~diags ~file src : tok list =
+  let st = { src; file; pos = 0; line = 1; col = 1; diags } in
+  let n = String.length src in
+  let peek () = if st.pos < n then src.[st.pos] else '\000' in
+  let peek2 () = if st.pos + 1 < n then src.[st.pos + 1] else '\000' in
+  let advance () =
+    let c = src.[st.pos] in
+    st.pos <- st.pos + 1;
+    if c = '\n' then begin
+      st.line <- st.line + 1;
+      st.col <- 1
+    end
+    else st.col <- st.col + 1;
+    c
+  in
+  let out = ref [] in
+  let emit tok l = out := { tok; loc = l } :: !out in
+  let last_was_newline () =
+    match !out with
+    | [] -> true
+    | { tok = Newline; _ } :: _ -> true
+    | _ -> false
+  in
+  let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' in
+  let is_digit c = c >= '0' && c <= '9' in
+  while st.pos < n do
+    let l = loc st in
+    let c = peek () in
+    if c = ' ' || c = '\t' || c = '\r' then ignore (advance ())
+    else if c = '!' then
+      while st.pos < n && peek () <> '\n' do
+        ignore (advance ())
+      done
+    else if c = '&' then begin
+      (* continuation: skip to (and past) the newline *)
+      ignore (advance ());
+      while st.pos < n && peek () <> '\n' do
+        ignore (advance ())
+      done;
+      if st.pos < n then ignore (advance ())
+    end
+    else if c = '\n' || c = ';' then begin
+      ignore (advance ());
+      if not (last_was_newline ()) then emit Newline l
+    end
+    else if is_alpha c then begin
+      let start = st.pos in
+      while st.pos < n && (is_alpha (peek ()) || is_digit (peek ())) do
+        ignore (advance ())
+      done;
+      let s = String.lowercase_ascii (String.sub src start (st.pos - start)) in
+      emit (Ident s) l
+    end
+    else if is_digit c then begin
+      let start = st.pos in
+      let is_real = ref false in
+      while st.pos < n && is_digit (peek ()) do ignore (advance ()) done;
+      if peek () = '.' && is_digit (peek2 ()) then begin
+        is_real := true;
+        ignore (advance ());
+        while st.pos < n && is_digit (peek ()) do ignore (advance ()) done
+      end;
+      if peek () = 'e' || peek () = 'E' || peek () = 'd' || peek () = 'D' then begin
+        let save = st.pos in
+        ignore (advance ());
+        if peek () = '+' || peek () = '-' then ignore (advance ());
+        if is_digit (peek ()) then begin
+          is_real := true;
+          while st.pos < n && is_digit (peek ()) do ignore (advance ()) done
+        end
+        else st.pos <- save
+      end;
+      let s = String.sub src start (st.pos - start) in
+      let s = String.map (fun c -> if c = 'd' || c = 'D' then 'e' else c) s in
+      if !is_real then emit (Real_lit (float_of_string s)) l
+      else emit (Int_lit (Int64.of_string s)) l
+    end
+    else if c = '"' || c = '\'' then begin
+      let quote = advance () in
+      let b = Buffer.create 16 in
+      let rec go () =
+        if st.pos >= n || peek () = '\n' then
+          Diag.error st.diags l "unterminated character literal"
+        else
+          let ch = advance () in
+          if ch = quote then
+            (* doubled quote = escaped quote *)
+            if peek () = quote then begin
+              Buffer.add_char b quote;
+              ignore (advance ());
+              go ()
+            end
+            else ()
+          else begin
+            Buffer.add_char b ch;
+            go ()
+          end
+      in
+      go ();
+      emit (Str_lit (Buffer.contents b)) l
+    end
+    else begin
+      let matched =
+        List.find_opt
+          (fun p ->
+            String.length p <= n - st.pos && String.sub src st.pos (String.length p) = p)
+          punctuators
+      in
+      match matched with
+      | Some p ->
+          for _ = 1 to String.length p do ignore (advance ()) done;
+          emit (Punct p) l
+      | None ->
+          Diag.error st.diags l "stray character '%c'" c;
+          ignore (advance ())
+    end
+  done;
+  List.rev ({ tok = Eof; loc = loc st } :: { tok = Newline; loc = loc st } :: !out)
+
+let spelling = function
+  | Ident s -> s
+  | Int_lit v -> Int64.to_string v
+  | Real_lit v -> string_of_float v
+  | Str_lit s -> "'" ^ s ^ "'"
+  | Punct p -> p
+  | Newline -> "<newline>"
+  | Eof -> "<eof>"

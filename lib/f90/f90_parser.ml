@@ -1,0 +1,649 @@
+(** Recursive-descent parser for the Fortran 90 subset.
+
+    Statement-oriented: the lexer delivers [Newline] separators, and each
+    construct is introduced by a keyword, so the grammar is much simpler than
+    C++'s.  Supported units: [module] (with [use], derived [type]s,
+    [interface] blocks, variable declarations and a [contains] section),
+    [program], and bare external [subroutine]/[function] definitions. *)
+
+open Pdt_util
+open F90_ast
+module L = F90_lexer
+
+exception Parse_error of Srcloc.t * string
+
+type t = { toks : L.tok array; mutable pos : int; diags : Diag.engine }
+
+let cur t = t.toks.(min t.pos (Array.length t.toks - 1))
+let advance t = t.pos <- t.pos + 1
+let loc t = (cur t).L.loc
+
+let err t fmt =
+  Fmt.kstr (fun m -> raise (Parse_error (loc t, m))) fmt
+
+let check_ident t s =
+  match (cur t).L.tok with L.Ident s' -> s = s' | _ -> false
+
+let check_punct t p = match (cur t).L.tok with L.Punct p' -> p = p' | _ -> false
+
+let eat_ident t s = if check_ident t s then (advance t; true) else false
+let eat_punct t p = if check_punct t p then (advance t; true) else false
+
+let expect_punct t p =
+  if not (eat_punct t p) then err t "expected '%s', found %s" p (L.spelling (cur t).L.tok)
+
+let expect_name t =
+  match (cur t).L.tok with
+  | L.Ident s when not (L.is_keyword s) ->
+      advance t;
+      s
+  | L.Ident s ->
+      (* Fortran keywords are not reserved; accept them as names where a
+         name is required *)
+      advance t;
+      s
+  | _ -> err t "expected name, found %s" (L.spelling (cur t).L.tok)
+
+let skip_newlines t =
+  while (match (cur t).L.tok with L.Newline -> true | _ -> false) do
+    advance t
+  done
+
+let expect_eos t =
+  (* end of statement *)
+  match (cur t).L.tok with
+  | L.Newline ->
+      advance t;
+      skip_newlines t
+  | L.Eof -> ()
+  | tok -> err t "expected end of statement, found %s" (L.spelling tok)
+
+(* skip the rest of the current statement *)
+let skip_statement t =
+  while (match (cur t).L.tok with L.Newline | L.Eof -> false | _ -> true) do
+    advance t
+  done;
+  skip_newlines t
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let binop_prec = function
+  | "**" -> 8
+  | "*" | "/" -> 7
+  | "+" | "-" -> 6
+  | "==" | "/=" | "<" | ">" | "<=" | ">=" -> 5
+  | ".and." -> 3
+  | ".or." -> 2
+  | _ -> 0
+
+let rec parse_expr t = parse_binary t 1
+
+and parse_binary t min_prec =
+  let lhs = ref (parse_unary t) in
+  let continue_ = ref true in
+  while !continue_ do
+    let op =
+      match (cur t).L.tok with
+      | L.Punct p when binop_prec p > 0 -> Some p
+      | _ -> None
+    in
+    match op with
+    | Some op when binop_prec op >= min_prec ->
+        let l = loc t in
+        advance t;
+        let rhs = parse_binary t (binop_prec op + 1) in
+        lhs := { e = Ebinop (op, !lhs, rhs); eloc = l }
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary t =
+  let l = loc t in
+  match (cur t).L.tok with
+  | L.Punct "-" ->
+      advance t;
+      { e = Eunop ("-", parse_unary t); eloc = l }
+  | L.Punct "+" ->
+      advance t;
+      parse_unary t
+  | _ -> parse_postfix t
+
+and parse_postfix t =
+  let prim = parse_primary t in
+  let rec post e =
+    if eat_punct t "%" then begin
+      let field = expect_name t in
+      post { e = Ecomponent (e, field); eloc = e.eloc }
+    end
+    else e
+  in
+  post prim
+
+and parse_primary t =
+  let l = loc t in
+  match (cur t).L.tok with
+  | L.Int_lit v ->
+      advance t;
+      { e = Eint v; eloc = l }
+  | L.Real_lit v ->
+      advance t;
+      { e = Ereal v; eloc = l }
+  | L.Str_lit s ->
+      advance t;
+      { e = Estr s; eloc = l }
+  | L.Ident "true" | L.Ident "false" ->
+      (* .true. / .false. arrive as  . true .  — the dot is consumed below *)
+      let b = check_ident t "true" in
+      advance t;
+      { e = Elogical b; eloc = l }
+  | L.Punct "." -> err t "unexpected '.'"
+  | L.Ident name ->
+      advance t;
+      if eat_punct t "(" then begin
+        let args = parse_args t in
+        { e = Ecall (name, args); eloc = l }
+      end
+      else { e = Evar name; eloc = l }
+  | L.Punct "(" ->
+      advance t;
+      let e = parse_expr t in
+      expect_punct t ")";
+      e
+  | tok -> err t "expected expression, found %s" (L.spelling tok)
+
+and parse_args t =
+  if eat_punct t ")" then []
+  else begin
+    let rec go acc =
+      let a = parse_expr t in
+      if eat_punct t "," then go (a :: acc)
+      else begin
+        expect_punct t ")";
+        List.rev (a :: acc)
+      end
+    in
+    go []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* does the current statement start a variable declaration? *)
+let starts_decl t =
+  match (cur t).L.tok with
+  | L.Ident ("integer" | "real" | "logical" | "character") -> true
+  | L.Ident "type" -> (
+      (* 'type(name)' is a declaration; 'type name' opens a derived type *)
+      match t.toks.(t.pos + 1).L.tok with
+      | L.Punct "(" -> true
+      | _ -> false)
+  | _ -> false
+
+let parse_type_spec t : type_spec =
+  match (cur t).L.tok with
+  | L.Ident "integer" ->
+      advance t;
+      Tinteger
+  | L.Ident "real" ->
+      advance t;
+      Treal
+  | L.Ident "logical" ->
+      advance t;
+      Tlogical
+  | L.Ident "character" ->
+      advance t;
+      let len = ref None in
+      if eat_punct t "(" then begin
+        (* character(len=10) or character(10) *)
+        ignore (eat_ident t "len");
+        ignore (eat_punct t "=");
+        (match (cur t).L.tok with
+         | L.Int_lit v ->
+             advance t;
+             len := Some (Int64.to_int v)
+         | L.Punct "*" -> advance t
+         | _ -> ());
+        expect_punct t ")"
+      end;
+      Tcharacter !len
+  | L.Ident "type" ->
+      advance t;
+      expect_punct t "(";
+      let n = expect_name t in
+      expect_punct t ")";
+      Tderived n
+  | tok -> err t "expected type specifier, found %s" (L.spelling tok)
+
+(* attribute list between the type spec and '::' *)
+let parse_attrs t : attr list =
+  let attrs = ref [] in
+  while eat_punct t "," do
+    (match (cur t).L.tok with
+     | L.Ident "dimension" ->
+         advance t;
+         expect_punct t "(";
+         let rec dims acc =
+           let d =
+             match (cur t).L.tok with
+             | L.Int_lit v ->
+                 advance t;
+                 Int64.to_int v
+             | L.Punct ":" ->
+                 advance t;
+                 0
+             | _ ->
+                 (* expression extent: record as deferred *)
+                 let _ = parse_expr t in
+                 0
+           in
+           if eat_punct t "," then dims (d :: acc)
+           else begin
+             expect_punct t ")";
+             List.rev (d :: acc)
+           end
+         in
+         attrs := Adimension (dims []) :: !attrs
+     | L.Ident "allocatable" ->
+         advance t;
+         attrs := Aallocatable :: !attrs
+     | L.Ident "parameter" ->
+         advance t;
+         attrs := Aparameter :: !attrs
+     | L.Ident "intent" ->
+         advance t;
+         expect_punct t "(";
+         let which =
+           match (cur t).L.tok with
+           | L.Ident (("in" | "out" | "inout") as w) ->
+               advance t;
+               w
+           | _ -> err t "expected in/out/inout"
+         in
+         (* 'intent(in out)' unsupported; plain forms only *)
+         expect_punct t ")";
+         attrs := Aintent which :: !attrs
+     | L.Ident ("public" | "private") -> advance t
+     | tok -> err t "unknown attribute %s" (L.spelling tok))
+  done;
+  List.rev !attrs
+
+(* one declaration statement: TYPE [, attrs] :: name [(dims)] [= init], ... *)
+let parse_var_decls t : var_decl list =
+  let l = loc t in
+  let ty = parse_type_spec t in
+  let attrs = parse_attrs t in
+  ignore (eat_punct t "::");
+  let rec names acc =
+    let vloc = loc t in
+    let n = expect_name t in
+    let attrs =
+      if eat_punct t "(" then begin
+        let rec dims acc' =
+          let d =
+            match (cur t).L.tok with
+            | L.Int_lit v ->
+                advance t;
+                Int64.to_int v
+            | L.Punct ":" ->
+                advance t;
+                0
+            | _ ->
+                let _ = parse_expr t in
+                0
+          in
+          if eat_punct t "," then dims (d :: acc')
+          else begin
+            expect_punct t ")";
+            List.rev (d :: acc')
+          end
+        in
+        Adimension (dims []) :: attrs
+      end
+      else attrs
+    in
+    let init = if eat_punct t "=" then Some (parse_expr t) else None in
+    let vd = { v_name = n; v_type = ty; v_attrs = attrs; v_init = init; v_loc = vloc } in
+    if eat_punct t "," then names (vd :: acc) else List.rev (vd :: acc)
+  in
+  let ds = names [] in
+  expect_eos t;
+  ignore l;
+  ds
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt t : stmt option =
+  let l = loc t in
+  match (cur t).L.tok with
+  | L.Ident "call" ->
+      advance t;
+      let call_loc = loc t in
+      let name = expect_name t in
+      let args = if eat_punct t "(" then parse_args t else [] in
+      expect_eos t;
+      Some { s = Scall (name, args, call_loc); sloc = l }
+  | L.Ident "if" ->
+      advance t;
+      expect_punct t "(";
+      let cond = parse_expr t in
+      expect_punct t ")";
+      if eat_ident t "then" then begin
+        expect_eos t;
+        let then_body = parse_block t [ "else"; "elseif"; "endif"; "end" ] in
+        let else_body =
+          if check_ident t "else" then begin
+            advance t;
+            (* 'else if' not supported as chained; plain else *)
+            expect_eos t;
+            parse_block t [ "endif"; "end" ]
+          end
+          else []
+        in
+        (* endif / end if *)
+        if eat_ident t "endif" then expect_eos t
+        else if eat_ident t "end" then begin
+          ignore (eat_ident t "if");
+          expect_eos t
+        end
+        else err t "expected end if";
+        Some { s = Sif (cond, then_body, else_body); sloc = l }
+      end
+      else begin
+        (* single-statement if *)
+        match parse_stmt t with
+        | Some body -> Some { s = Sif (cond, [ body ], []); sloc = l }
+        | None -> err t "expected statement after if (...)"
+      end
+  | L.Ident "do" ->
+      advance t;
+      if eat_ident t "while" then begin
+        expect_punct t "(";
+        let cond = parse_expr t in
+        expect_punct t ")";
+        expect_eos t;
+        let body = parse_block t [ "enddo"; "end" ] in
+        close_do t;
+        Some { s = Sdo_while (cond, body); sloc = l }
+      end
+      else begin
+        let var = expect_name t in
+        expect_punct t "=";
+        let lo = parse_expr t in
+        expect_punct t ",";
+        let hi = parse_expr t in
+        let step = if eat_punct t "," then Some (parse_expr t) else None in
+        expect_eos t;
+        let body = parse_block t [ "enddo"; "end" ] in
+        close_do t;
+        Some { s = Sdo (Some var, Some lo, Some hi, step, body); sloc = l }
+      end
+  | L.Ident "return" ->
+      advance t;
+      expect_eos t;
+      Some { s = Sreturn; sloc = l }
+  | L.Ident "print" ->
+      advance t;
+      (* print *, e1, e2 *)
+      ignore (eat_punct t "*");
+      let args = ref [] in
+      while eat_punct t "," do
+        args := parse_expr t :: !args
+      done;
+      expect_eos t;
+      Some { s = Sprint (List.rev !args); sloc = l }
+  | L.Ident ("end" | "endif" | "enddo" | "else" | "elseif" | "contains") -> None
+  | L.Eof -> None
+  | _ ->
+      (* assignment:  designator = expr *)
+      let lhs = parse_postfix t in
+      expect_punct t "=";
+      let rhs = parse_expr t in
+      expect_eos t;
+      Some { s = Sassign (lhs, rhs); sloc = l }
+
+and parse_block t terminators : stmt list =
+  skip_newlines t;
+  let rec go acc =
+    match (cur t).L.tok with
+    | L.Ident kw when List.mem kw terminators -> List.rev acc
+    | L.Eof -> List.rev acc
+    | _ -> (
+        match parse_stmt t with
+        | Some s -> go (s :: acc)
+        | None -> List.rev acc)
+  in
+  go []
+
+and close_do t =
+  if eat_ident t "enddo" then expect_eos t
+  else if eat_ident t "end" then begin
+    ignore (eat_ident t "do");
+    expect_eos t
+  end
+  else err t "expected end do"
+
+(* ------------------------------------------------------------------ *)
+(* Program units                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let parse_routine t ~recursive ~kind : routine =
+  let l = loc t in
+  let name = expect_name t in
+  let args =
+    if eat_punct t "(" then begin
+      if eat_punct t ")" then []
+      else begin
+        let rec go acc =
+          let a = expect_name t in
+          if eat_punct t "," then go (a :: acc)
+          else begin
+            expect_punct t ")";
+            List.rev (a :: acc)
+          end
+        in
+        go []
+      end
+    end
+    else []
+  in
+  let result =
+    if eat_ident t "result" then begin
+      expect_punct t "(";
+      let r = expect_name t in
+      expect_punct t ")";
+      Some r
+    end
+    else None
+  in
+  expect_eos t;
+  (* declarations *)
+  let decls = ref [] in
+  let continue_decls = ref true in
+  while !continue_decls do
+    skip_newlines t;
+    if check_ident t "implicit" then skip_statement t
+    else if check_ident t "use" then skip_statement t
+    else if starts_decl t then decls := !decls @ parse_var_decls t
+    else continue_decls := false
+  done;
+  let body = parse_block t [ "end"; "contains" ] in
+  let end_loc = loc t in
+  if eat_ident t "end" then begin
+    ignore
+      (eat_ident t "subroutine" || eat_ident t "function" || eat_ident t "program");
+    (match (cur t).L.tok with
+     | L.Ident n when n = name -> advance t
+     | _ -> ());
+    expect_eos t
+  end;
+  { r_name = name; r_kind = kind; r_args = args; r_result = result;
+    r_decls = !decls; r_body = body; r_loc = l; r_end_loc = end_loc;
+    r_recursive = recursive }
+
+let parse_derived_type t : derived_type =
+  let l = loc t in
+  (* 'type' consumed; optional :: *)
+  ignore (eat_punct t "::");
+  let name = expect_name t in
+  expect_eos t;
+  let fields = ref [] in
+  skip_newlines t;
+  while starts_decl t do
+    fields := !fields @ parse_var_decls t;
+    skip_newlines t
+  done;
+  let end_loc = loc t in
+  if eat_ident t "end" then begin
+    ignore (eat_ident t "type");
+    (match (cur t).L.tok with
+     | L.Ident n when n = name -> advance t
+     | _ -> ());
+    expect_eos t
+  end
+  else err t "expected end type";
+  { dt_name = name; dt_fields = !fields; dt_loc = l; dt_end_loc = end_loc }
+
+let parse_interface t : interface =
+  let l = loc t in
+  let name = expect_name t in
+  expect_eos t;
+  let procs = ref [] in
+  skip_newlines t;
+  let continue_ = ref true in
+  while !continue_ do
+    if check_ident t "module" then begin
+      advance t;
+      if not (eat_ident t "procedure") then err t "expected 'module procedure'";
+      let rec names () =
+        procs := !procs @ [ expect_name t ];
+        if eat_punct t "," then names ()
+      in
+      names ();
+      expect_eos t;
+      skip_newlines t
+    end
+    else continue_ := false
+  done;
+  if eat_ident t "end" then begin
+    ignore (eat_ident t "interface");
+    (match (cur t).L.tok with
+     | L.Ident n when n = name -> advance t
+     | _ -> ());
+    expect_eos t
+  end
+  else err t "expected end interface";
+  { i_name = name; i_procedures = !procs; i_loc = l }
+
+let parse_module t : module_unit =
+  let l = loc t in
+  let name = expect_name t in
+  expect_eos t;
+  let uses = ref [] and types = ref [] and decls = ref [] in
+  let interfaces = ref [] and routines = ref [] in
+  let in_contains = ref false in
+  let finished = ref false in
+  while not !finished do
+    skip_newlines t;
+    match (cur t).L.tok with
+    | L.Ident "use" ->
+        advance t;
+        uses := !uses @ [ expect_name t ];
+        skip_statement t
+    | L.Ident "implicit" -> skip_statement t
+    | L.Ident ("public" | "private") -> skip_statement t
+    | L.Ident "type" when (match t.toks.(t.pos + 1).L.tok with
+                           | L.Punct "(" -> false
+                           | _ -> true) ->
+        advance t;
+        types := !types @ [ parse_derived_type t ]
+    | L.Ident "interface" ->
+        advance t;
+        interfaces := !interfaces @ [ parse_interface t ]
+    | L.Ident "contains" ->
+        advance t;
+        expect_eos t;
+        in_contains := true
+    | L.Ident "recursive" ->
+        advance t;
+        if eat_ident t "subroutine" then
+          routines := !routines @ [ parse_routine t ~recursive:true ~kind:`Subroutine ]
+        else if eat_ident t "function" then
+          routines := !routines @ [ parse_routine t ~recursive:true ~kind:`Function ]
+        else err t "expected subroutine or function after 'recursive'"
+    | L.Ident ("pure") ->
+        advance t
+    | L.Ident "subroutine" ->
+        advance t;
+        routines := !routines @ [ parse_routine t ~recursive:false ~kind:`Subroutine ]
+    | L.Ident "function" ->
+        advance t;
+        routines := !routines @ [ parse_routine t ~recursive:false ~kind:`Function ]
+    | L.Ident ("integer" | "real" | "logical" | "character")
+    | L.Ident "type" (* type( *) ->
+        if !in_contains then finished := true else decls := !decls @ parse_var_decls t
+    | L.Ident "end" -> finished := true
+    | L.Eof -> finished := true
+    | tok -> err t "unexpected %s in module" (L.spelling tok)
+  done;
+  let end_loc = loc t in
+  if eat_ident t "end" then begin
+    ignore (eat_ident t "module");
+    (match (cur t).L.tok with
+     | L.Ident n when n = name -> advance t
+     | _ -> ());
+    expect_eos t
+  end;
+  { m_name = name; m_uses = !uses; m_types = !types; m_decls = !decls;
+    m_interfaces = !interfaces; m_routines = !routines; m_loc = l;
+    m_end_loc = end_loc }
+
+(* returns-type-prefixed function: 'integer function f(x)' *)
+let try_typed_function t : routine option =
+  match ((cur t).L.tok, t.toks.(t.pos + 1).L.tok) with
+  | L.Ident ("integer" | "real" | "logical"), L.Ident "function" ->
+      advance t;
+      advance t;
+      Some (parse_routine t ~recursive:false ~kind:`Function)
+  | _ -> None
+
+let parse ~diags ~file toks : compilation_unit =
+  let t = { toks = Array.of_list toks; pos = 0; diags } in
+  let units = ref [] in
+  (try
+     skip_newlines t;
+     let finished = ref false in
+     while not !finished do
+       skip_newlines t;
+       match (cur t).L.tok with
+       | L.Eof -> finished := true
+       | L.Ident "module" ->
+           advance t;
+           units := Pmodule (parse_module t) :: !units
+       | L.Ident "program" ->
+           advance t;
+           units := Pprogram (parse_routine t ~recursive:false ~kind:`Subroutine) :: !units
+       | L.Ident "recursive" ->
+           advance t;
+           if eat_ident t "subroutine" then
+             units := Proutine (parse_routine t ~recursive:true ~kind:`Subroutine) :: !units
+           else if eat_ident t "function" then
+             units := Proutine (parse_routine t ~recursive:true ~kind:`Function) :: !units
+           else err t "expected subroutine or function"
+       | L.Ident "subroutine" ->
+           advance t;
+           units := Proutine (parse_routine t ~recursive:false ~kind:`Subroutine) :: !units
+       | L.Ident "function" ->
+           advance t;
+           units := Proutine (parse_routine t ~recursive:false ~kind:`Function) :: !units
+       | _ -> (
+           match try_typed_function t with
+           | Some r -> units := Proutine r :: !units
+           | None -> err t "expected program unit, found %s" (L.spelling (cur t).L.tok))
+     done
+   with Parse_error (l, m) -> Diag.error diags l "%s" m);
+  { cu_file = file; cu_units = List.rev !units }

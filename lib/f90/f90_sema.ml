@@ -1,0 +1,336 @@
+(** Fortran 90 semantic analysis: elaborates parsed units into the same IL
+    the C++ front end produces — the language-uniformity goal of the paper's
+    §6: "if the Program Database Toolkit can make a language-specific parse
+    tree accessible in a uniform manner, static analysis tools and other
+    applications can be built that process different languages in a uniform
+    and consistent way."
+
+    The §6 correspondence table, implemented:
+
+    - Fortran {b modules}       → namespaces ([na#] items);
+    - Fortran {b derived types} → classes/structs ([cl#] items, fields as
+      [cmem] members);
+    - Fortran {b interfaces}    → routines with aliases: the generic name
+      forms an overload set over its module procedures, and calls through
+      the generic resolve to a specific procedure;
+    - Fortran {b array features} → array types with extent attributes
+      ([ty#] items of kind [array]);
+    - subroutines/functions    → routines with [rlink Fortran] and the
+      usual call edges ([rcall]). *)
+
+open Pdt_util
+open Pdt_il
+open Il
+module A = F90_ast
+
+type t = {
+  prog : Il.program;
+  diags : Diag.engine;
+  (* name -> symbol tables; Fortran has flat module scopes *)
+  module_ns : (string, Il.namespace_id) Hashtbl.t;
+  derived : (string, Il.class_id) Hashtbl.t;
+  (* routine overload sets by (lowercased) name; generic interfaces add
+     aliases pointing at several procedures *)
+  procs : (string, Il.routine_id list ref) Hashtbl.t;
+  mutable pending : (Il.routine_entity * A.routine * Il.namespace_id option) list;
+}
+
+let create ~diags () =
+  { prog = Il.create_program (); diags; module_ns = Hashtbl.create 8;
+    derived = Hashtbl.create 16; procs = Hashtbl.create 32; pending = [] }
+
+let ty_integer t = Il.builtin_type t.prog ~bname:"integer" ~ykind:"int" ~yikind:"int"
+let ty_real t = Il.builtin_type t.prog ~bname:"real" ~ykind:"float" ~yikind:"double"
+let ty_logical t = Il.builtin_type t.prog ~bname:"logical" ~ykind:"bool" ~yikind:"char"
+let ty_character t n =
+  let ch = Il.builtin_type t.prog ~bname:"character" ~ykind:"char" ~yikind:"char" in
+  match n with
+  | Some n -> Il.intern_type t.prog (Tarray (ch, Some n))
+  | None -> ch
+
+let resolve_type t (ts : A.type_spec) ~loc : Il.type_id =
+  match ts with
+  | A.Tinteger -> ty_integer t
+  | A.Treal -> ty_real t
+  | A.Tlogical -> ty_logical t
+  | A.Tcharacter n -> ty_character t n
+  | A.Tderived name -> (
+      match Hashtbl.find_opt t.derived name with
+      | Some cl -> Il.intern_type t.prog (Tclass cl)
+      | None ->
+          Diag.error t.diags loc "unknown derived type '%s'" name;
+          Il.ty_error t.prog)
+
+(* apply dimension attributes: the paper's "array features specified with
+   new attributes" *)
+let apply_attrs t base (attrs : A.attr list) : Il.type_id =
+  List.fold_left
+    (fun ty a ->
+      match a with
+      | A.Adimension dims ->
+          List.fold_left
+            (fun ty d ->
+              Il.intern_type t.prog (Tarray (ty, if d = 0 then None else Some d)))
+            ty dims
+      | A.Aallocatable | A.Aparameter | A.Aintent _ -> ty)
+    base attrs
+
+let var_type t (vd : A.var_decl) : Il.type_id =
+  apply_attrs t (resolve_type t vd.A.v_type ~loc:vd.A.v_loc) vd.A.v_attrs
+
+(* ------------------------------------------------------------------ *)
+(* Declaration pass                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let declare_derived_type t ns (dt : A.derived_type) : unit =
+  let c =
+    Il.add_class t.prog ~name:dt.A.dt_name ~kind:Ckind_struct ~loc:dt.A.dt_loc
+      ~parent:(match ns with Some ns -> Pnamespace ns | None -> Pnone)
+      ~access:Acc_na
+  in
+  Hashtbl.replace t.derived dt.A.dt_name c.cl_id;
+  c.cl_extent <-
+    Srcloc.extent
+      ~header:(Srcloc.range dt.A.dt_loc dt.A.dt_loc)
+      ~body:(Srcloc.range dt.A.dt_loc dt.A.dt_end_loc) ();
+  c.cl_members <-
+    List.rev_map
+      (fun (f : A.var_decl) ->
+        { dm_name = f.A.v_name; dm_loc = f.A.v_loc; dm_access = Pub;
+          dm_type = var_type t f; dm_static = false; dm_mutable = true })
+      dt.A.dt_fields;
+  c.cl_members <- List.rev c.cl_members;
+  c.cl_complete <- true;
+  match ns with
+  | Some ns ->
+      let n = Il.namespace t.prog ns in
+      n.na_members <- Rclass c.cl_id :: n.na_members
+  | None -> ()
+
+let routine_signature t (r : A.routine) : Il.type_id * Il.param_info list =
+  let decl_of name =
+    List.find_opt (fun (d : A.var_decl) -> d.A.v_name = name) r.A.r_decls
+  in
+  let params =
+    List.map
+      (fun arg ->
+        let ty =
+          match decl_of arg with
+          | Some d -> var_type t d
+          | None -> ty_real t  (* implicit typing fallback *)
+        in
+        { pi_name = Some arg; pi_type = ty; pi_has_default = false;
+          pi_default = None; pi_loc = r.A.r_loc })
+      r.A.r_args
+  in
+  let rett =
+    match r.A.r_kind with
+    | `Subroutine -> Il.ty_void t.prog
+    | `Function -> (
+        let result_name = Option.value r.A.r_result ~default:r.A.r_name in
+        match decl_of result_name with
+        | Some d -> var_type t d
+        | None -> ty_real t)
+  in
+  let sig_ =
+    Il.intern_type t.prog
+      (Tfunc
+         { rett; params = List.map (fun p -> (p.pi_type, false)) params;
+           ellipsis = false; cqual = false; exceptions = None })
+  in
+  (sig_, params)
+
+let declare_routine t ns (r : A.routine) : Il.routine_entity =
+  let sig_, params = routine_signature t r in
+  let ro =
+    Il.add_routine t.prog ~name:r.A.r_name ~loc:r.A.r_loc
+      ~parent:(match ns with Some ns -> Pnamespace ns | None -> Pnone)
+      ~access:Acc_na ~sig_
+  in
+  ro.ro_link <- "Fortran";
+  ro.ro_params <- params;
+  ro.ro_defined <- true;
+  ro.ro_extent <-
+    Srcloc.extent
+      ~header:(Srcloc.range r.A.r_loc r.A.r_loc)
+      ~body:(Srcloc.range r.A.r_loc r.A.r_end_loc) ();
+  (match Hashtbl.find_opt t.procs r.A.r_name with
+   | Some rs -> rs := !rs @ [ ro.ro_id ]
+   | None -> Hashtbl.replace t.procs r.A.r_name (ref [ ro.ro_id ]));
+  (match ns with
+   | Some ns ->
+       let n = Il.namespace t.prog ns in
+       n.na_members <- Rroutine ro.ro_id :: n.na_members
+   | None -> ());
+  t.pending <- (ro, r, ns) :: t.pending;
+  ro
+
+(* interfaces: the generic name aliases its module procedures *)
+let declare_interface t ns (i : A.interface) : unit =
+  ignore ns;
+  let targets =
+    List.concat_map
+      (fun p ->
+        match Hashtbl.find_opt t.procs p with
+        | Some rs -> !rs
+        | None ->
+            Diag.warn t.diags i.A.i_loc
+              "interface '%s' names unknown procedure '%s'" i.A.i_name p;
+            [])
+      i.A.i_procedures
+  in
+  match Hashtbl.find_opt t.procs i.A.i_name with
+  | Some rs -> rs := !rs @ targets
+  | None -> Hashtbl.replace t.procs i.A.i_name (ref targets)
+
+(* ------------------------------------------------------------------ *)
+(* Body pass: expression typing and call edges                         *)
+(* ------------------------------------------------------------------ *)
+
+let intrinsics =
+  [ "sqrt"; "abs"; "mod"; "max"; "min"; "size"; "real"; "int"; "nint"; "sum";
+    "dot_product"; "matmul"; "allocated"; "len"; "trim" ]
+
+let rec expr_type t (locals : (string, Il.type_id) Hashtbl.t)
+    (ro : Il.routine_entity) (e : A.expr) : Il.type_id =
+  match e.A.e with
+  | A.Eint _ -> ty_integer t
+  | A.Ereal _ -> ty_real t
+  | A.Estr _ -> ty_character t None
+  | A.Elogical _ -> ty_logical t
+  | A.Evar v -> (
+      match Hashtbl.find_opt locals v with
+      | Some ty -> ty
+      | None -> ty_real t)
+  | A.Ecomponent (base, field) -> (
+      let bty = expr_type t locals ro base in
+      match Il.class_of_type t.prog bty with
+      | Some cl -> (
+          let c = Il.class_ t.prog cl in
+          match List.find_opt (fun m -> m.dm_name = field) c.cl_members with
+          | Some m -> m.dm_type
+          | None ->
+              Diag.warn t.diags e.A.eloc "derived type '%s' has no component '%s'"
+                c.cl_name field;
+              Il.ty_error t.prog)
+      | None -> Il.ty_error t.prog)
+  | A.Ecall (name, args) -> (
+      let arg_tys = List.map (expr_type t locals ro) args in
+      (* array element reference? *)
+      match Hashtbl.find_opt locals name with
+      | Some ty -> (
+          match (Il.type_ t.prog ty).ty_kind with
+          | Tarray (elem, _) -> elem
+          | _ -> ty)
+      | None -> (
+          match Hashtbl.find_opt t.procs name with
+          | Some rs -> (
+              match pick t !rs (List.length arg_tys) with
+              | Some callee ->
+                  record_call ro callee e.A.eloc;
+                  ret_of t callee
+              | None -> Il.ty_error t.prog)
+          | None ->
+              if not (List.mem name intrinsics) then
+                Diag.warn t.diags e.A.eloc "unknown function '%s'" name;
+              ty_real t))
+  | A.Ebinop (op, a, b) -> (
+      let ta = expr_type t locals ro a in
+      let _ = expr_type t locals ro b in
+      match op with
+      | "==" | "/=" | "<" | ">" | "<=" | ">=" -> ty_logical t
+      | _ -> ta)
+  | A.Eunop (_, a) -> expr_type t locals ro a
+
+and ret_of t (r : Il.routine_entity) : Il.type_id =
+  match (Il.type_ t.prog r.ro_sig).ty_kind with
+  | Tfunc { rett; _ } -> rett
+  | _ -> Il.ty_error t.prog
+
+and pick t rs nargs : Il.routine_entity option =
+  (* interface resolution by arity (Fortran generic resolution, simplified) *)
+  let cands = List.map (Il.routine t.prog) rs in
+  match
+    List.find_opt (fun (r : Il.routine_entity) -> List.length r.ro_params = nargs) cands
+  with
+  | Some r -> Some r
+  | None -> ( match cands with r :: _ -> Some r | [] -> None)
+
+and record_call (caller : Il.routine_entity) (callee : Il.routine_entity) loc :
+    unit =
+  caller.ro_calls <-
+    { cs_callee = callee.ro_id; cs_virtual = false; cs_loc = loc } :: caller.ro_calls
+
+let rec elab_stmt t locals (ro : Il.routine_entity) (s : A.stmt) : unit =
+  match s.A.s with
+  | A.Sassign (lhs, rhs) ->
+      ignore (expr_type t locals ro lhs);
+      ignore (expr_type t locals ro rhs)
+  | A.Scall (name, args, call_loc) -> (
+      let n = List.length args in
+      List.iter (fun a -> ignore (expr_type t locals ro a)) args;
+      match Hashtbl.find_opt t.procs name with
+      | Some rs -> (
+          match pick t !rs n with
+          | Some callee -> record_call ro callee call_loc
+          | None -> ())
+      | None ->
+          if not (List.mem name intrinsics) then
+            Diag.warn t.diags call_loc "call to unknown subroutine '%s'" name)
+  | A.Sif (c, a, b) ->
+      ignore (expr_type t locals ro c);
+      List.iter (elab_stmt t locals ro) a;
+      List.iter (elab_stmt t locals ro) b
+  | A.Sdo (var, lo, hi, step, body) ->
+      Option.iter (fun v -> Hashtbl.replace locals v (ty_integer t)) var;
+      List.iter
+        (fun e -> Option.iter (fun e -> ignore (expr_type t locals ro e)) e)
+        [ lo; hi; step ];
+      List.iter (elab_stmt t locals ro) body
+  | A.Sdo_while (c, body) ->
+      ignore (expr_type t locals ro c);
+      List.iter (elab_stmt t locals ro) body
+  | A.Sreturn -> ()
+  | A.Sprint args -> List.iter (fun a -> ignore (expr_type t locals ro a)) args
+
+let elab_body t (ro : Il.routine_entity) (r : A.routine) : unit =
+  let locals = Hashtbl.create 16 in
+  List.iter
+    (fun (d : A.var_decl) -> Hashtbl.replace locals d.A.v_name (var_type t d))
+    r.A.r_decls;
+  List.iter (elab_stmt t locals ro) r.A.r_body;
+  (* Il.ro_calls stores reverse source order; Il.calls re-reverses *)
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let analyze ~diags ~file (cu : A.compilation_unit) : Il.program =
+  let t = create ~diags () in
+  let f = Il.add_file t.prog file in
+  t.prog.Il.main_file <- Some f.fi_id;
+  (* pass 1: declarations *)
+  List.iter
+    (fun unit ->
+      match unit with
+      | A.Pmodule m ->
+          let ns =
+            Il.add_namespace t.prog ~name:m.A.m_name ~loc:m.A.m_loc ~parent:Pnone
+          in
+          Hashtbl.replace t.module_ns m.A.m_name ns.na_id;
+          List.iter (declare_derived_type t (Some ns.na_id)) m.A.m_types;
+          List.iter (fun r -> ignore (declare_routine t (Some ns.na_id) r)) m.A.m_routines;
+          List.iter (declare_interface t (Some ns.na_id)) m.A.m_interfaces;
+          ns.na_members <- List.rev ns.na_members
+      | A.Pprogram r | A.Proutine r -> ignore (declare_routine t None r))
+    cu.A.cu_units;
+  (* pass 2: bodies (call edges) *)
+  List.iter (fun (ro, r, _) -> elab_body t ro r) (List.rev t.pending);
+  t.prog
+
+(** Convenience: lex + parse + analyze one Fortran source string. *)
+let compile_string ?(file = "main.f90") ~diags src : Il.program =
+  let toks = F90_lexer.tokenize ~diags ~file src in
+  let cu = F90_parser.parse ~diags ~file toks in
+  analyze ~diags ~file cu

@@ -1,0 +1,87 @@
+(** Abstract syntax for the Java subset (the paper's §6 Java IL Analyzer).
+
+    Java's token grammar is close enough to C++'s that the front end reuses
+    [Pdt_lex.Lexer]; Java-only keywords ([package], [import], [extends],
+    [implements], [interface], [final], [abstract], [boolean], ...) arrive as
+    identifiers and are recognized by the parser. *)
+
+open Pdt_util
+
+type jtype =
+  | Jprim of string               (** int, boolean, double, char, long, void, float, byte, short *)
+  | Jclass of string list         (** possibly qualified: java.lang.String *)
+  | Jarray of jtype
+
+type expr = { e : expr_kind; eloc : Srcloc.t }
+
+and expr_kind =
+  | Jint of int64
+  | Jdouble of float
+  | Jbool of bool
+  | Jstr of string
+  | Jchar of int
+  | Jname of string list          (** a.b.c — variable, field path, or type *)
+  | Jcall of expr option * string * expr list * Srcloc.t
+      (** receiver (None = this/static-local), method, args, call site *)
+  | Jnew of string list * expr list
+  | Jbin of string * expr * expr
+  | Jun of string * expr
+  | Jassign of expr * expr
+  | Jindex of expr * expr
+  | Jcast of jtype * expr
+  | Jcond of expr * expr * expr
+
+type stmt = { s : stmt_kind; sloc : Srcloc.t }
+
+and stmt_kind =
+  | Jexpr of expr
+  | Jlocal of jtype * string * expr option
+  | Jif of expr * stmt list * stmt list
+  | Jwhile of expr * stmt list
+  | Jfor of stmt option * expr option * expr option * stmt list
+  | Jreturn of expr option
+  | Jthrow of expr
+  | Jtry of stmt list * (jtype * string * stmt list) list * stmt list option
+  | Jblock of stmt list
+  | Jbreak
+  | Jcontinue
+
+type modifier = Mpublic | Mprivate | Mprotected | Mstatic | Mfinal | Mabstract
+
+type field = {
+  fd_mods : modifier list;
+  fd_type : jtype;
+  fd_name : string;
+  fd_init : expr option;
+  fd_loc : Srcloc.t;
+}
+
+type method_ = {
+  md_mods : modifier list;
+  md_ret : jtype option;           (** None = constructor *)
+  md_name : string;
+  md_params : (jtype * string) list;
+  md_throws : string list list;
+  md_body : stmt list option;      (** None = abstract / interface *)
+  md_loc : Srcloc.t;
+  md_end_loc : Srcloc.t;
+}
+
+type class_decl = {
+  cd_mods : modifier list;
+  cd_interface : bool;
+  cd_name : string;
+  cd_extends : string list option;
+  cd_implements : string list list;
+  cd_fields : field list;
+  cd_methods : method_ list;
+  cd_loc : Srcloc.t;
+  cd_end_loc : Srcloc.t;
+}
+
+type unit_ = {
+  u_package : string list option;
+  u_imports : string list list;
+  u_classes : class_decl list;
+  u_file : string;
+}

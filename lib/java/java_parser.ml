@@ -1,0 +1,526 @@
+(** Parser for the Java subset, over the shared C++ token stream.
+
+    Java keywords that C++ lacks ([package], [extends], ...) arrive as
+    [Ident]s; shared keywords ([class], [public], [int], ...) arrive as
+    [Kw]s, so the helpers below accept either form. *)
+
+open Pdt_util
+open Pdt_lex
+open Java_ast
+
+exception Parse_error of Srcloc.t * string
+
+type t = { toks : Token.tok array; mutable pos : int; diags : Diag.engine }
+
+let eof_tok : Token.tok =
+  { tok = Token.Eof; loc = Srcloc.dummy; bol = false; space = false }
+
+let cur t = if t.pos < Array.length t.toks then t.toks.(t.pos) else eof_tok
+let peek t n =
+  if t.pos + n < Array.length t.toks then t.toks.(t.pos + n) else eof_tok
+let advance t = t.pos <- t.pos + 1
+let loc t = (cur t).Token.loc
+
+let err t fmt = Fmt.kstr (fun m -> raise (Parse_error (loc t, m))) fmt
+
+(* a "word": identifier or keyword spelling *)
+let word t =
+  match (cur t).Token.tok with
+  | Token.Ident s | Token.Kw s -> Some s
+  | _ -> None
+
+let check_word t s = word t = Some s
+let eat_word t s = if check_word t s then (advance t; true) else false
+let check_punct t p = match (cur t).Token.tok with Token.Punct q -> p = q | _ -> false
+let eat_punct t p = if check_punct t p then (advance t; true) else false
+
+let expect_punct t p =
+  if not (eat_punct t p) then
+    err t "expected '%s', found %s" p (Token.describe (cur t).Token.tok)
+
+let expect_name t =
+  match word t with
+  | Some s ->
+      advance t;
+      s
+  | None -> err t "expected name, found %s" (Token.describe (cur t).Token.tok)
+
+let primitive_types =
+  [ "int"; "boolean"; "double"; "float"; "long"; "short"; "byte"; "char"; "void" ]
+
+let modifiers_of t =
+  let mods = ref [] in
+  let rec go () =
+    match word t with
+    | Some "public" -> advance t; mods := Mpublic :: !mods; go ()
+    | Some "private" -> advance t; mods := Mprivate :: !mods; go ()
+    | Some "protected" -> advance t; mods := Mprotected :: !mods; go ()
+    | Some "static" -> advance t; mods := Mstatic :: !mods; go ()
+    | Some "final" -> advance t; mods := Mfinal :: !mods; go ()
+    | Some "abstract" -> advance t; mods := Mabstract :: !mods; go ()
+    | Some "synchronized" | Some "native" | Some "transient" | Some "volatile" ->
+        advance t; go ()
+    | _ -> ()
+  in
+  go ();
+  List.rev !mods
+
+let rec parse_dotted t =
+  let n = expect_name t in
+  if check_punct t "."
+     && (match (peek t 1).Token.tok with
+         | Token.Ident _ | Token.Kw _ -> true
+         | _ -> false)
+  then begin
+    advance t;
+    n :: parse_dotted t
+  end
+  else [ n ]
+
+let parse_type t : jtype =
+  let base =
+    match word t with
+    | Some p when List.mem p primitive_types ->
+        advance t;
+        Jprim p
+    | Some _ -> Jclass (parse_dotted t)
+    | None -> err t "expected type, found %s" (Token.describe (cur t).Token.tok)
+  in
+  let rec arrays ty =
+    if check_punct t "[" && (peek t 1).Token.tok = Token.Punct "]" then begin
+      advance t;
+      advance t;
+      arrays (Jarray ty)
+    end
+    else ty
+  in
+  arrays base
+
+(* does a type start here (for local-declaration disambiguation)?  Types are
+   word [word .]* followed by a name, or a primitive *)
+let starts_local_decl t =
+  match word t with
+  | Some p when List.mem p primitive_types -> true
+  | Some _ -> (
+      (* IDENT IDENT  or  IDENT [] IDENT  or  IDENT.IDENT ... IDENT IDENT *)
+      let rec scan i =
+        match ((peek t i).Token.tok, (peek t (i + 1)).Token.tok) with
+        | (Token.Ident _ | Token.Kw _), Token.Punct "." -> scan (i + 2)
+        | (Token.Ident _ | Token.Kw _), Token.Punct "[" -> (
+            match ((peek t (i + 2)).Token.tok, (peek t (i + 3)).Token.tok) with
+            | Token.Punct "]", Token.Ident _ -> true
+            | _ -> false)
+        | (Token.Ident _ | Token.Kw _), Token.Ident _ -> true
+        | _ -> false
+      in
+      scan 0)
+  | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let binop_prec = function
+  | "*" | "/" | "%" -> 10
+  | "+" | "-" -> 9
+  | "<<" | ">>" -> 8
+  | "<" | ">" | "<=" | ">=" -> 7
+  | "==" | "!=" -> 6
+  | "&" -> 5
+  | "^" -> 4
+  | "|" -> 3
+  | "&&" -> 2
+  | "||" -> 1
+  | _ -> 0
+
+let rec parse_expr t : expr =
+  let lhs = parse_cond t in
+  match (cur t).Token.tok with
+  | Token.Punct "=" ->
+      let l = loc t in
+      advance t;
+      let rhs = parse_expr t in
+      { e = Jassign (lhs, rhs); eloc = l }
+  | Token.Punct (("+=" | "-=" | "*=" | "/=") as op) ->
+      (* desugar compound assignment *)
+      let l = loc t in
+      advance t;
+      let rhs = parse_expr t in
+      let base_op = String.sub op 0 1 in
+      { e = Jassign (lhs, { e = Jbin (base_op, lhs, rhs); eloc = l }); eloc = l }
+  | _ -> lhs
+
+and parse_cond t : expr =
+  let c = parse_binary t 1 in
+  if eat_punct t "?" then begin
+    let l = loc t in
+    let a = parse_expr t in
+    expect_punct t ":";
+    let b = parse_expr t in
+    { e = Jcond (c, a, b); eloc = l }
+  end
+  else c
+
+and parse_binary t min_prec : expr =
+  let lhs = ref (parse_unary t) in
+  let continue_ = ref true in
+  while !continue_ do
+    match (cur t).Token.tok with
+    | Token.Punct op when binop_prec op >= min_prec && binop_prec op > 0 ->
+        let l = loc t in
+        advance t;
+        let rhs = parse_binary t (binop_prec op + 1) in
+        lhs := { e = Jbin (op, !lhs, rhs); eloc = l }
+    | _ -> continue_ := false
+  done;
+  !lhs
+
+and parse_unary t : expr =
+  let l = loc t in
+  match (cur t).Token.tok with
+  | Token.Punct (("!" | "-" | "~") as op) ->
+      advance t;
+      { e = Jun (op, parse_unary t); eloc = l }
+  | Token.Punct ("++" | "--") ->
+      (* prefix inc: desugar to assignment *)
+      let op = match (cur t).Token.tok with Token.Punct p -> p | _ -> "++" in
+      advance t;
+      let target = parse_unary t in
+      let one = { e = Jint 1L; eloc = l } in
+      let op' = if op = "++" then "+" else "-" in
+      { e = Jassign (target, { e = Jbin (op', target, one); eloc = l }); eloc = l }
+  | Token.Punct "(" -> (
+      (* cast or parenthesized *)
+      match ((peek t 1).Token.tok, (peek t 2).Token.tok) with
+      | (Token.Ident _ | Token.Kw _), Token.Punct ")"
+        when (match (peek t 3).Token.tok with
+              | Token.Ident _ | Token.IntLit _ | Token.FloatLit _ | Token.Punct "(" -> true
+              | _ -> false)
+             && (match (peek t 1).Token.tok with
+                 | Token.Kw k -> List.mem k primitive_types
+                 | Token.Ident i -> List.mem i primitive_types || i <> "" && i.[0] >= 'A' && i.[0] <= 'Z'
+                 | _ -> false) ->
+          advance t;
+          let ty = parse_type t in
+          expect_punct t ")";
+          { e = Jcast (ty, parse_unary t); eloc = l }
+      | _ ->
+          advance t;
+          let e = parse_expr t in
+          expect_punct t ")";
+          parse_postfix t e)
+  | _ -> parse_primary t
+
+and parse_args t : expr list =
+  expect_punct t "(";
+  if eat_punct t ")" then []
+  else begin
+    let rec go acc =
+      let a = parse_expr t in
+      if eat_punct t "," then go (a :: acc)
+      else begin
+        expect_punct t ")";
+        List.rev (a :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_primary t : expr =
+  let l = loc t in
+  match (cur t).Token.tok with
+  | Token.IntLit (_, v) ->
+      advance t;
+      parse_postfix t { e = Jint v; eloc = l }
+  | Token.FloatLit (_, v) ->
+      advance t;
+      parse_postfix t { e = Jdouble v; eloc = l }
+  | Token.StringLit (_, s) ->
+      advance t;
+      parse_postfix t { e = Jstr s; eloc = l }
+  | Token.CharLit (_, c) ->
+      advance t;
+      parse_postfix t { e = Jchar c; eloc = l }
+  | Token.Kw "true" ->
+      advance t;
+      { e = Jbool true; eloc = l }
+  | Token.Kw "false" ->
+      advance t;
+      { e = Jbool false; eloc = l }
+  | Token.Kw "this" ->
+      advance t;
+      parse_postfix t { e = Jname [ "this" ]; eloc = l }
+  | Token.Kw "new" | Token.Ident "new" ->
+      advance t;
+      let cls = parse_dotted t in
+      let args = if check_punct t "(" then parse_args t else [] in
+      parse_postfix t { e = Jnew (cls, args); eloc = l }
+  | Token.Ident _ | Token.Kw _ -> (
+      let path = parse_dotted t in
+      if check_punct t "(" then begin
+        (* unqualified or dotted call: last component is the method *)
+        let call_loc = l in
+        let args = parse_args t in
+        match List.rev path with
+        | [ m ] -> parse_postfix t { e = Jcall (None, m, args, call_loc); eloc = l }
+        | m :: rev_front ->
+            let recv = { e = Jname (List.rev rev_front); eloc = l } in
+            parse_postfix t { e = Jcall (Some recv, m, args, call_loc); eloc = l }
+        | [] -> err t "empty call path"
+      end
+      else parse_postfix t { e = Jname path; eloc = l })
+  | tok -> err t "expected expression, found %s" (Token.describe tok)
+
+and parse_postfix t (e : expr) : expr =
+  if eat_punct t "." then begin
+    let l = loc t in
+    let m = expect_name t in
+    if check_punct t "(" then begin
+      let args = parse_args t in
+      parse_postfix t { e = Jcall (Some e, m, args, l); eloc = e.eloc }
+    end
+    else
+      (* field access: extend a name path when possible *)
+      match e.e with
+      | Jname path -> parse_postfix t { e = Jname (path @ [ m ]); eloc = e.eloc }
+      | _ -> parse_postfix t { e = Jcall (Some e, m, [], l); eloc = e.eloc }
+  end
+  else if check_punct t "[" && (peek t 1).Token.tok <> Token.Punct "]" then begin
+    advance t;
+    let i = parse_expr t in
+    expect_punct t "]";
+    parse_postfix t { e = Jindex (e, i); eloc = e.eloc }
+  end
+  else if check_punct t "++" || check_punct t "--" then begin
+    let op = if check_punct t "++" then "+" else "-" in
+    let l = loc t in
+    advance t;
+    let one = { e = Jint 1L; eloc = l } in
+    { e = Jassign (e, { e = Jbin (op, e, one); eloc = l }); eloc = l }
+  end
+  else e
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_stmt t : stmt =
+  let l = loc t in
+  match word t with
+  | Some "if" ->
+      advance t;
+      expect_punct t "(";
+      let c = parse_expr t in
+      expect_punct t ")";
+      let thn = parse_body t in
+      let els = if eat_word t "else" then parse_body t else [] in
+      { s = Jif (c, thn, els); sloc = l }
+  | Some "while" ->
+      advance t;
+      expect_punct t "(";
+      let c = parse_expr t in
+      expect_punct t ")";
+      { s = Jwhile (c, parse_body t); sloc = l }
+  | Some "for" ->
+      advance t;
+      expect_punct t "(";
+      let init =
+        if check_punct t ";" then None else Some (parse_simple_stmt t)
+      in
+      expect_punct t ";";
+      let cond = if check_punct t ";" then None else Some (parse_expr t) in
+      expect_punct t ";";
+      let step = if check_punct t ")" then None else Some (parse_expr t) in
+      expect_punct t ")";
+      { s = Jfor (init, cond, step, parse_body t); sloc = l }
+  | Some "return" ->
+      advance t;
+      let e = if check_punct t ";" then None else Some (parse_expr t) in
+      expect_punct t ";";
+      { s = Jreturn e; sloc = l }
+  | Some "throw" ->
+      advance t;
+      let e = parse_expr t in
+      expect_punct t ";";
+      { s = Jthrow e; sloc = l }
+  | Some "break" ->
+      advance t;
+      expect_punct t ";";
+      { s = Jbreak; sloc = l }
+  | Some "continue" ->
+      advance t;
+      expect_punct t ";";
+      { s = Jcontinue; sloc = l }
+  | Some "try" ->
+      advance t;
+      let body = parse_block t in
+      let catches = ref [] in
+      while check_word t "catch" do
+        advance t;
+        expect_punct t "(";
+        let ty = parse_type t in
+        let n = expect_name t in
+        expect_punct t ")";
+        catches := (ty, n, parse_block t) :: !catches
+      done;
+      let fin = if eat_word t "finally" then Some (parse_block t) else None in
+      { s = Jtry (body, List.rev !catches, fin); sloc = l }
+  | _ when check_punct t "{" -> { s = Jblock (parse_block t); sloc = l }
+  | _ ->
+      let st = parse_simple_stmt t in
+      expect_punct t ";";
+      st
+
+(* a local declaration or an expression, without the trailing ';' *)
+and parse_simple_stmt t : stmt =
+  let l = loc t in
+  if starts_local_decl t then begin
+    let ty = parse_type t in
+    let n = expect_name t in
+    let init = if eat_punct t "=" then Some (parse_expr t) else None in
+    { s = Jlocal (ty, n, init); sloc = l }
+  end
+  else { s = Jexpr (parse_expr t); sloc = l }
+
+and parse_block t : stmt list =
+  expect_punct t "{";
+  let rec go acc =
+    if eat_punct t "}" then List.rev acc else go (parse_stmt t :: acc)
+  in
+  go []
+
+and parse_body t : stmt list =
+  if check_punct t "{" then parse_block t else [ parse_stmt t ]
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_class t ~interface : class_decl =
+  let l = loc t in
+  let name = expect_name t in
+  let extends = if eat_word t "extends" then Some (parse_dotted t) else None in
+  let implements = ref [] in
+  if eat_word t "implements" then begin
+    let rec go () =
+      implements := !implements @ [ parse_dotted t ];
+      if eat_punct t "," then go ()
+    in
+    go ()
+  end;
+  expect_punct t "{";
+  let fields = ref [] and methods = ref [] in
+  let rec members () =
+    if check_punct t "}" then ()
+    else begin
+      let mods = modifiers_of t in
+      let mloc = loc t in
+      (* constructor: Name ( *)
+      if word t = Some name && (peek t 1).Token.tok = Token.Punct "(" then begin
+        advance t;
+        let params = parse_params t in
+        let throws = parse_throws t in
+        let body = parse_block t in
+        let end_loc = loc t in
+        methods :=
+          { md_mods = mods; md_ret = None; md_name = name; md_params = params;
+            md_throws = throws; md_body = Some body; md_loc = mloc;
+            md_end_loc = end_loc }
+          :: !methods
+      end
+      else begin
+        let ty = parse_type t in
+        let n = expect_name t in
+        if check_punct t "(" then begin
+          let params = parse_params t in
+          let throws = parse_throws t in
+          let body, end_loc =
+            if check_punct t "{" then begin
+              let b = parse_block t in
+              (Some b, loc t)
+            end
+            else begin
+              expect_punct t ";";
+              (None, loc t)
+            end
+          in
+          methods :=
+            { md_mods = mods; md_ret = Some ty; md_name = n; md_params = params;
+              md_throws = throws; md_body = body; md_loc = mloc;
+              md_end_loc = end_loc }
+            :: !methods
+        end
+        else begin
+          let init = if eat_punct t "=" then Some (parse_expr t) else None in
+          expect_punct t ";";
+          fields :=
+            { fd_mods = mods; fd_type = ty; fd_name = n; fd_init = init;
+              fd_loc = mloc }
+            :: !fields
+        end
+      end;
+      members ()
+    end
+  in
+  members ();
+  let end_loc = loc t in
+  expect_punct t "}";
+  { cd_mods = []; cd_interface = interface; cd_name = name; cd_extends = extends;
+    cd_implements = !implements; cd_fields = List.rev !fields;
+    cd_methods = List.rev !methods; cd_loc = l; cd_end_loc = end_loc }
+
+and parse_params t : (jtype * string) list =
+  expect_punct t "(";
+  if eat_punct t ")" then []
+  else begin
+    let rec go acc =
+      let ty = parse_type t in
+      let n = expect_name t in
+      if eat_punct t "," then go ((ty, n) :: acc)
+      else begin
+        expect_punct t ")";
+        List.rev ((ty, n) :: acc)
+      end
+    in
+    go []
+  end
+
+and parse_throws t : string list list =
+  if eat_word t "throws" then begin
+    let rec go acc =
+      let c = parse_dotted t in
+      if eat_punct t "," then go (c :: acc) else List.rev (c :: acc)
+    in
+    go []
+  end
+  else []
+
+let parse ~diags ~file src : unit_ =
+  let toks = Lexer.tokenize ~diags ~file src in
+  let t = { toks = Array.of_list toks; pos = 0; diags } in
+  let package = ref None and imports = ref [] and classes = ref [] in
+  (try
+     if eat_word t "package" then begin
+       package := Some (parse_dotted t);
+       expect_punct t ";"
+     end;
+     while check_word t "import" do
+       advance t;
+       imports := !imports @ [ parse_dotted t ];
+       ignore (eat_punct t ";")
+     done;
+     let rec units () =
+       match (cur t).Token.tok with
+       | Token.Eof -> ()
+       | _ ->
+           ignore (modifiers_of t);
+           if eat_word t "class" then classes := !classes @ [ parse_class t ~interface:false ]
+           else if eat_word t "interface" then
+             classes := !classes @ [ parse_class t ~interface:true ]
+           else err t "expected class or interface, found %s"
+                  (Token.describe (cur t).Token.tok);
+           units ()
+     in
+     units ()
+   with Parse_error (l, m) -> Diag.error diags l "%s" m);
+  { u_package = !package; u_imports = !imports; u_classes = !classes; u_file = file }

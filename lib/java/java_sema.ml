@@ -1,0 +1,403 @@
+(** Java semantic analysis: elaborates parsed units into the common IL
+    (the paper's §6 Java IL Analyzer, "with the PDB and DUCTAPE enhanced to
+    accommodate Java's constructs").
+
+    Correspondences:
+
+    - {b package}    → namespace ([na#] item; dotted packages nest);
+    - {b class}      → class ([cl#]) with [extends] as its base and
+      [implements] interfaces as further bases;
+    - {b interface}  → class item whose methods are pure virtual;
+    - {b method}     → routine with [rlink Java]; instance methods are
+      virtual by default (Java dispatch), [static]/[final]/ctors are not;
+    - {b field}      → data member;
+    - method bodies  → [rcall] edges, resolved through locals, fields,
+      [this], static class references and [new]. *)
+
+open Pdt_util
+open Pdt_il
+open Il
+module A = Java_ast
+
+type t = {
+  prog : Il.program;
+  diags : Diag.engine;
+  classes_by_name : (string, Il.class_id) Hashtbl.t;  (* simple name *)
+  mutable pending :
+    (Il.routine_entity * A.method_ * Il.class_id) list;
+}
+
+let create ~diags () =
+  { prog = Il.create_program (); diags; classes_by_name = Hashtbl.create 16;
+    pending = [] }
+
+let jtype_name = function
+  | A.Jprim p -> p
+  | A.Jclass path -> String.concat "." path
+  | A.Jarray _ -> "<array>"
+
+let rec resolve_type t (ty : A.jtype) : Il.type_id =
+  match ty with
+  | A.Jprim "int" -> Il.builtin_type t.prog ~bname:"int" ~ykind:"int" ~yikind:"int"
+  | A.Jprim "long" -> Il.builtin_type t.prog ~bname:"long" ~ykind:"int" ~yikind:"long"
+  | A.Jprim "short" -> Il.builtin_type t.prog ~bname:"short" ~ykind:"int" ~yikind:"short"
+  | A.Jprim "byte" -> Il.builtin_type t.prog ~bname:"byte" ~ykind:"int" ~yikind:"char"
+  | A.Jprim "boolean" ->
+      Il.builtin_type t.prog ~bname:"boolean" ~ykind:"bool" ~yikind:"char"
+  | A.Jprim "double" ->
+      Il.builtin_type t.prog ~bname:"double" ~ykind:"float" ~yikind:"double"
+  | A.Jprim "float" -> Il.builtin_type t.prog ~bname:"float" ~ykind:"float" ~yikind:"float"
+  | A.Jprim "char" -> Il.builtin_type t.prog ~bname:"char" ~ykind:"char" ~yikind:"int"
+  | A.Jprim "void" | A.Jprim _ -> Il.ty_void t.prog
+  | A.Jclass path -> (
+      let simple = List.nth path (List.length path - 1) in
+      match Hashtbl.find_opt t.classes_by_name simple with
+      | Some cl -> Il.intern_type t.prog (Tclass cl)
+      | None ->
+          (* unknown library type (String, Object, ...): model as an opaque
+             builtin so signatures stay printable *)
+          Il.builtin_type t.prog ~bname:(String.concat "." path) ~ykind:"class"
+            ~yikind:"NA")
+  | A.Jarray elem -> Il.intern_type t.prog (Tarray (resolve_type t elem, None))
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let declare_package t (path : string list option) : Il.namespace_id option =
+  match path with
+  | None -> None
+  | Some segs ->
+      let parent = ref Pnone in
+      let last = ref None in
+      List.iter
+        (fun seg ->
+          let existing =
+            List.find_opt
+              (fun (n : Il.namespace_entity) ->
+                n.na_name = seg && n.na_parent = !parent)
+              (Il.namespaces t.prog)
+          in
+          let ns =
+            match existing with
+            | Some n -> n
+            | None -> Il.add_namespace t.prog ~name:seg ~loc:Srcloc.dummy ~parent:!parent
+          in
+          parent := Pnamespace ns.na_id;
+          last := Some ns.na_id)
+        segs;
+      !last
+
+let method_signature t (m : A.method_) : Il.type_id * Il.param_info list =
+  let params =
+    List.map
+      (fun (ty, n) ->
+        { pi_name = Some n; pi_type = resolve_type t ty; pi_has_default = false;
+          pi_default = None; pi_loc = m.A.md_loc })
+      m.A.md_params
+  in
+  let rett =
+    match m.A.md_ret with
+    | Some ty -> resolve_type t ty
+    | None -> Il.ty_void t.prog
+  in
+  let exceptions =
+    match m.A.md_throws with
+    | [] -> None
+    | ts -> Some (List.map (fun path -> resolve_type t (A.Jclass path)) ts)
+  in
+  ( Il.intern_type t.prog
+      (Tfunc
+         { rett; params = List.map (fun p -> (p.pi_type, false)) params;
+           ellipsis = false; cqual = false; exceptions }),
+    params )
+
+let declare_class t ns (cd : A.class_decl) : unit =
+  let c =
+    Il.add_class t.prog ~name:cd.A.cd_name
+      ~kind:(if cd.A.cd_interface then Ckind_struct else Ckind_class)
+      ~loc:cd.A.cd_loc
+      ~parent:(match ns with Some n -> Pnamespace n | None -> Pnone)
+      ~access:Acc_na
+  in
+  Hashtbl.replace t.classes_by_name cd.A.cd_name c.cl_id;
+  c.cl_extent <-
+    Srcloc.extent ~header:(Srcloc.range cd.A.cd_loc cd.A.cd_loc)
+      ~body:(Srcloc.range cd.A.cd_loc cd.A.cd_end_loc) ();
+  (match ns with
+   | Some n ->
+       let nent = Il.namespace t.prog n in
+       nent.na_members <- Rclass c.cl_id :: nent.na_members
+   | None -> ())
+
+let elaborate_class t (cd : A.class_decl) : unit =
+  let cl = Hashtbl.find t.classes_by_name cd.A.cd_name in
+  let c = Il.class_ t.prog cl in
+  (* bases: extends + implements, resolved within the compilation unit *)
+  let base_of path =
+    let simple = List.nth path (List.length path - 1) in
+    Hashtbl.find_opt t.classes_by_name simple
+  in
+  let bases =
+    (match cd.A.cd_extends with
+     | Some p -> ( match base_of p with Some b -> [ (b, false) ] | None -> [])
+     | None -> [])
+    @ List.filter_map
+        (fun p -> Option.map (fun b -> (b, true)) (base_of p))
+        cd.A.cd_implements
+  in
+  c.cl_bases <-
+    List.map
+      (fun (b, _itf) -> { ba_access = Pub; ba_virtual = false; ba_class = b })
+      bases;
+  List.iter
+    (fun (b, _) ->
+      let bc = Il.class_ t.prog b in
+      bc.cl_derived <- bc.cl_derived @ [ cl ])
+    bases;
+  (* fields *)
+  c.cl_members <-
+    List.map
+      (fun (f : A.field) ->
+        let access =
+          if List.mem A.Mprivate f.fd_mods then Priv
+          else if List.mem A.Mprotected f.fd_mods then Prot
+          else Pub
+        in
+        { dm_name = f.A.fd_name; dm_loc = f.A.fd_loc; dm_access = access;
+          dm_type = resolve_type t f.A.fd_type;
+          dm_static = List.mem A.Mstatic f.fd_mods; dm_mutable = true })
+      cd.A.cd_fields;
+  (* methods *)
+  List.iter
+    (fun (m : A.method_) ->
+      let sig_, params = method_signature t m in
+      let ro =
+        Il.add_routine t.prog ~name:m.A.md_name ~loc:m.A.md_loc ~parent:(Pclass cl)
+          ~access:
+            (if List.mem A.Mprivate m.md_mods then Priv
+             else if List.mem A.Mprotected m.md_mods then Prot
+             else Pub)
+          ~sig_
+      in
+      ro.ro_link <- "Java";
+      ro.ro_params <- params;
+      ro.ro_static <- List.mem A.Mstatic m.md_mods;
+      ro.ro_store <- (if ro.ro_static then "static" else "NA");
+      ro.ro_kind <- (if m.A.md_ret = None then Rk_ctor else Rk_normal);
+      (* Java instance methods dispatch virtually unless static/final/ctor *)
+      ro.ro_virt <-
+        (if cd.A.cd_interface && m.A.md_body = None then Virt_pure
+         else if
+           (not ro.ro_static) && ro.ro_kind <> Rk_ctor
+           && not (List.mem A.Mfinal m.md_mods)
+         then Virt_virtual
+         else Virt_no);
+      ro.ro_defined <- m.A.md_body <> None;
+      ro.ro_extent <-
+        Srcloc.extent ~header:(Srcloc.range m.A.md_loc m.A.md_loc)
+          ~body:(Srcloc.range m.A.md_loc m.A.md_end_loc) ();
+      c.cl_funcs <- c.cl_funcs @ [ ro.ro_id ];
+      match m.A.md_body with
+      | Some _ -> t.pending <- (ro, m, cl) :: t.pending
+      | None -> ())
+    cd.A.cd_methods
+
+(* ------------------------------------------------------------------ *)
+(* Bodies: call edges                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let rec find_method t (cl : Il.class_id) name nargs : Il.routine_entity option =
+  let c = Il.class_ t.prog cl in
+  let here =
+    List.filter
+      (fun rid ->
+        let r = Il.routine t.prog rid in
+        r.ro_name = name && List.length r.ro_params = nargs)
+      c.cl_funcs
+  in
+  match here with
+  | rid :: _ -> Some (Il.routine t.prog rid)
+  | [] ->
+      let rec through = function
+        | [] -> None
+        | (b : Il.base_spec) :: rest -> (
+            match find_method t b.ba_class name nargs with
+            | Some r -> Some r
+            | None -> through rest)
+      in
+      through c.cl_bases
+
+let record_call (caller : Il.routine_entity) (callee : Il.routine_entity) loc =
+  caller.ro_calls <-
+    { cs_callee = callee.ro_id; cs_virtual = callee.ro_virt <> Virt_no; cs_loc = loc }
+    :: caller.ro_calls
+
+(* the declared class of a name path, through locals and fields *)
+let rec class_of_path t locals (this_cl : Il.class_id) (path : string list) :
+    Il.class_id option =
+  match path with
+  | [] -> None
+  | [ "this" ] -> Some this_cl
+  | first :: rest -> (
+      let base =
+        match Hashtbl.find_opt locals first with
+        | Some ty -> Il.class_of_type t.prog ty
+        | None -> (
+            (* field of this? *)
+            let c = Il.class_ t.prog this_cl in
+            match
+              List.find_opt (fun (m : Il.data_member) -> m.dm_name = first) c.cl_members
+            with
+            | Some m -> Il.class_of_type t.prog m.dm_type
+            | None -> Hashtbl.find_opt t.classes_by_name first (* static ref *))
+      in
+      match (base, rest) with
+      | Some cl, [] -> Some cl
+      | Some cl, field :: rest' -> (
+          let c = Il.class_ t.prog cl in
+          match
+            List.find_opt (fun (m : Il.data_member) -> m.dm_name = field) c.cl_members
+          with
+          | Some m -> (
+              match Il.class_of_type t.prog m.dm_type with
+              | Some cl' -> class_of_path t locals cl' (match rest' with [] -> [ "this" ] | _ -> rest')
+              | None -> None)
+          | None -> None)
+      | None, _ -> None)
+
+let rec walk_expr t locals (ro : Il.routine_entity) (this_cl : Il.class_id)
+    (e : A.expr) : Il.type_id option =
+  match e.A.e with
+  | A.Jint _ | A.Jdouble _ | A.Jbool _ | A.Jstr _ | A.Jchar _ -> None
+  | A.Jname path -> (
+      match path with
+      | [ v ] -> Hashtbl.find_opt locals v
+      | _ ->
+          Option.map
+            (fun cl -> Il.intern_type t.prog (Tclass cl))
+            (class_of_path t locals this_cl path))
+  | A.Jcall (recv, m, args, call_loc) -> (
+      List.iter (fun a -> ignore (walk_expr t locals ro this_cl a)) args;
+      let nargs = List.length args in
+      let target_class =
+        match recv with
+        | None -> Some this_cl
+        | Some r -> (
+            match r.A.e with
+            | A.Jname path -> (
+                match class_of_path t locals this_cl path with
+                | Some cl -> Some cl
+                | None -> None)
+            | _ -> (
+                match walk_expr t locals ro this_cl r with
+                | Some ty -> Il.class_of_type t.prog ty
+                | None -> None))
+      in
+      match target_class with
+      | Some cl -> (
+          match find_method t cl m nargs with
+          | Some callee ->
+              record_call ro callee call_loc;
+              Some
+                (match (Il.type_ t.prog callee.ro_sig).ty_kind with
+                 | Tfunc { rett; _ } -> rett
+                 | _ -> Il.ty_void t.prog)
+          | None -> None)
+      | None -> None)
+  | A.Jnew (path, args) -> (
+      List.iter (fun a -> ignore (walk_expr t locals ro this_cl a)) args;
+      let simple = List.nth path (List.length path - 1) in
+      match Hashtbl.find_opt t.classes_by_name simple with
+      | Some cl ->
+          (match find_method t cl simple (List.length args) with
+           | Some ctor -> record_call ro ctor e.A.eloc
+           | None -> ());
+          Some (Il.intern_type t.prog (Tclass cl))
+      | None -> None)
+  | A.Jbin (_, a, b) ->
+      let ta = walk_expr t locals ro this_cl a in
+      ignore (walk_expr t locals ro this_cl b);
+      ta
+  | A.Jun (_, a) -> walk_expr t locals ro this_cl a
+  | A.Jassign (a, b) ->
+      ignore (walk_expr t locals ro this_cl b);
+      walk_expr t locals ro this_cl a
+  | A.Jindex (a, i) -> (
+      ignore (walk_expr t locals ro this_cl i);
+      match walk_expr t locals ro this_cl a with
+      | Some ty -> (
+          match (Il.type_ t.prog ty).ty_kind with
+          | Tarray (elem, _) -> Some elem
+          | _ -> None)
+      | None -> None)
+  | A.Jcast (ty, a) ->
+      ignore (walk_expr t locals ro this_cl a);
+      Some (resolve_type t ty)
+  | A.Jcond (c, a, b) ->
+      ignore (walk_expr t locals ro this_cl c);
+      let ta = walk_expr t locals ro this_cl a in
+      ignore (walk_expr t locals ro this_cl b);
+      ta
+
+let rec walk_stmt t locals ro this_cl (s : A.stmt) : unit =
+  match s.A.s with
+  | A.Jexpr e -> ignore (walk_expr t locals ro this_cl e)
+  | A.Jlocal (ty, n, init) ->
+      Hashtbl.replace locals n (resolve_type t ty);
+      Option.iter (fun e -> ignore (walk_expr t locals ro this_cl e)) init
+  | A.Jif (c, a, b) ->
+      ignore (walk_expr t locals ro this_cl c);
+      List.iter (walk_stmt t locals ro this_cl) a;
+      List.iter (walk_stmt t locals ro this_cl) b
+  | A.Jwhile (c, b) ->
+      ignore (walk_expr t locals ro this_cl c);
+      List.iter (walk_stmt t locals ro this_cl) b
+  | A.Jfor (init, c, step, b) ->
+      Option.iter (walk_stmt t locals ro this_cl) init;
+      Option.iter (fun e -> ignore (walk_expr t locals ro this_cl e)) c;
+      Option.iter (fun e -> ignore (walk_expr t locals ro this_cl e)) step;
+      List.iter (walk_stmt t locals ro this_cl) b
+  | A.Jreturn e -> Option.iter (fun e -> ignore (walk_expr t locals ro this_cl e)) e
+  | A.Jthrow e -> ignore (walk_expr t locals ro this_cl e)
+  | A.Jtry (b, catches, fin) ->
+      List.iter (walk_stmt t locals ro this_cl) b;
+      List.iter
+        (fun (ty, n, cb) ->
+          Hashtbl.replace locals n (resolve_type t ty);
+          List.iter (walk_stmt t locals ro this_cl) cb)
+        catches;
+      Option.iter (List.iter (walk_stmt t locals ro this_cl)) fin
+  | A.Jblock b -> List.iter (walk_stmt t locals ro this_cl) b
+  | A.Jbreak | A.Jcontinue -> ()
+
+let elaborate_body t ((ro : Il.routine_entity), (m : A.method_), cl) : unit =
+  let locals = Hashtbl.create 16 in
+  List.iter
+    (fun (ty, n) -> Hashtbl.replace locals n (resolve_type t ty))
+    m.A.md_params;
+  (match m.A.md_body with
+   | Some body -> List.iter (walk_stmt t locals ro cl) body
+   | None -> ());
+  (* Il.ro_calls stores reverse source order; Il.calls re-reverses *)
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let analyze ~diags ~file (u : A.unit_) : Il.program =
+  let t = create ~diags () in
+  let f = Il.add_file t.prog file in
+  t.prog.Il.main_file <- Some f.fi_id;
+  let ns = declare_package t u.A.u_package in
+  (* two passes so classes can reference each other *)
+  List.iter (declare_class t ns) u.A.u_classes;
+  List.iter (elaborate_class t) u.A.u_classes;
+  List.iter (elaborate_body t) (List.rev t.pending);
+  ignore (jtype_name (A.Jprim "int"));
+  t.prog
+
+let compile_string ?(file = "Main.java") ~diags src : Il.program =
+  let u = Java_parser.parse ~diags ~file src in
+  analyze ~diags ~file u

@@ -1,0 +1,265 @@
+(** Hand-written maximal-munch lexer for the C++ subset.
+
+    Produces the full token stream of one physical file, including [#]
+    punctuators: preprocessing directives are recognized later by [pdt_pp]
+    using the [bol] flags.  Line splices ([\ ] at end of line) are handled
+    here so the preprocessor sees logical lines. *)
+
+open Pdt_util
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;   (* byte offset *)
+  mutable line : int;  (* 1-based *)
+  mutable col : int;   (* 1-based *)
+  mutable bol : bool;
+  mutable space : bool;
+  diags : Diag.engine;
+}
+
+let create ~diags ~file src =
+  { src; file; pos = 0; line = 1; col = 1; bol = true; space = false; diags }
+
+let loc st = Srcloc.make ~file:st.file ~line:st.line ~col:st.col
+
+let at_end st = st.pos >= String.length st.src
+
+let peek st = if at_end st then '\000' else st.src.[st.pos]
+
+let peek2 st =
+  if st.pos + 1 >= String.length st.src then '\000' else st.src.[st.pos + 1]
+
+let advance st =
+  let c = st.src.[st.pos] in
+  st.pos <- st.pos + 1;
+  if c = '\n' then begin
+    st.line <- st.line + 1;
+    st.col <- 1;
+    st.bol <- true
+  end
+  else st.col <- st.col + 1;
+  c
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+let is_hex_digit c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+(* Skip whitespace and comments; record whether any was skipped. *)
+let rec skip_trivia st =
+  if at_end st then ()
+  else
+    match peek st with
+    | ' ' | '\t' | '\r' | '\n' ->
+        ignore (advance st);
+        st.space <- true;
+        skip_trivia st
+    | '\\' when peek2 st = '\n' ->
+        (* line splice *)
+        ignore (advance st);
+        ignore (advance st);
+        st.space <- true;
+        skip_trivia st
+    | '/' when peek2 st = '/' ->
+        while (not (at_end st)) && peek st <> '\n' do
+          ignore (advance st)
+        done;
+        st.space <- true;
+        skip_trivia st
+    | '/' when peek2 st = '*' ->
+        let start = loc st in
+        ignore (advance st);
+        ignore (advance st);
+        let rec finish () =
+          if at_end st then Diag.fatal st.diags start "unterminated comment"
+          else if peek st = '*' && peek2 st = '/' then begin
+            ignore (advance st);
+            ignore (advance st)
+          end
+          else begin
+            ignore (advance st);
+            finish ()
+          end
+        in
+        finish ();
+        st.space <- true;
+        skip_trivia st
+    | _ -> ()
+
+let lex_ident st =
+  let start = st.pos in
+  while (not (at_end st)) && is_ident_char (peek st) do
+    ignore (advance st)
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  if Token.is_keyword s then Token.Kw s else Token.Ident s
+
+let lex_number st =
+  let start = st.pos in
+  let seen_dot = ref false and seen_exp = ref false in
+  let is_hex =
+    peek st = '0' && (peek2 st = 'x' || peek2 st = 'X')
+  in
+  if is_hex then begin
+    ignore (advance st);
+    ignore (advance st);
+    while (not (at_end st)) && is_hex_digit (peek st) do
+      ignore (advance st)
+    done
+  end
+  else begin
+    while
+      (not (at_end st))
+      &&
+      let c = peek st in
+      if is_digit c then true
+      else if c = '.' && not !seen_dot && not !seen_exp then begin
+        seen_dot := true;
+        true
+      end
+      else if (c = 'e' || c = 'E') && not !seen_exp && is_digit st.src.[st.pos - 1]
+      then begin
+        seen_exp := true;
+        true
+      end
+      else if (c = '+' || c = '-') && !seen_exp
+              && (st.src.[st.pos - 1] = 'e' || st.src.[st.pos - 1] = 'E')
+      then true
+      else false
+    do
+      ignore (advance st)
+    done
+  end;
+  (* suffixes *)
+  while
+    (not (at_end st))
+    && (match peek st with
+        | 'u' | 'U' | 'l' | 'L' -> true
+        | 'f' | 'F' when (!seen_dot || !seen_exp) && not is_hex -> true
+        | _ -> false)
+  do
+    ignore (advance st)
+  done;
+  let s = String.sub st.src start (st.pos - start) in
+  let at = Srcloc.make ~file:st.file ~line:st.line ~col:st.col in
+  if (!seen_dot || !seen_exp) && not is_hex then
+    let numeric =
+      let rec strip i =
+        if i > 0 && (match s.[i - 1] with 'f' | 'F' | 'l' | 'L' -> true | _ -> false)
+        then strip (i - 1)
+        else i
+      in
+      String.sub s 0 (strip (String.length s))
+    in
+    match float_of_string_opt numeric with
+    | Some v -> Token.FloatLit (s, v)
+    | None ->
+        Diag.error st.diags at "invalid floating literal '%s'" s;
+        Token.FloatLit (s, 0.0)
+  else
+    let numeric =
+      let rec strip i =
+        if i > 0 && (match s.[i - 1] with 'u' | 'U' | 'l' | 'L' -> true | _ -> false)
+        then strip (i - 1)
+        else i
+      in
+      String.sub s 0 (strip (String.length s))
+    in
+    match Int64.of_string_opt numeric with
+    | Some v -> Token.IntLit (s, v)
+    | None ->
+        Diag.error st.diags at "integer literal '%s' out of range" s;
+        Token.IntLit (s, 0L)
+
+let escape_value st at = function
+  | 'n' -> 10 | 't' -> 9 | 'r' -> 13 | '0' -> 0 | 'a' -> 7 | 'b' -> 8
+  | 'f' -> 12 | 'v' -> 11 | '\\' -> 92 | '\'' -> 39 | '"' -> 34 | '?' -> 63
+  | c ->
+      Diag.warn st.diags at "unknown escape sequence '\\%c'" c;
+      Char.code c
+
+let lex_char_or_string st quote =
+  let at = loc st in
+  let start = st.pos in
+  ignore (advance st);
+  let cooked = Buffer.create 8 in
+  let rec go () =
+    if at_end st || peek st = '\n' then
+      Diag.fatal st.diags at "unterminated %s literal"
+        (if quote = '"' then "string" else "character")
+    else
+      let c = advance st in
+      if c = quote then ()
+      else if c = '\\' then begin
+        if at_end st then Diag.fatal st.diags at "unterminated escape";
+        let e = advance st in
+        Buffer.add_char cooked (Char.chr (escape_value st at e land 0xff));
+        go ()
+      end
+      else begin
+        Buffer.add_char cooked c;
+        go ()
+      end
+  in
+  go ();
+  let spelling = String.sub st.src start (st.pos - start) in
+  let v = Buffer.contents cooked in
+  if quote = '"' then Token.StringLit (spelling, v)
+  else
+    let code = if String.length v = 0 then 0 else Char.code v.[0] in
+    Token.CharLit (spelling, code)
+
+let starts_with st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let lex_punct st =
+  let at = loc st in
+  let rec try_puncts = function
+    | [] ->
+        let c = peek st in
+        ignore (advance st);
+        Diag.error st.diags at "stray character '%c' in program" c;
+        Token.Punct (String.make 1 c)
+    | p :: rest ->
+        if starts_with st p then begin
+          for _ = 1 to String.length p do
+            ignore (advance st)
+          done;
+          Token.Punct p
+        end
+        else try_puncts rest
+  in
+  try_puncts Token.punctuators
+
+(** Lex one token; returns [Eof] at end of input. *)
+let next st : Token.tok =
+  st.space <- false;
+  skip_trivia st;
+  let bol = st.bol in
+  let space = st.space in
+  let tloc = loc st in
+  if at_end st then { tok = Eof; loc = tloc; bol; space }
+  else begin
+    st.bol <- false;
+    let c = peek st in
+    let tok =
+      if is_ident_start c then lex_ident st
+      else if is_digit c then lex_number st
+      else if c = '.' && is_digit (peek2 st) then lex_number st
+      else if c = '"' then lex_char_or_string st '"'
+      else if c = '\'' then lex_char_or_string st '\''
+      else lex_punct st
+    in
+    { tok; loc = tloc; bol; space }
+  end
+
+(** Lex an entire file to a token list (without the trailing [Eof]). *)
+let tokenize ~diags ~file src =
+  let st = create ~diags ~file src in
+  let rec go acc =
+    let t = next st in
+    match t.tok with Token.Eof -> List.rev acc | _ -> go (t :: acc)
+  in
+  go []

@@ -1,0 +1,227 @@
+(** PDB serialization: the compact ASCII format of Figure 3.
+
+    Each item is a block: a first line [<prefix>#<id> <name>] followed by one
+    attribute per line, and a blank line between items.  Multi-line text
+    (template and macro bodies) is escaped. *)
+
+open Pdb
+
+let escape_text s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let unescape_text s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] = '\\' && i + 1 < n then begin
+      (match s.[i + 1] with
+       | 'n' -> Buffer.add_char b '\n'
+       | '\\' -> Buffer.add_char b '\\'
+       | c ->
+           Buffer.add_char b '\\';
+           Buffer.add_char b c);
+      go (i + 2)
+    end
+    else begin
+      Buffer.add_char b s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents b
+
+let loc_str (l : loc) =
+  if l.lfile = 0 then "NULL 0 0"
+  else Printf.sprintf "so#%d %d %d" l.lfile l.lline l.lcol
+
+let extent_str (e : extent) =
+  Printf.sprintf "%s %s %s %s" (loc_str e.hstart) (loc_str e.hstop)
+    (loc_str e.bstart) (loc_str e.bstop)
+
+let typeref_str = function
+  | Tyref id -> Printf.sprintf "ty#%d" id
+  | Clref id -> Printf.sprintf "cl#%d" id
+
+let parent_str = function
+  | Pcl id -> Some (Printf.sprintf "cl#%d" id)
+  | Pna id -> Some (Printf.sprintf "na#%d" id)
+  | Pnone -> None
+
+let itemref_str = function
+  | Rso id -> Printf.sprintf "so#%d" id
+  | Rro id -> Printf.sprintf "ro#%d" id
+  | Rcl id -> Printf.sprintf "cl#%d" id
+  | Rty id -> Printf.sprintf "ty#%d" id
+  | Rte id -> Printf.sprintf "te#%d" id
+  | Rna id -> Printf.sprintf "na#%d" id
+  | Rma id -> Printf.sprintf "ma#%d" id
+
+let write_to_buffer (t : t) (b : Buffer.t) : unit =
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let blank () = Buffer.add_char b '\n' in
+  line "<PDB %s>" t.version;
+  blank ();
+  (* source files *)
+  List.iter
+    (fun f ->
+      line "so#%d %s" f.so_id f.so_name;
+      List.iter (fun i -> line "sinc so#%d" i) f.so_includes;
+      blank ())
+    t.files;
+  (* namespaces *)
+  List.iter
+    (fun n ->
+      line "na#%d %s" n.na_id n.na_name;
+      if n.na_loc <> null_loc then line "nloc %s" (loc_str n.na_loc);
+      Option.iter (fun p -> line "nparent %s" p) (parent_str n.na_parent);
+      List.iter (fun r -> line "nmem %s" (itemref_str r)) n.na_members;
+      Option.iter (fun a -> line "nalias %s" a) n.na_alias;
+      blank ())
+    t.namespaces;
+  (* templates *)
+  List.iter
+    (fun te ->
+      line "te#%d %s" te.te_id te.te_name;
+      if te.te_loc <> null_loc then line "tloc %s" (loc_str te.te_loc);
+      Option.iter (fun p -> line "tparent %s" p) (parent_str te.te_parent);
+      if te.te_acs <> "NA" then line "tacs %s" te.te_acs;
+      line "tkind %s" te.te_kind;
+      if te.te_text <> "" then line "ttext %s" (escape_text te.te_text);
+      if te.te_pos <> null_extent then line "tpos %s" (extent_str te.te_pos);
+      blank ())
+    t.templates;
+  (* routines *)
+  List.iter
+    (fun r ->
+      line "ro#%d %s" r.ro_id r.ro_name;
+      if r.ro_loc <> null_loc then line "rloc %s" (loc_str r.ro_loc);
+      (match r.ro_parent with
+       | Pcl id -> line "rclass cl#%d" id
+       | Pna id -> line "rnspace na#%d" id
+       | Pnone -> ());
+      if r.ro_acs <> "NA" then line "racs %s" r.ro_acs;
+      line "rsig %s" (typeref_str r.ro_sig);
+      line "rlink %s" r.ro_link;
+      line "rstore %s" r.ro_store;
+      line "rvirt %s" r.ro_virt;
+      if r.ro_kind <> "NA" then line "rkind %s" r.ro_kind;
+      if r.ro_static then line "rstatic";
+      if r.ro_inline then line "rinline";
+      Option.iter (fun te -> line "rtempl te#%d" te) r.ro_templ;
+      List.iter
+        (fun c ->
+          line "rcall ro#%d %s %s" c.c_callee
+            (if c.c_virt then "virt" else "no")
+            (loc_str c.c_loc))
+        r.ro_calls;
+      if r.ro_defined then line "rdef";
+      if r.ro_pos <> null_extent then line "rpos %s" (extent_str r.ro_pos);
+      blank ())
+    t.routines;
+  (* classes *)
+  List.iter
+    (fun c ->
+      line "cl#%d %s" c.cl_id c.cl_name;
+      if c.cl_loc <> null_loc then line "cloc %s" (loc_str c.cl_loc);
+      line "ckind %s" c.cl_kind;
+      Option.iter (fun p -> line "cparent %s" p) (parent_str c.cl_parent);
+      if c.cl_acs <> "NA" then line "cacs %s" c.cl_acs;
+      Option.iter (fun te -> line "ctempl te#%d" te) c.cl_templ;
+      Option.iter (fun te -> line "cstempl te#%d" te) c.cl_stempl;
+      List.iter
+        (fun (acs, virt, base) ->
+          line "cbase %s %s cl#%d" acs (if virt then "virt" else "no") base)
+        c.cl_bases;
+      List.iter
+        (function
+          | `Cl id -> line "cfriend cl#%d" id
+          | `Ro id -> line "cfriend ro#%d" id)
+        c.cl_friends;
+      List.iter (fun (ro, l) -> line "cfunc ro#%d %s" ro (loc_str l)) c.cl_funcs;
+      List.iter
+        (fun m ->
+          line "cmem %s" m.m_name;
+          line "cmloc %s" (loc_str m.m_loc);
+          line "cmacs %s" m.m_acs;
+          line "cmkind %s" m.m_kind;
+          line "cmtype %s" (typeref_str m.m_type);
+          if m.m_static then line "cmstatic";
+          if m.m_mutable then line "cmmutable")
+        c.cl_members;
+      if c.cl_pos <> null_extent then line "cpos %s" (extent_str c.cl_pos);
+      blank ())
+    t.classes;
+  (* types *)
+  List.iter
+    (fun ty ->
+      line "ty#%d %s" ty.ty_id ty.ty_name;
+      if ty.ty_loc <> null_loc then line "yloc %s" (loc_str ty.ty_loc);
+      Option.iter (fun p -> line "yparent %s" p) (parent_str ty.ty_parent);
+      if ty.ty_acs <> "NA" then line "yacs %s" ty.ty_acs;
+      (match ty.ty_info with
+       | Ybuiltin { yikind } ->
+           line "ykind %s" ty.ty_name;
+           line "yikind %s" yikind
+       | Yptr r ->
+           line "ykind ptr";
+           line "yptr %s" (typeref_str r)
+       | Yref r ->
+           line "ykind ref";
+           line "yref %s" (typeref_str r)
+       | Ytref { target; yconst; yvolatile } ->
+           line "ykind tref";
+           line "ytref %s" (typeref_str target);
+           if yconst then line "yqual const";
+           if yvolatile then line "yqual volatile"
+       | Yarray { elem; size } ->
+           line "ykind array";
+           line "yelem %s" (typeref_str elem);
+           Option.iter (fun n -> line "ysize %d" n) size
+       | Yfunc { rett; args; ellipsis; cqual; exceptions } ->
+           line "ykind func";
+           line "yrett %s" (typeref_str rett);
+           List.iter
+             (fun (r, d) -> line "yargt %s %s" (typeref_str r) (if d then "T" else "F"))
+             args;
+           if ellipsis then line "yellip";
+           if cqual then line "yqual const";
+           Option.iter
+             (fun refs ->
+               line "yexcep %s" (String.concat " " (List.map typeref_str refs)))
+             exceptions
+       | Yenum { constants } ->
+           line "ykind enum";
+           List.iter (fun (n, v) -> line "ycon %s %Ld" n v) constants
+       | Ytparam -> line "ykind tparam"
+       | Yerror -> line "ykind error");
+      List.iter (fun n -> line "yname %s" n) ty.ty_names;
+      blank ())
+    t.types;
+  (* macros *)
+  List.iter
+    (fun m ->
+      line "ma#%d %s" m.ma_id m.ma_name;
+      line "makind %s" m.ma_kind;
+      if m.ma_text <> "" then line "matext %s" (escape_text m.ma_text);
+      if m.ma_loc <> null_loc then line "maloc %s" (loc_str m.ma_loc);
+      blank ())
+    t.pdb_macros
+
+let to_string (t : t) : string =
+  let b = Buffer.create 65536 in
+  write_to_buffer t b;
+  Buffer.contents b
+
+let to_file (t : t) path : unit =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  close_out oc

@@ -1,0 +1,95 @@
+(** Scopes and symbol tables for semantic analysis.
+
+    A scope is a mutable symbol table with a parent link, plus the list of
+    namespaces pulled in by using-directives.  Class scopes additionally
+    chain to base-class scopes during lookup. *)
+
+open Pdt_il
+
+type var_sym = {
+  vs_name : string;
+  vs_type : Il.type_id;
+  vs_global : bool;  (** namespace-scope variable (vs. local/param) *)
+}
+
+type symbol =
+  | Sym_class of Il.class_id
+  | Sym_routines of Il.routine_id list ref  (** overload set; grows in place *)
+  | Sym_template of Il.template_id
+  | Sym_typedef of Il.type_id
+  | Sym_enum of Il.type_id
+  | Sym_enum_const of Il.type_id * int64
+  | Sym_namespace of t
+  | Sym_var of var_sym
+
+and kind =
+  | Sk_global
+  | Sk_namespace of Il.namespace_id
+  | Sk_class of Il.class_id
+  | Sk_block
+
+and t = {
+  kind : kind;
+  parent : t option;
+  syms : (string, symbol) Hashtbl.t;
+  mutable usings : t list;  (** scopes of used namespaces *)
+}
+
+let create ?parent kind = { kind; parent; syms = Hashtbl.create 16; usings = [] }
+
+let bind sc name sym = Hashtbl.replace sc.syms name sym
+
+(** Add a routine to [name]'s overload set (creating the set if needed).
+    Returns the full overload set. *)
+let bind_routine sc name (id : Il.routine_id) : Il.routine_id list =
+  match Hashtbl.find_opt sc.syms name with
+  | Some (Sym_routines rs) ->
+      if not (List.mem id !rs) then rs := !rs @ [ id ];
+      !rs
+  | _ ->
+      let rs = ref [ id ] in
+      Hashtbl.replace sc.syms name (Sym_routines rs);
+      !rs
+
+let add_using sc target = if not (List.memq target sc.usings) then sc.usings <- sc.usings @ [ target ]
+
+(** Look [name] up in this scope only (no parent chain), including
+    using-directives. *)
+let find_local sc name : symbol option =
+  match Hashtbl.find_opt sc.syms name with
+  | Some s -> Some s
+  | None ->
+      let rec through = function
+        | [] -> None
+        | u :: rest -> (
+            match Hashtbl.find_opt u.syms name with
+            | Some s -> Some s
+            | None -> through rest)
+      in
+      through sc.usings
+
+(** Walk the parent chain. *)
+let rec find sc name : symbol option =
+  match find_local sc name with
+  | Some s -> Some s
+  | None -> ( match sc.parent with Some p -> find p name | None -> None)
+
+(** The innermost enclosing class scope, if any. *)
+let rec enclosing_class sc : Il.class_id option =
+  match sc.kind with
+  | Sk_class c -> Some c
+  | _ -> ( match sc.parent with Some p -> enclosing_class p | None -> None)
+
+(** The innermost enclosing namespace id, if any. *)
+let rec enclosing_namespace sc : Il.namespace_id option =
+  match sc.kind with
+  | Sk_namespace n -> Some n
+  | _ -> ( match sc.parent with Some p -> enclosing_namespace p | None -> None)
+
+(** The [Il.parent] of entities declared directly in this scope. *)
+let rec parent_of sc : Il.parent =
+  match sc.kind with
+  | Sk_class c -> Il.Pclass c
+  | Sk_namespace n -> Il.Pnamespace n
+  | Sk_global -> Il.Pnone
+  | Sk_block -> ( match sc.parent with Some p -> parent_of p | None -> Il.Pnone)

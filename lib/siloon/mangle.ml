@@ -1,0 +1,42 @@
+(** SILOON name mangling (paper §4.2).
+
+    Templates and operators contain characters scripting languages cannot use
+    in identifiers, so SILOON transforms names "to include information on
+    types and qualifiers".  The scheme here is deterministic and reversible
+    enough for tests: alphanumerics pass through; template brackets, scope
+    separators, operators, spaces and qualifiers become readable tokens. *)
+
+let mangle_char = function
+  | '<' -> "_L"
+  | '>' -> "_G"
+  | ',' -> "_c"
+  | ' ' -> ""
+  | ':' -> "_"    (* '::' becomes '__' *)
+  | '*' -> "_p"
+  | '&' -> "_r"
+  | '[' -> "_lb"
+  | ']' -> "_rb"
+  | '(' -> "_lp"
+  | ')' -> "_rp"
+  | '~' -> "_dtor_"
+  | '+' -> "_plus"
+  | '-' -> "_minus"
+  | '=' -> "_eq"
+  | '!' -> "_not"
+  | '/' -> "_div"
+  | '%' -> "_mod"
+  | '^' -> "_xor"
+  | '|' -> "_or"
+  | c -> String.make 1 c
+
+let mangle (name : string) : string =
+  let b = Buffer.create (String.length name + 8) in
+  String.iter (fun c -> Buffer.add_string b (mangle_char c)) name;
+  Buffer.contents b
+
+(** Mangled name of a routine including its parameter types, so overloads
+    stay distinct: [Stack<int>::push(const int &)] →
+    [Stack_Lint_G__push__const_int__r]. *)
+let mangle_routine ~full_name ~param_types : string =
+  let params = String.concat "_" (List.map mangle param_types) in
+  if params = "" then mangle full_name else mangle full_name ^ "__" ^ params

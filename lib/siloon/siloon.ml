@@ -1,0 +1,398 @@
+(** SILOON: Scripting Interface Languages for Object-Oriented Numerics
+    (paper §4.2, Figure 8).
+
+    From the PDB of a C++ library, SILOON generates
+
+    - {b bridging code}: C++ functions with scripting-neutral signatures that
+      register the user-designated library routines with SILOON's routine
+      management structures and dispatch calls from the scripting side, and
+    - {b wrapper code}: Perl and Python modules giving a natural
+      object-oriented interface that calls the bridge.
+
+    Only classes and routines actually present in the PDB are exported — for
+    templates this means explicitly/implicitly instantiated entities only,
+    reproducing the paper's "the user must explicitly instantiate such
+    templates in the parsed code" behaviour.  [template_inventory] lists the
+    *uninstantiated* templates too, implementing the "useful extension"
+    §4.2 proposes (present a template list to the user for selection). *)
+
+module P = Pdt_pdb.Pdb
+module D = Pdt_ductape.Ductape
+
+type exported_method = {
+  em_routine : P.routine_item;
+  em_mangled : string;
+  em_params : (string * bool) list;  (** type display name, has-default *)
+  em_return : string;
+  em_kind : [ `Method | `Static | `Ctor | `Dtor | `Operator of string ];
+  em_virtual : bool;
+}
+
+type exported_class = {
+  ec_class : P.class_item;
+  ec_mangled : string;
+  ec_abstract : bool;
+  ec_methods : exported_method list;
+}
+
+type exported_function = {
+  ef_routine : P.routine_item;
+  ef_mangled : string;
+  ef_params : (string * bool) list;
+  ef_return : string;
+}
+
+type plan = {
+  classes : exported_class list;
+  functions : exported_function list;
+}
+
+let sig_parts (d : D.t) (r : P.routine_item) : (string * bool) list * string =
+  match (D.type_ d (match r.P.ro_sig with P.Tyref i -> i | P.Clref _ -> 0)) with
+  | Some { P.ty_info = P.Yfunc { rett; args; _ }; _ } ->
+      ( List.map (fun (tr, dflt) -> (D.typeref_name d tr, dflt)) args,
+        D.typeref_name d rett )
+  | _ -> ([], "void")
+
+let method_kind (r : P.routine_item) =
+  match r.P.ro_kind with
+  | "ctor" -> `Ctor
+  | "dtor" -> `Dtor
+  | "op" -> `Operator r.P.ro_name
+  | _ -> if r.P.ro_static then `Static else `Method
+
+(** Build the export plan from a PDB.  Only public members are exported;
+    implicitly generated ctors/dtors are kept so objects can be created and
+    destroyed from scripts. *)
+let plan (d : D.t) : plan =
+  let classes =
+    List.filter_map
+      (fun (c : P.class_item) ->
+        (* skip library-internal helper classes *)
+        if String.length c.P.cl_name > 0 && c.P.cl_name.[0] = '<' then None
+        else begin
+          let methods =
+            List.filter_map
+              (fun (r : P.routine_item) ->
+                if r.P.ro_acs = "pub" || r.P.ro_acs = "NA" then begin
+                  let params, ret = sig_parts d r in
+                  let mangled =
+                    Mangle.mangle_routine
+                      ~full_name:(D.routine_full_name d r)
+                      ~param_types:(List.map fst params)
+                  in
+                  Some
+                    { em_routine = r; em_mangled = mangled; em_params = params;
+                      em_return = ret; em_kind = method_kind r;
+                      em_virtual = r.P.ro_virt <> "no" }
+                end
+                else None)
+              (D.member_functions d c)
+          in
+          let abstract =
+            List.exists (fun (r : P.routine_item) -> r.P.ro_virt = "pure")
+              (D.member_functions d c)
+          in
+          Some
+            { ec_class = c; ec_mangled = Mangle.mangle (D.class_full_name d c);
+              ec_abstract = abstract; ec_methods = methods }
+        end)
+      (D.classes d)
+  in
+  let functions =
+    List.filter_map
+      (fun (r : P.routine_item) ->
+        match r.P.ro_parent with
+        | P.Pcl _ -> None
+        | _ ->
+            if r.P.ro_name = "main" then None
+            else begin
+              let params, ret = sig_parts d r in
+              Some
+                { ef_routine = r;
+                  ef_mangled =
+                    Mangle.mangle_routine ~full_name:(D.routine_full_name d r)
+                      ~param_types:(List.map fst params);
+                  ef_params = params; ef_return = ret }
+            end)
+      (D.routines d)
+  in
+  { classes; functions }
+
+(** Uninstantiated templates that could be offered to the user — the
+    extension proposed at the end of §4.2. *)
+let template_inventory (d : D.t) : (P.template_item * int) list =
+  List.map (fun te -> (te, List.length (D.instantiations d te))) (D.templates d)
+
+(* ------------------------------------------------------------------ *)
+(* C++ bridge generation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let is_scalar ty =
+  match ty with
+  | "int" | "long" | "short" | "unsigned" | "double" | "float" | "bool" | "char"
+  | "void" -> true
+  | _ -> false
+
+let rec strip_cv_ref ty =
+  let ty = String.trim ty in
+  let strip_prefix p s =
+    if String.length s >= String.length p && String.sub s 0 (String.length p) = p
+    then Some (String.sub s (String.length p) (String.length s - String.length p))
+    else None
+  in
+  match strip_prefix "const " ty with
+  | Some rest -> strip_cv_ref rest
+  | None ->
+      if String.length ty > 0 && (ty.[String.length ty - 1] = '&') then
+        strip_cv_ref (String.sub ty 0 (String.length ty - 1))
+      else ty
+
+(* the siloon_value accessor for a C++ type *)
+let unmarshal ty var =
+  let base = strip_cv_ref ty in
+  if is_scalar base then Printf.sprintf "siloon_as_%s(%s)" base var
+  else if base = "const char *" || base = "char *" then
+    Printf.sprintf "siloon_as_string(%s)" var
+  else Printf.sprintf "*(%s *)siloon_as_object(%s)" base var
+
+let marshal ty expr =
+  let base = strip_cv_ref ty in
+  if base = "void" then Printf.sprintf "%s; return siloon_void()" expr
+  else if is_scalar base then Printf.sprintf "return siloon_from_%s(%s)" base expr
+  else Printf.sprintf "return siloon_from_object(new %s(%s))" base expr
+
+(** Generate the language-independent C++ bridging code (Figure 8's
+    "bridge/skeleton code"). *)
+let generate_bridge (d : D.t) (p : plan) : string =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  pr "// Bridging code generated by SILOON from the program database.";
+  pr "// Links scripting languages with the user's C++ library (Figure 8).";
+  pr "#include \"siloon_runtime.h\"";
+  pr "";
+  List.iter
+    (fun ec ->
+      let cname = D.class_full_name d ec.ec_class in
+      pr "// ---- class %s ----" cname;
+      List.iter
+        (fun em ->
+          let r = em.em_routine in
+          let args_sig =
+            String.concat ", "
+              (List.mapi (fun i _ -> Printf.sprintf "siloon_value a%d" i) em.em_params)
+          in
+          let self_sig =
+            match em.em_kind with
+            | `Ctor | `Static -> args_sig
+            | _ when args_sig = "" -> "siloon_value self"
+            | _ -> "siloon_value self, " ^ args_sig
+          in
+          let call_args =
+            String.concat ", "
+              (List.mapi (fun i (ty, _) -> unmarshal ty (Printf.sprintf "a%d" i)) em.em_params)
+          in
+          pr "extern \"C\" siloon_value siloon_%s(%s) {" em.em_mangled self_sig;
+          (match em.em_kind with
+           | `Ctor ->
+               if ec.ec_abstract then
+                 pr "    return siloon_error(\"class %s is abstract\");" cname
+               else
+                 pr "    return siloon_from_object(new %s(%s));" cname call_args
+           | `Dtor ->
+               pr "    delete (%s *)siloon_as_object(self);" cname;
+               pr "    return siloon_void();"
+           | `Static ->
+               pr "    %s;"
+                 (marshal em.em_return
+                    (Printf.sprintf "%s::%s(%s)" cname r.P.ro_name call_args))
+           | `Method | `Operator _ ->
+               pr "    %s *obj = (%s *)siloon_as_object(self);" cname cname;
+               pr "    %s;"
+                 (marshal em.em_return
+                    (Printf.sprintf "obj->%s(%s)" r.P.ro_name call_args)));
+          pr "}";
+          pr "")
+        ec.ec_methods)
+    p.classes;
+  List.iter
+    (fun ef ->
+      let args_sig =
+        String.concat ", "
+          (List.mapi (fun i _ -> Printf.sprintf "siloon_value a%d" i) ef.ef_params)
+      in
+      let call_args =
+        String.concat ", "
+          (List.mapi (fun i (ty, _) -> unmarshal ty (Printf.sprintf "a%d" i)) ef.ef_params)
+      in
+      pr "extern \"C\" siloon_value siloon_%s(%s) {" ef.ef_mangled args_sig;
+      pr "    %s;"
+        (marshal ef.ef_return
+           (Printf.sprintf "%s(%s)" (D.routine_full_name d ef.ef_routine) call_args));
+      pr "}";
+      pr "")
+    p.functions;
+  (* registration with SILOON's routine management structures *)
+  pr "void siloon_register_all(siloon_registry *reg) {";
+  List.iter
+    (fun ec ->
+      List.iter
+        (fun em ->
+          pr "    siloon_register(reg, \"%s\", (siloon_fn)siloon_%s, %d);"
+            em.em_mangled em.em_mangled (List.length em.em_params))
+        ec.ec_methods)
+    p.classes;
+  List.iter
+    (fun ef ->
+      pr "    siloon_register(reg, \"%s\", (siloon_fn)siloon_%s, %d);" ef.ef_mangled
+        ef.ef_mangled (List.length ef.ef_params))
+    p.functions;
+  pr "}";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Perl wrappers                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let perl_method_name (em : exported_method) =
+  match em.em_kind with
+  | `Ctor -> "new"
+  | `Dtor -> "DESTROY"
+  | `Operator op -> Mangle.mangle op
+  | `Method | `Static -> em.em_routine.P.ro_name
+
+(** Generate the Perl wrapper module (one package per class). *)
+let generate_perl (d : D.t) (p : plan) ~module_name : string =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  pr "# Perl wrappers generated by SILOON.";
+  pr "package %s;" module_name;
+  pr "use strict;";
+  pr "use SILOON::Runtime qw(siloon_call);";
+  pr "";
+  List.iter
+    (fun ec ->
+      let pkg = ec.ec_mangled in
+      pr "package %s::%s;" module_name pkg;
+      pr "# wraps C++ %s %s" ec.ec_class.P.cl_kind (D.class_full_name d ec.ec_class);
+      List.iter
+        (fun em ->
+          let name = perl_method_name em in
+          let min_args =
+            List.length (List.filter (fun (_, dflt) -> not dflt) em.em_params)
+          in
+          let max_args = List.length em.em_params in
+          (match em.em_kind with
+           | `Ctor ->
+               pr "sub %s {" name;
+               pr "    my ($class, @args) = @_;";
+               pr "    die \"%s: expected %d..%d args\" if @args < %d || @args > %d;"
+                 name min_args max_args min_args max_args;
+               pr "    my $self = siloon_call('%s', @args);" em.em_mangled;
+               pr "    return bless { _handle => $self }, $class;";
+               pr "}"
+           | `Dtor ->
+               pr "sub DESTROY {";
+               pr "    my ($self) = @_;";
+               pr "    siloon_call('%s', $self->{_handle});" em.em_mangled;
+               pr "}"
+           | `Static ->
+               pr "sub %s {" name;
+               pr "    my ($class, @args) = @_;";
+               pr "    return siloon_call('%s', @args);" em.em_mangled;
+               pr "}"
+           | `Method | `Operator _ ->
+               pr "sub %s {" name;
+               pr "    my ($self, @args) = @_;";
+               pr "    return siloon_call('%s', $self->{_handle}, @args);" em.em_mangled;
+               pr "}");
+          pr "")
+        ec.ec_methods)
+    p.classes;
+  if p.functions <> [] then begin
+    pr "package %s::Functions;" module_name;
+    List.iter
+      (fun ef ->
+        pr "sub %s {" ef.ef_routine.P.ro_name;
+        pr "    return siloon_call('%s', @_);" ef.ef_mangled;
+        pr "}";
+        pr "")
+      p.functions
+  end;
+  pr "1;";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Python wrappers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let python_class_name (d : D.t) (ec : exported_class) =
+  ignore d;
+  ec.ec_mangled
+
+(** Generate the Python wrapper module. *)
+let generate_python (d : D.t) (p : plan) ~module_name : string =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  pr "# Python wrappers generated by SILOON.";
+  pr "\"\"\"Scripting interface to the %s C++ library.\"\"\"" module_name;
+  pr "import _siloon";
+  pr "";
+  List.iter
+    (fun ec ->
+      pr "class %s(object):" (python_class_name d ec);
+      pr "    \"\"\"Wraps C++ %s %s\"\"\"" ec.ec_class.P.cl_kind
+        (D.class_full_name d ec.ec_class);
+      let ctors =
+        List.filter (fun em -> em.em_kind = `Ctor) ec.ec_methods
+      in
+      (match ctors with
+       | [] ->
+           pr "    def __init__(self, *args):";
+           pr "        self._handle = _siloon.call('%s_default_new', *args)" ec.ec_mangled
+       | em :: _ ->
+           pr "    def __init__(self, *args):";
+           pr "        self._handle = _siloon.call('%s', *args)" em.em_mangled);
+      List.iter
+        (fun em ->
+          match em.em_kind with
+          | `Ctor -> ()
+          | `Dtor ->
+              pr "    def __del__(self):";
+              pr "        _siloon.call('%s', self._handle)" em.em_mangled
+          | `Static ->
+              pr "    @staticmethod";
+              pr "    def %s(*args):" em.em_routine.P.ro_name;
+              pr "        return _siloon.call('%s', *args)" em.em_mangled
+          | `Operator op ->
+              let pyname =
+                match op with
+                | "operator+" -> "__add__"
+                | "operator-" -> "__sub__"
+                | "operator*" -> "__mul__"
+                | "operator/" -> "__truediv__"
+                | "operator==" -> "__eq__"
+                | "operator!=" -> "__ne__"
+                | "operator<" -> "__lt__"
+                | "operator>" -> "__gt__"
+                | "operator<=" -> "__le__"
+                | "operator>=" -> "__ge__"
+                | "operator[]" -> "__getitem__"
+                | "operator()" -> "__call__"
+                | op -> Mangle.mangle op
+              in
+              pr "    def %s(self, *args):" pyname;
+              pr "        return _siloon.call('%s', self._handle, *args)" em.em_mangled
+          | `Method ->
+              pr "    def %s(self, *args):" em.em_routine.P.ro_name;
+              pr "        return _siloon.call('%s', self._handle, *args)" em.em_mangled)
+        ec.ec_methods;
+      pr "")
+    p.classes;
+  List.iter
+    (fun ef ->
+      pr "def %s(*args):" ef.ef_routine.P.ro_name;
+      pr "    return _siloon.call('%s', *args)" ef.ef_mangled;
+      pr "")
+    p.functions;
+  Buffer.contents b

@@ -1,0 +1,51 @@
+(** pprof-style profile reports (the textual face of Figure 7).
+
+    TAU's [pprof] prints, per instrumented entity: %time, exclusive time,
+    inclusive time, number of calls, child calls and name, sorted by
+    inclusive time.  Times here are virtual cycles from the interpreter's
+    deterministic cost model. *)
+
+module Rt = Runtime
+
+let format ?(title = "TAU profile") (p : Rt.t) : string =
+  let entries = Rt.entries p in
+  let total = Rt.total_time p in
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "%s\n" title;
+  Printf.bprintf b "%s\n" (String.make (String.length title) '-');
+  Printf.bprintf b "%8s %12s %12s %8s %8s  %s\n" "%Time" "Exclusive" "Inclusive"
+    "#Call" "#ChildCalls" "Name";
+  List.iter
+    (fun (e : Rt.entry) ->
+      let pct =
+        if total = 0L then 0.0
+        else Int64.to_float e.e_inclusive /. Int64.to_float total *. 100.0
+      in
+      Printf.bprintf b "%8.1f %12Ld %12Ld %8d %8d  %s\n" pct e.e_exclusive
+        e.e_inclusive e.e_calls e.e_child_calls e.e_name)
+    entries;
+  Buffer.contents b
+
+(** Machine-readable rows: (name, calls, child calls, exclusive, inclusive,
+    %time). *)
+let rows (p : Rt.t) : (string * int * int * int64 * int64 * float) list =
+  let total = Rt.total_time p in
+  List.map
+    (fun (e : Rt.entry) ->
+      let pct =
+        if total = 0L then 0.0
+        else Int64.to_float e.e_inclusive /. Int64.to_float total *. 100.0
+      in
+      (e.e_name, e.e_calls, e.e_child_calls, e.e_exclusive, e.e_inclusive, pct))
+    (Rt.entries p)
+
+(** Event trace dump (TAU's tracing mode). *)
+let format_trace (p : Rt.t) : string =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Rt.Enter (name, ts) -> Printf.bprintf b "%12Ld ENTER %s\n" ts name
+      | Rt.Exit (name, ts) -> Printf.bprintf b "%12Ld EXIT  %s\n" ts name)
+    (Rt.events p);
+  Buffer.contents b

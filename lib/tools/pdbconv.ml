@@ -1,0 +1,184 @@
+(** pdbconv: converts the compact PDB format into a more readable form
+    (Table 2).  References are resolved to names, positions to
+    [file:line:col], and items are grouped under headers.  With
+    [~check:true] it only validates the file and reports dangling
+    references. *)
+
+module P = Pdt_pdb.Pdb
+module D = Pdt_ductape.Ductape
+
+let loc_str (d : D.t) (l : P.loc) =
+  if l.P.lfile = 0 then "<none>"
+  else
+    match D.file d l.P.lfile with
+    | Some f -> Printf.sprintf "%s:%d:%d" f.P.so_name l.P.lline l.P.lcol
+    | None -> Printf.sprintf "so#%d?:%d:%d" l.P.lfile l.P.lline l.P.lcol
+
+let extent_str d (e : P.extent) =
+  Printf.sprintf "header %s .. %s, body %s .. %s"
+    (loc_str d e.P.hstart) (loc_str d e.P.hstop)
+    (loc_str d e.P.bstart) (loc_str d e.P.bstop)
+
+let parent_str d = function
+  | P.Pnone -> "<global>"
+  | P.Pcl id -> (
+      match D.class_ d id with
+      | Some c -> "class " ^ c.P.cl_name
+      | None -> Printf.sprintf "cl#%d?" id)
+  | P.Pna id -> (
+      match D.namespace d id with
+      | Some n -> "namespace " ^ n.P.na_name
+      | None -> Printf.sprintf "na#%d?" id)
+
+(** Human-readable rendering of a whole PDB. *)
+let convert (d : D.t) : string =
+  let b = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  pr "Program database (version %s): %d items" (D.pdb d).P.version (P.item_count (D.pdb d));
+  pr "";
+  pr "=== Source files (%d) ===" (List.length (D.files d));
+  List.iter
+    (fun (f : P.source_file) ->
+      pr "  [%d] %s" f.P.so_id f.P.so_name;
+      List.iter
+        (fun i ->
+          match D.file d i with
+          | Some g -> pr "      includes %s" g.P.so_name
+          | None -> pr "      includes so#%d?" i)
+        f.P.so_includes)
+    (D.files d);
+  pr "";
+  pr "=== Namespaces (%d) ===" (List.length (D.namespaces d));
+  List.iter
+    (fun (n : P.namespace_item) ->
+      pr "  [%d] %s  at %s" n.P.na_id n.P.na_name (loc_str d n.P.na_loc);
+      (match n.P.na_alias with Some a -> pr "      alias for %s" a | None -> ());
+      pr "      members: %d" (List.length n.P.na_members))
+    (D.namespaces d);
+  pr "";
+  pr "=== Templates (%d) ===" (List.length (D.templates d));
+  List.iter
+    (fun (te : P.template_item) ->
+      pr "  [%d] %s  (%s)  at %s" te.P.te_id te.P.te_name te.P.te_kind
+        (loc_str d te.P.te_loc);
+      pr "      parent: %s" (parent_str d te.P.te_parent);
+      let insts = D.instantiations d te in
+      if insts <> [] then
+        pr "      instantiations: %s"
+          (String.concat ", " (List.map (D.item_name d) insts)))
+    (D.templates d);
+  pr "";
+  pr "=== Classes (%d) ===" (List.length (D.classes d));
+  List.iter
+    (fun (c : P.class_item) ->
+      pr "  [%d] %s %s  at %s" c.P.cl_id c.P.cl_kind (D.class_full_name d c)
+        (loc_str d c.P.cl_loc);
+      (match c.P.cl_templ with
+       | Some te -> (
+           match D.template d te with
+           | Some t -> pr "      instantiated from template %s" t.P.te_name
+           | None -> pr "      instantiated from te#%d?" te)
+       | None -> ());
+      List.iter
+        (fun (acs, virt, base) ->
+          match D.class_ d base with
+          | Some bc ->
+              pr "      base: %s%s %s" acs (if virt then " virtual" else "") bc.P.cl_name
+          | None -> pr "      base: cl#%d?" base)
+        c.P.cl_bases;
+      List.iter
+        (fun (ro, _) ->
+          match D.routine d ro with
+          | Some r ->
+              pr "      member function: %s %s" r.P.ro_name
+                (D.typeref_name d r.P.ro_sig)
+          | None -> pr "      member function: ro#%d?" ro)
+        c.P.cl_funcs;
+      List.iter
+        (fun (m : P.member) ->
+          pr "      member: %s %s  (%s, %s)" (D.typeref_name d m.P.m_type) m.P.m_name
+            m.P.m_acs m.P.m_kind)
+        c.P.cl_members)
+    (D.classes d);
+  pr "";
+  pr "=== Routines (%d) ===" (List.length (D.routines d));
+  List.iter
+    (fun (r : P.routine_item) ->
+      pr "  [%d] %s  at %s" r.P.ro_id (D.routine_full_name d r) (loc_str d r.P.ro_loc);
+      pr "      signature: %s" (D.typeref_name d r.P.ro_sig);
+      pr "      parent: %s  access: %s  linkage: %s  storage: %s  virtual: %s%s"
+        (parent_str d r.P.ro_parent) r.P.ro_acs r.P.ro_link r.P.ro_store r.P.ro_virt
+        (if r.P.ro_defined then "  defined" else "  declared only");
+      (match r.P.ro_templ with
+       | Some te -> (
+           match D.template d te with
+           | Some t -> pr "      instantiated from template %s (%s)" t.P.te_name t.P.te_kind
+           | None -> pr "      instantiated from te#%d?" te)
+       | None -> ());
+      List.iter
+        (fun ((call : P.call), callee) ->
+          pr "      calls %s%s at %s"
+            (D.routine_full_name d callee)
+            (if call.P.c_virt then " (virtual)" else "")
+            (loc_str d call.P.c_loc))
+        (D.callees d r))
+    (D.routines d);
+  pr "";
+  pr "=== Types (%d) ===" (List.length (D.types d));
+  List.iter
+    (fun (ty : P.type_item) ->
+      pr "  [%d] %s  (%s)" ty.P.ty_id
+        (D.typeref_name d (P.Tyref ty.P.ty_id))
+        (P.ykind_string ty.P.ty_info);
+      if ty.P.ty_names <> [] then
+        pr "      typedef names: %s" (String.concat ", " ty.P.ty_names))
+    (D.types d);
+  pr "";
+  pr "=== Macros (%d) ===" (List.length (D.macros d));
+  List.iter
+    (fun (m : P.macro_item) ->
+      pr "  [%d] %s  (%s)  at %s" m.P.ma_id m.P.ma_name m.P.ma_kind (loc_str d m.P.ma_loc);
+      if m.P.ma_text <> "" then pr "      text: %s" m.P.ma_text)
+    (D.macros d);
+  Buffer.contents b
+
+(** Validate cross-references; returns the list of problems found. *)
+let check (d : D.t) : string list =
+  let problems = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let check_typeref ctx = function
+    | P.Tyref 0 -> add "%s: null type reference" ctx
+    | P.Tyref id -> if D.type_ d id = None then add "%s: dangling ty#%d" ctx id
+    | P.Clref id -> if D.class_ d id = None then add "%s: dangling cl#%d" ctx id
+  in
+  let check_loc ctx (l : P.loc) =
+    if l.P.lfile <> 0 && D.file d l.P.lfile = None then
+      add "%s: dangling so#%d" ctx l.P.lfile
+  in
+  List.iter
+    (fun (r : P.routine_item) ->
+      let ctx = "ro#" ^ string_of_int r.P.ro_id in
+      check_typeref ctx r.P.ro_sig;
+      check_loc ctx r.P.ro_loc;
+      (match r.P.ro_templ with
+       | Some te -> if D.template d te = None then add "%s: dangling te#%d" ctx te
+       | None -> ());
+      List.iter
+        (fun (c : P.call) ->
+          if D.routine d c.P.c_callee = None then
+            add "%s: dangling callee ro#%d" ctx c.P.c_callee;
+          check_loc ctx c.P.c_loc)
+        r.P.ro_calls)
+    (D.routines d);
+  List.iter
+    (fun (c : P.class_item) ->
+      let ctx = "cl#" ^ string_of_int c.P.cl_id in
+      check_loc ctx c.P.cl_loc;
+      List.iter (fun (_, _, b) -> if D.class_ d b = None then add "%s: dangling base cl#%d" ctx b)
+        c.P.cl_bases;
+      List.iter
+        (fun (ro, _) -> if D.routine d ro = None then add "%s: dangling cfunc ro#%d" ctx ro)
+        c.P.cl_funcs;
+      List.iter (fun (m : P.member) -> check_typeref ctx m.P.m_type) c.P.cl_members)
+    (D.classes d);
+  List.rev !problems

@@ -1,0 +1,38 @@
+(** pdbmerge: merges PDB files from separate compilations into one PDB file,
+    eliminating duplicate template instantiations in the process (Table 2).
+
+    The heavy lifting lives in {!Pdt_ductape.Ductape.merge}; this module adds
+    the statistics reporting the command-line tool prints. *)
+
+module P = Pdt_pdb.Pdb
+module D = Pdt_ductape.Ductape
+
+type stats = {
+  inputs : int;
+  items_before : int;
+  items_after : int;
+  duplicate_instantiations : int;
+      (** template-instantiation items (classes or routines with a
+          [ctempl]/[rtempl]) that were eliminated as duplicates *)
+}
+
+let count_instantiations (pdb : P.t) =
+  List.length (List.filter (fun (c : P.class_item) -> c.P.cl_templ <> None) pdb.P.classes)
+  + List.length
+      (List.filter (fun (r : P.routine_item) -> r.P.ro_templ <> None) pdb.P.routines)
+
+let merge (pdbs : P.t list) : P.t * stats =
+  let merged = D.merge pdbs in
+  let before = List.fold_left (fun a p -> a + P.item_count p) 0 pdbs in
+  let inst_before = List.fold_left (fun a p -> a + count_instantiations p) 0 pdbs in
+  let inst_after = count_instantiations merged in
+  ( merged,
+    { inputs = List.length pdbs;
+      items_before = before;
+      items_after = P.item_count merged;
+      duplicate_instantiations = inst_before - inst_after } )
+
+let stats_to_string s =
+  Printf.sprintf
+    "merged %d PDB files: %d items -> %d items (%d duplicate template instantiations eliminated)"
+    s.inputs s.items_before s.items_after s.duplicate_instantiations

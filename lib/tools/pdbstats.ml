@@ -1,0 +1,165 @@
+(** pdbstats: static software metrics over a program database.
+
+    Not one of the paper's four utilities — it is the kind of tool the paper
+    argues PDT makes cheap to build ("a tool of some complexity was easily
+    implemented using the DUCTAPE API").  Computes, per routine, call fan-in
+    and fan-out; per class, method/member counts, inheritance depth and
+    coupling; and whole-program summary numbers. *)
+
+module P = Pdt_pdb.Pdb
+module D = Pdt_ductape.Ductape
+
+type routine_stats = {
+  rs_name : string;
+  rs_fan_out : int;   (** distinct callees *)
+  rs_fan_in : int;    (** distinct callers *)
+  rs_defined : bool;
+}
+
+type class_stats = {
+  cs_name : string;
+  cs_methods : int;
+  cs_members : int;
+  cs_bases : int;
+  cs_depth : int;          (** inheritance depth (longest base chain) *)
+  cs_derived : int;
+  cs_coupling : int;       (** distinct other classes referenced by member
+                               types and method signatures *)
+  cs_instantiation : bool;
+}
+
+type summary = {
+  n_routines : int;
+  n_defined : int;
+  n_classes : int;
+  n_instantiations : int;
+  n_call_edges : int;
+  max_fan_out : int;
+  max_fan_in : int;
+  max_inheritance_depth : int;
+  unreachable_from_main : int;  (** defined routines not reachable from main *)
+}
+
+let dedup lst = List.sort_uniq compare lst
+
+let routine_stats (d : D.t) : routine_stats list =
+  List.map
+    (fun (r : P.routine_item) ->
+      { rs_name = D.routine_full_name d r;
+        rs_fan_out = List.length (dedup (List.map (fun (c : P.call) -> c.c_callee) r.ro_calls));
+        rs_fan_in =
+          List.length (dedup (List.map (fun (x : P.routine_item) -> x.ro_id) (D.callers d r)));
+        rs_defined = r.ro_defined })
+    (D.routines d)
+
+let rec inheritance_depth (d : D.t) seen (c : P.class_item) : int =
+  if List.mem c.P.cl_id seen then 0
+  else
+    match D.bases d c with
+    | [] -> 0
+    | bs ->
+        1
+        + List.fold_left
+            (fun acc (_, _, b) -> max acc (inheritance_depth d (c.P.cl_id :: seen) b))
+            0 bs
+
+let class_coupling (d : D.t) (c : P.class_item) : int =
+  let of_typeref = function
+    | P.Clref id when id <> c.P.cl_id -> [ id ]
+    | _ -> []
+  in
+  let member_refs = List.concat_map (fun m -> of_typeref m.P.m_type) c.P.cl_members in
+  let sig_refs =
+    List.concat_map
+      (fun (r : P.routine_item) ->
+        match r.P.ro_sig with
+        | P.Tyref id -> (
+            match D.type_ d id with
+            | Some { P.ty_info = P.Yfunc { rett; args; _ }; _ } ->
+                of_typeref rett @ List.concat_map (fun (a, _) -> of_typeref a) args
+            | _ -> [])
+        | P.Clref _ -> [])
+      (D.member_functions d c)
+  in
+  List.length (dedup (member_refs @ sig_refs))
+
+let class_stats (d : D.t) : class_stats list =
+  List.map
+    (fun (c : P.class_item) ->
+      { cs_name = D.class_full_name d c;
+        cs_methods = List.length c.P.cl_funcs;
+        cs_members = List.length c.P.cl_members;
+        cs_bases = List.length c.P.cl_bases;
+        cs_depth = inheritance_depth d [] c;
+        cs_derived = List.length (D.derived d c);
+        cs_coupling = class_coupling d c;
+        cs_instantiation = c.P.cl_templ <> None })
+    (D.classes d)
+
+(* routines reachable from main over call edges *)
+let reachable_from_main (d : D.t) : int list =
+  match
+    List.find_opt (fun (r : P.routine_item) -> r.P.ro_name = "main") (D.routines d)
+  with
+  | None -> []
+  | Some main ->
+      let seen = Hashtbl.create 64 in
+      let rec go (r : P.routine_item) =
+        if not (Hashtbl.mem seen r.P.ro_id) then begin
+          Hashtbl.replace seen r.P.ro_id ();
+          List.iter (fun (_, callee) -> go callee) (D.callees d r)
+        end
+      in
+      go main;
+      Hashtbl.fold (fun k () acc -> k :: acc) seen []
+
+let summary (d : D.t) : summary =
+  let rs = routine_stats d in
+  let cs = class_stats d in
+  let reach = reachable_from_main d in
+  let unreachable =
+    List.length
+      (List.filter
+         (fun (r : P.routine_item) ->
+           r.P.ro_defined && r.P.ro_name <> "main" && not (List.mem r.P.ro_id reach))
+         (D.routines d))
+  in
+  { n_routines = List.length rs;
+    n_defined = List.length (List.filter (fun r -> r.rs_defined) rs);
+    n_classes = List.length cs;
+    n_instantiations = List.length (List.filter (fun c -> c.cs_instantiation) cs);
+    n_call_edges =
+      List.fold_left
+        (fun acc (r : P.routine_item) -> acc + List.length r.P.ro_calls)
+        0 (D.routines d);
+    max_fan_out = List.fold_left (fun a r -> max a r.rs_fan_out) 0 rs;
+    max_fan_in = List.fold_left (fun a r -> max a r.rs_fan_in) 0 rs;
+    max_inheritance_depth = List.fold_left (fun a c -> max a c.cs_depth) 0 cs;
+    unreachable_from_main = unreachable }
+
+let report (d : D.t) : string =
+  let b = Buffer.create 2048 in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let s = summary d in
+  pr "Program statistics";
+  pr "------------------";
+  pr "routines          : %d (%d defined)" s.n_routines s.n_defined;
+  pr "classes           : %d (%d template instantiations)" s.n_classes s.n_instantiations;
+  pr "call edges        : %d" s.n_call_edges;
+  pr "max fan-out       : %d" s.max_fan_out;
+  pr "max fan-in        : %d" s.max_fan_in;
+  pr "max inherit depth : %d" s.max_inheritance_depth;
+  pr "dead (defined, unreachable from main): %d" s.unreachable_from_main;
+  pr "";
+  pr "%-36s %7s %7s" "routine" "fan-out" "fan-in";
+  List.iter
+    (fun r -> pr "%-36s %7d %7d" r.rs_name r.rs_fan_out r.rs_fan_in)
+    (List.filter (fun r -> r.rs_fan_out > 0 || r.rs_fan_in > 0) (routine_stats d));
+  pr "";
+  pr "%-24s %7s %7s %6s %6s %9s" "class" "methods" "members" "bases" "depth" "coupling";
+  List.iter
+    (fun c ->
+      pr "%-24s %7d %7d %6d %6d %9d" c.cs_name c.cs_methods c.cs_members c.cs_bases
+        c.cs_depth c.cs_coupling)
+    (class_stats d);
+  Buffer.contents b

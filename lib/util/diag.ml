@@ -1,0 +1,63 @@
+(** Diagnostics: errors and warnings accumulated by the front end.
+
+    The front end never prints directly; it records diagnostics in an
+    {!engine} owned by the driver, so that library users (tests, tools) can
+    inspect them.  A fatal error raises {!Error} after being recorded. *)
+
+type severity = Warning | Error | Fatal
+
+type diagnostic = {
+  severity : severity;
+  loc : Srcloc.t;
+  message : string;
+}
+
+exception Error of diagnostic
+
+type engine = {
+  mutable diags : diagnostic list;  (* reverse order *)
+  mutable error_count : int;
+  mutable warning_count : int;
+}
+
+let create () = { diags = []; error_count = 0; warning_count = 0 }
+
+let record eng d =
+  eng.diags <- d :: eng.diags;
+  (match d.severity with
+   | Warning -> eng.warning_count <- eng.warning_count + 1
+   | Error | Fatal -> eng.error_count <- eng.error_count + 1)
+
+let warn eng loc fmt =
+  Fmt.kstr (fun message -> record eng { severity = Warning; loc; message }) fmt
+
+let error eng loc fmt =
+  Fmt.kstr (fun message -> record eng { severity = Error; loc; message }) fmt
+
+(** Record a fatal diagnostic and raise {!Error}. *)
+let fatal eng loc fmt =
+  Fmt.kstr
+    (fun message ->
+      let d = { severity = Fatal; loc; message } in
+      record eng d;
+      raise (Error d))
+    fmt
+
+let diagnostics eng = List.rev eng.diags
+
+let error_count eng = eng.error_count
+let warning_count eng = eng.warning_count
+let has_errors eng = eng.error_count > 0
+
+let severity_to_string = function
+  | Warning -> "warning"
+  | Error -> "error"
+  | Fatal -> "fatal error"
+
+let pp_diagnostic ppf d =
+  Fmt.pf ppf "%a: %s: %s" Srcloc.pp d.loc (severity_to_string d.severity)
+    d.message
+
+let to_string eng =
+  String.concat "\n"
+    (List.map (fun d -> Fmt.str "%a" pp_diagnostic d) (diagnostics eng))

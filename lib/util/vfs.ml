@@ -1,0 +1,82 @@
+(** Virtual file system.
+
+    PDT's front end resolves [#include] directives against a virtual file
+    system so that test corpora, the bundled mini-STL headers, and generated
+    workloads can be compiled without touching the disk.  Real directories
+    can be mounted for the command-line tools. *)
+
+type t = {
+  files : (string, string) Hashtbl.t;  (* normalized path -> contents *)
+  mutable include_paths : string list; (* searched for <...> and "..." *)
+  mutable disk_fallback : bool;        (* read from the real FS if missing *)
+}
+
+let normalize path =
+  (* Collapse "a/./b" and "a/x/../b"; keep it purely lexical. *)
+  let absolute = String.length path > 0 && path.[0] = '/' in
+  let parts = String.split_on_char '/' path in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | "" :: rest | "." :: rest -> go acc rest
+    | ".." :: rest -> (
+        match acc with
+        | [] | ".." :: _ -> go (".." :: acc) rest
+        | _ :: acc' -> go acc' rest)
+    | p :: rest -> go (p :: acc) rest
+  in
+  let joined = String.concat "/" (go [] parts) in
+  if absolute then "/" ^ joined else joined
+
+let create ?(include_paths = []) () =
+  { files = Hashtbl.create 64; include_paths; disk_fallback = false }
+
+let add_file t path contents = Hashtbl.replace t.files (normalize path) contents
+
+let add_include_path t dir = t.include_paths <- t.include_paths @ [ dir ]
+
+let set_disk_fallback t b = t.disk_fallback <- b
+
+let mem t path = Hashtbl.mem t.files (normalize path)
+
+let read_raw t path =
+  match Hashtbl.find_opt t.files (normalize path) with
+  | Some c -> Some c
+  | None ->
+      if t.disk_fallback && Sys.file_exists path && not (Sys.is_directory path)
+      then begin
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let c = really_input_string ic n in
+        close_in ic;
+        Some c
+      end
+      else None
+
+let dirname path =
+  match String.rindex_opt path '/' with
+  | None -> "."
+  | Some i -> String.sub path 0 i
+
+(** Resolve an include.  [system] includes ([<...>]) search only the include
+    paths; quoted includes search the including file's directory first, then
+    the include paths.  Returns the resolved (normalized) path. *)
+let resolve_include t ~from ~system name =
+  let candidates =
+    let in_paths = List.map (fun d -> d ^ "/" ^ name) t.include_paths in
+    if system then in_paths else (dirname from ^ "/" ^ name) :: name :: in_paths
+  in
+  let rec first = function
+    | [] -> None
+    | c :: rest ->
+        let c = normalize c in
+        if mem t c || (t.disk_fallback && Sys.file_exists c) then Some c
+        else first rest
+  in
+  first candidates
+
+let files t = Hashtbl.fold (fun k _ acc -> k :: acc) t.files [] |> List.sort compare
+
+(** A deep copy sharing no mutable state with the original. *)
+let copy t =
+  let files = Hashtbl.copy t.files in
+  { files; include_paths = t.include_paths; disk_fallback = t.disk_fallback }

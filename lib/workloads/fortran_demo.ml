@@ -1,0 +1,89 @@
+(** Fortran 90 corpus for the second language front end (paper §6).
+
+    A small numerical module in the style of HPC Fortran: a derived type,
+    a generic interface, array arguments, and a driver program. *)
+
+let linear_algebra_f90 =
+  {|! A small linear-algebra module (Fortran 90)
+module linear_algebra
+  implicit none
+
+  type vec3
+    real :: x, y, z
+  end type vec3
+
+  type matrix3
+    real, dimension(3,3) :: a
+  end type matrix3
+
+  interface norm
+    module procedure norm_vec3, norm_scalar
+  end interface norm
+
+contains
+
+  function dot3(a, b) result(d)
+    type(vec3), intent(in) :: a, b
+    real :: d
+    d = a%x * b%x + a%y * b%y + a%z * b%z
+  end function dot3
+
+  function norm_vec3(v) result(n)
+    type(vec3), intent(in) :: v
+    real :: n
+    n = sqrt(dot3(v, v))
+  end function norm_vec3
+
+  function norm_scalar(x) result(n)
+    real, intent(in) :: x
+    real :: n
+    n = abs(x)
+  end function norm_scalar
+
+  subroutine scale3(v, s)
+    type(vec3) :: v
+    real, intent(in) :: s
+    v%x = v%x * s
+    v%y = v%y * s
+    v%z = v%z * s
+  end subroutine scale3
+
+  subroutine matvec3(m, v, out)
+    type(matrix3), intent(in) :: m
+    type(vec3), intent(in) :: v
+    type(vec3) :: out
+    out%x = v%x
+    out%y = v%y
+    out%z = v%z
+  end subroutine matvec3
+
+  recursive function fact(n) result(f)
+    integer, intent(in) :: n
+    integer :: f
+    if (n <= 1) then
+      f = 1
+    else
+      f = n * fact(n - 1)
+    endif
+  end function fact
+
+end module linear_algebra
+
+program demo
+  use linear_algebra
+  type(vec3) :: a
+  real :: n
+  integer :: i, f
+  a%x = 3.0
+  a%y = 4.0
+  a%z = 0.0
+  do i = 1, 3
+    call scale3(a, 2.0)
+  end do
+  n = norm(a)
+  f = fact(5)
+  print *, n, f
+end program demo
+|}
+
+let main_file = "linear_algebra.f90"

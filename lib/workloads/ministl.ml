@@ -1,0 +1,208 @@
+(** Miniature standard-library headers, written in the C++ subset.
+
+    These play the role of KAI's 3.4c standard library headers in PDT 1.3:
+    template-heavy system headers the front end must digest.  They are
+    mounted under [/pdt/include/kai/] in the virtual file system (matching
+    the path visible in Figure 3 of the paper). *)
+
+let include_dir = "/pdt/include/kai"
+
+let vector_h =
+  {|#ifndef KAI_VECTOR_H
+#define KAI_VECTOR_H
+
+template <class T>
+class vector {
+public:
+    vector( ) : data_( 0 ), size_( 0 ), cap_( 0 ) { }
+    explicit vector( int n ) : data_( new T[ n ] ), size_( n ), cap_( n ) { }
+    ~vector( ) { clear( ); }
+    int size( ) const { return size_; }
+    int capacity( ) const { return cap_; }
+    bool empty( ) const { return size_ == 0; }
+    void push_back( const T & x ) {
+        if( size_ == cap_ )
+            reserve( 2 * cap_ + 1 );
+        data_[ size_++ ] = x;
+    }
+    void pop_back( ) { size_--; }
+    T & operator[]( int i ) { return data_[ i ]; }
+    const T & operator[]( int i ) const { return data_[ i ]; }
+    T & front( ) { return data_[ 0 ]; }
+    T & back( ) { return data_[ size_ - 1 ]; }
+    void clear( ) { size_ = 0; }
+    void resize( int n ) { reserve( n ); size_ = n; }
+    void reserve( int n ) {
+        if( n > cap_ )
+            cap_ = n;
+    }
+private:
+    T *data_;
+    int size_;
+    int cap_;
+};
+
+#endif
+|}
+
+let pair_h =
+  {|#ifndef KAI_PAIR_H
+#define KAI_PAIR_H
+
+template <class A, class B>
+class pair {
+public:
+    pair( ) : first( A( ) ), second( B( ) ) { }
+    pair( const A & a, const B & b ) : first( a ), second( b ) { }
+    A first;
+    B second;
+};
+
+template <class A, class B>
+pair<A, B> make_pair( const A & a, const B & b ) {
+    return pair<A, B>( a, b );
+}
+
+#endif
+|}
+
+let list_h =
+  {|#ifndef KAI_LIST_H
+#define KAI_LIST_H
+
+template <class T>
+class list_node {
+public:
+    list_node( ) : next( 0 ), prev( 0 ) { }
+    T value;
+    list_node<T> *next;
+    list_node<T> *prev;
+};
+
+template <class T>
+class list {
+public:
+    list( ) : head_( 0 ), tail_( 0 ), size_( 0 ) { }
+    int size( ) const { return size_; }
+    bool empty( ) const { return size_ == 0; }
+    void push_back( const T & x ) {
+        list_node<T> *n = new list_node<T>( );
+        n->value = x;
+        n->prev = tail_;
+        tail_ = n;
+        size_++;
+    }
+    T & back( ) { return tail_->value; }
+    void pop_back( ) {
+        tail_ = tail_->prev;
+        size_--;
+    }
+private:
+    list_node<T> *head_;
+    list_node<T> *tail_;
+    int size_;
+};
+
+#endif
+|}
+
+let algorithm_h =
+  {|#ifndef KAI_ALGORITHM_H
+#define KAI_ALGORITHM_H
+
+template <class T>
+const T & max( const T & a, const T & b ) {
+    if( a < b )
+        return b;
+    return a;
+}
+
+template <class T>
+const T & min( const T & a, const T & b ) {
+    if( b < a )
+        return b;
+    return a;
+}
+
+template <class T>
+void swap( T & a, T & b ) {
+    T tmp = a;
+    a = b;
+    b = tmp;
+}
+
+#endif
+|}
+
+let iostream_h =
+  {|#ifndef KAI_IOSTREAM_H
+#define KAI_IOSTREAM_H
+
+class ostream {
+public:
+    ostream & operator<<( int x );
+    ostream & operator<<( long x );
+    ostream & operator<<( double x );
+    ostream & operator<<( char c );
+    ostream & operator<<( bool b );
+    ostream & operator<<( const char *s );
+};
+
+class istream {
+public:
+    istream & operator>>( int & x );
+    istream & operator>>( double & x );
+};
+
+extern ostream cout;
+extern ostream cerr;
+extern istream cin;
+extern const char *endl;
+
+#endif
+|}
+
+let string_h =
+  {|#ifndef KAI_STRING_H
+#define KAI_STRING_H
+
+class string {
+public:
+    string( );
+    string( const char *s );
+    int length( ) const;
+    int size( ) const;
+    bool empty( ) const;
+    char operator[]( int i ) const;
+    string operator+( const string & other ) const;
+    bool operator==( const string & other ) const;
+    bool operator<( const string & other ) const;
+    const char *c_str( ) const;
+};
+
+#endif
+|}
+
+let mpi_h =
+  {|#ifndef PDT_MPI_H
+#define PDT_MPI_H
+
+int mpi_rank();
+int mpi_size();
+
+#endif
+|}
+
+let files =
+  [ (include_dir ^ "/vector.h", vector_h);
+    (include_dir ^ "/mpi.h", mpi_h);
+    (include_dir ^ "/pair.h", pair_h);
+    (include_dir ^ "/list.h", list_h);
+    (include_dir ^ "/algorithm.h", algorithm_h);
+    (include_dir ^ "/iostream.h", iostream_h);
+    (include_dir ^ "/string.h", string_h) ]
+
+(** Mount the mini-STL into a VFS and register its include directory. *)
+let mount vfs =
+  List.iter (fun (p, c) -> Pdt_util.Vfs.add_file vfs p c) files;
+  Pdt_util.Vfs.add_include_path vfs include_dir

@@ -1,0 +1,74 @@
+(** An SPMD stencil workload for the parallel-profiling simulation.
+
+    A 1-D Jacobi heat-diffusion sweep with block domain decomposition: every
+    rank smooths its own block of the domain.  The block sizes are made
+    deliberately uneven (later ranks get more rows) so the cross-rank
+    profile shows load imbalance — the kind of picture TAU exists to draw. *)
+
+let stencil_cpp =
+  {|#include <vector.h>
+#include <iostream.h>
+#include <mpi.h>
+
+template <class T>
+class Field {
+public:
+    explicit Field( int n ) : data_( n ), n_( n ) {
+        for( int i = 0; i < n; i++ )
+            data_[ i ] = T( );
+    }
+    int size( ) const { return n_; }
+    T & operator[]( int i ) { return data_[ i ]; }
+    const T & operator[]( int i ) const { return data_[ i ]; }
+private:
+    vector<T> data_;
+    int n_;
+};
+
+template <class T>
+void jacobi_sweep( Field<T> & u, Field<T> & tmp ) {
+    int n = u.size( );
+    for( int i = 1; i < n - 1; i++ )
+        tmp[ i ] = 0.5 * ( u[ i - 1 ] + u[ i + 1 ] );
+    for( int i = 1; i < n - 1; i++ )
+        u[ i ] = tmp[ i ];
+}
+
+template <class T>
+T block_sum( const Field<T> & u ) {
+    T s = T( );
+    for( int i = 0; i < u.size( ); i++ )
+        s = s + u[ i ];
+    return s;
+}
+
+int main( ) {
+    int rank = mpi_rank( );
+    int size = mpi_size( );
+
+    // uneven decomposition: rank r gets 16 + 8*r points
+    int local_n = 16 + 8 * rank;
+    int sweeps = 10 + 5 * rank;
+
+    Field<double> u( local_n );
+    Field<double> tmp( local_n );
+    u[ 0 ] = 1.0;
+    u[ local_n - 1 ] = 1.0;
+
+    for( int s = 0; s < sweeps; s++ )
+        jacobi_sweep( u, tmp );
+
+    double total = block_sum( u );
+    cout << "rank " << rank << "/" << size
+         << " n=" << local_n << " sum=" << total << endl;
+    return 0;
+}
+|}
+
+let main_file = "stencil.cpp"
+
+let vfs () =
+  let vfs = Pdt_util.Vfs.create () in
+  Ministl.mount vfs;
+  Pdt_util.Vfs.add_file vfs main_file stencil_cpp;
+  vfs

@@ -1,0 +1,198 @@
+(** A POOMA-like template workload: a miniature array/linear-algebra
+    framework and a Krylov (conjugate-gradient) solver, written in the C++
+    subset.
+
+    The paper's §4.1 applies TAU+PDT to POOMA's Krylov solver (Figure 7).
+    POOMA itself is long gone; this framework exercises the same analysis
+    path — template classes ([Array1D], [Matrix]) with member functions that
+    must be discovered, instantiated on use, instrumented, and profiled per
+    instantiation. *)
+
+let array_h =
+  {|#ifndef POOMA_ARRAY_H
+#define POOMA_ARRAY_H
+
+#include <vector.h>
+
+template <class T>
+class Array1D {
+public:
+    Array1D( ) : n_( 0 ) { }
+    explicit Array1D( int n ) : data_( n ), n_( n ) {
+        for( int i = 0; i < n; i++ )
+            data_[ i ] = T( );
+    }
+    int size( ) const { return n_; }
+    T & operator[]( int i ) { return data_[ i ]; }
+    const T & operator[]( int i ) const { return data_[ i ]; }
+    void fill( const T & v ) {
+        for( int i = 0; i < n_; i++ )
+            data_[ i ] = v;
+    }
+private:
+    vector<T> data_;
+    int n_;
+};
+
+template <class T>
+class Matrix {
+public:
+    Matrix( int rows, int cols ) : data_( rows * cols ), rows_( rows ), cols_( cols ) {
+        for( int i = 0; i < rows * cols; i++ )
+            data_[ i ] = T( );
+    }
+    int rows( ) const { return rows_; }
+    int cols( ) const { return cols_; }
+    T & at( int i, int j ) { return data_[ i * cols_ + j ]; }
+    const T & at( int i, int j ) const { return data_[ i * cols_ + j ]; }
+private:
+    vector<T> data_;
+    int rows_;
+    int cols_;
+};
+
+#endif
+|}
+
+let blas_h =
+  {|#ifndef POOMA_BLAS_H
+#define POOMA_BLAS_H
+
+#include "pooma_array.h"
+
+template <class T>
+T dot( const Array1D<T> & a, const Array1D<T> & b ) {
+    T s = T( );
+    for( int i = 0; i < a.size( ); i++ )
+        s = s + a[ i ] * b[ i ];
+    return s;
+}
+
+template <class T>
+void axpy( const T & alpha, const Array1D<T> & x, Array1D<T> & y ) {
+    for( int i = 0; i < y.size( ); i++ )
+        y[ i ] = y[ i ] + alpha * x[ i ];
+}
+
+template <class T>
+void scale_add( const Array1D<T> & x, const T & beta, Array1D<T> & y ) {
+    for( int i = 0; i < y.size( ); i++ )
+        y[ i ] = x[ i ] + beta * y[ i ];
+}
+
+template <class T>
+void matvec( const Matrix<T> & A, const Array1D<T> & x, Array1D<T> & y ) {
+    for( int i = 0; i < A.rows( ); i++ ) {
+        T s = T( );
+        for( int j = 0; j < A.cols( ); j++ )
+            s = s + A.at( i, j ) * x[ j ];
+        y[ i ] = s;
+    }
+}
+
+#endif
+|}
+
+let krylov_h =
+  {|#ifndef POOMA_KRYLOV_H
+#define POOMA_KRYLOV_H
+
+#include "pooma_blas.h"
+
+template <class T>
+class KrylovSolver {
+public:
+    KrylovSolver( int max_iters, double tol )
+        : max_iters_( max_iters ), tol_( tol ), iters_( 0 ), residual_( 0.0 ) { }
+
+    // Conjugate gradient; A must be symmetric positive definite.
+    bool solve( const Matrix<T> & A, const Array1D<T> & b, Array1D<T> & x ) {
+        int n = b.size( );
+        Array1D<T> r( n );
+        Array1D<T> p( n );
+        Array1D<T> Ap( n );
+        matvec( A, x, Ap );
+        for( int i = 0; i < n; i++ ) {
+            r[ i ] = b[ i ] - Ap[ i ];
+            p[ i ] = r[ i ];
+        }
+        T rr = dot( r, r );
+        iters_ = 0;
+        while( iters_ < max_iters_ ) {
+            if( rr < tol_ * tol_ )
+                break;
+            matvec( A, p, Ap );
+            T pAp = dot( p, Ap );
+            if( pAp == T( ) )
+                break;
+            T alpha = rr / pAp;
+            axpy( alpha, p, x );
+            T malpha = T( ) - alpha;
+            axpy( malpha, Ap, r );
+            T rr_new = dot( r, r );
+            T beta = rr_new / rr;
+            scale_add( r, beta, p );
+            rr = rr_new;
+            iters_ = iters_ + 1;
+        }
+        residual_ = rr;
+        return rr < tol_ * tol_;
+    }
+
+    int iterations( ) const { return iters_; }
+    double residual( ) const { return residual_; }
+
+private:
+    int max_iters_;
+    double tol_;
+    int iters_;
+    double residual_;
+};
+
+#endif
+|}
+
+(** The driver: builds a 1-D Laplacian system and solves it with CG. *)
+let main_cpp ~n ~max_iters =
+  Printf.sprintf
+    {|#include <iostream.h>
+#include "pooma_krylov.h"
+
+int main( ) {
+    int n = %d;
+    Matrix<double> A( n, n );
+    for( int i = 0; i < n; i++ ) {
+        A.at( i, i ) = 2.0;
+        if( i > 0 )
+            A.at( i, i - 1 ) = -1.0;
+        if( i < n - 1 )
+            A.at( i, i + 1 ) = -1.0;
+    }
+    Array1D<double> b( n );
+    b.fill( 1.0 );
+    Array1D<double> x( n );
+
+    KrylovSolver<double> solver( %d, 1e-8 );
+    bool converged = solver.solve( A, b, x );
+
+    cout << "converged=" << converged << endl;
+    cout << "iterations=" << solver.iterations( ) << endl;
+    cout << "x0=" << x[ 0 ] << endl;
+    return 0;
+}
+|}
+    n max_iters
+
+let files ?(n = 16) ?(max_iters = 200) () =
+  [ ("pooma_array.h", array_h);
+    ("pooma_blas.h", blas_h);
+    ("pooma_krylov.h", krylov_h);
+    ("krylov_main.cpp", main_cpp ~n ~max_iters) ]
+
+let main_file = "krylov_main.cpp"
+
+let vfs ?n ?max_iters () =
+  let vfs = Pdt_util.Vfs.create () in
+  Ministl.mount vfs;
+  List.iter (fun (p, c) -> Pdt_util.Vfs.add_file vfs p c) (files ?n ?max_iters ());
+  vfs

@@ -1,0 +1,139 @@
+(** The paper's running example: the templated array-based Stack (Figure 1),
+    arranged in the exact file structure visible in the Figure 3 PDB excerpt:
+
+    - [TestStackAr.cpp] (the main file) includes [StackAr.h];
+    - [StackAr.h] includes [vector.h], [dsexceptions.h] and — so that
+      templates are instantiated in the translation unit — the
+      implementation file [StackAr.cpp] (the classic "inclusion model"). *)
+
+let dsexceptions_h =
+  {|#ifndef DSEXCEPTIONS_H
+#define DSEXCEPTIONS_H
+
+class Overflow { };
+class Underflow { };
+class OutOfMemory { };
+class BadIterator { };
+
+#endif
+|}
+
+let stackar_h =
+  {|#ifndef STACKAR_H
+#define STACKAR_H
+
+#include <vector.h>
+#include "dsexceptions.h"
+
+template <class Object>
+class Stack {
+public:
+    explicit Stack( int capacity = 10 );
+
+    bool isEmpty( ) const;
+    bool isFull( ) const;
+    const Object & top( ) const;
+
+    void makeEmpty( );
+    void pop( );
+    void push( const Object & x );
+    Object topAndPop( );
+
+private:
+    vector<Object> theArray;
+    int topOfStack;
+};
+
+#include "StackAr.cpp"
+
+#endif
+|}
+
+let stackar_cpp =
+  {|#ifndef STACKAR_CPP
+#define STACKAR_CPP
+
+#include "StackAr.h"
+
+template <class Object>
+Stack<Object>::Stack( int capacity ) : theArray( capacity ) {
+    topOfStack = -1;
+}
+
+template <class Object>
+bool Stack<Object>::isEmpty( ) const {
+    return topOfStack == -1;
+}
+
+template <class Object>
+bool Stack<Object>::isFull( ) const {
+    return topOfStack == theArray.size( ) - 1;
+}
+
+template <class Object>
+void Stack<Object>::makeEmpty( ) {
+    topOfStack = -1;
+}
+
+template <class Object>
+const Object & Stack<Object>::top( ) const {
+    if( isEmpty( ) )
+        throw Underflow( );
+    return theArray[ topOfStack ];
+}
+
+template <class Object>
+void Stack<Object>::pop( ) {
+    if( isEmpty( ) )
+        throw Underflow( );
+    topOfStack--;
+}
+
+template <class Object>
+void Stack<Object>::push( const Object & x ) {
+    if( isFull( ) )
+        throw Overflow( );
+    theArray[ ++topOfStack ] = x;
+}
+
+template <class Object>
+Object Stack<Object>::topAndPop( ) {
+    if( isEmpty( ) )
+        throw Underflow( );
+    return theArray[ topOfStack-- ];
+}
+
+#endif
+|}
+
+let teststackar_cpp =
+  {|#include <iostream.h>
+#include "StackAr.h"
+
+int main( ) {
+    Stack<int> s;
+
+    for( int i = 0; i < 10; i++ )
+        s.push( i );
+
+    while( !s.isEmpty( ) )
+        cout << s.topAndPop( ) << endl;
+
+    return 0;
+}
+|}
+
+let files =
+  [ ("dsexceptions.h", dsexceptions_h);
+    ("StackAr.h", stackar_h);
+    ("StackAr.cpp", stackar_cpp);
+    ("TestStackAr.cpp", teststackar_cpp) ]
+
+let main_file = "TestStackAr.cpp"
+
+(** A VFS containing the Stack corpus plus the mini-STL headers. *)
+let vfs () =
+  let vfs = Pdt_util.Vfs.create () in
+  Ministl.mount vfs;
+  List.iter (fun (p, c) -> Pdt_util.Vfs.add_file vfs p c) files;
+  vfs

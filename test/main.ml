@@ -1,0 +1,23 @@
+let () =
+  Alcotest.run "pdt"
+    [ ("lexer", Test_lexer.suite);
+      ("preproc", Test_preproc.suite);
+      ("parser", Test_parser.suite);
+      ("sema", Test_sema.suite);
+      ("templates", Test_templates.suite);
+      ("analyzer", Test_analyzer.suite);
+      ("pdb", Test_pdb.suite);
+      ("ductape", Test_ductape.suite);
+      ("interp", Test_interp.suite);
+      ("tools", Test_tools.suite);
+      ("tau", Test_tau.suite);
+      ("siloon", Test_siloon.suite);
+      ("prelink", Test_prelink.suite);
+      ("f90", Test_f90.suite);
+      ("properties", Test_properties.suite);
+      ("parser-edge", Test_parser_edge.suite);
+      ("extensions", Test_extensions.suite);
+      ("parallel", Test_parallel.suite);
+      ("il", Test_il.suite);
+      ("integration", Test_integration.suite);
+      ("java", Test_java.suite) ]

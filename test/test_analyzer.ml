@@ -1,0 +1,231 @@
+(* IL Analyzer tests: PDB emission, Figure 3 structure, template mapping. *)
+
+module P = Pdt_pdb.Pdb
+module A = Pdt_analyzer.Analyzer
+
+let stack_pdb ?opts () =
+  let vfs = Pdt_workloads.Stack.vfs () in
+  let c = Pdt.compile ~vfs Pdt_workloads.Stack.main_file in
+  if Pdt_util.Diag.has_errors c.Pdt.diags then
+    Alcotest.failf "compile errors:\n%s" (Pdt_util.Diag.to_string c.Pdt.diags);
+  A.run ?opts c.Pdt.program
+
+let find_class pdb name =
+  match List.find_opt (fun (c : P.class_item) -> c.cl_name = name) pdb.P.classes with
+  | Some c -> c
+  | None -> Alcotest.failf "class %s not in PDB" name
+
+let find_file pdb name =
+  match List.find_opt (fun (f : P.source_file) -> f.so_name = name) pdb.P.files with
+  | Some f -> f
+  | None -> Alcotest.failf "file %s not in PDB" name
+
+let find_routine pdb name parent_name =
+  match
+    List.find_opt
+      (fun (r : P.routine_item) ->
+        r.ro_name = name && P.parent_prefix pdb r.ro_parent = parent_name)
+      pdb.P.routines
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "routine %s%s not in PDB" parent_name name
+
+(* Figure 3, item (2)/(5)/(6): the file structure with sinc lines *)
+let test_fig3_files () =
+  let pdb = stack_pdb () in
+  let header = find_file pdb "StackAr.h" in
+  let incs =
+    List.map
+      (fun i -> (Option.get (P.find_file pdb i)).P.so_name)
+      header.P.so_includes
+  in
+  Alcotest.(check (list string)) "StackAr.h includes (Fig 3 (2))"
+    [ "/pdt/include/kai/vector.h"; "dsexceptions.h"; "StackAr.cpp" ] incs;
+  let main = find_file pdb "TestStackAr.cpp" in
+  let incs =
+    List.map (fun i -> (Option.get (P.find_file pdb i)).P.so_name) main.P.so_includes
+  in
+  Alcotest.(check bool) "main includes StackAr.h (Fig 3 (6))" true
+    (List.mem "StackAr.h" incs)
+
+(* Figure 3 (7)/(8): the class template and a memfunc template with text *)
+let test_fig3_templates () =
+  let pdb = stack_pdb () in
+  let stack_te =
+    List.find
+      (fun (te : P.template_item) -> te.te_name = "Stack" && te.te_kind = "class")
+      pdb.P.templates
+  in
+  Alcotest.(check bool) "ttext recorded" true
+    (String.length stack_te.te_text > 40);
+  Alcotest.(check bool) "tloc in StackAr.h" true
+    ((Option.get (P.find_file pdb stack_te.te_loc.P.lfile)).P.so_name = "StackAr.h");
+  let push_te =
+    List.find
+      (fun (te : P.template_item) -> te.te_name = "push" && te.te_kind = "memfunc")
+      pdb.P.templates
+  in
+  Alcotest.(check bool) "push memfunc in StackAr.cpp" true
+    ((Option.get (P.find_file pdb push_te.te_loc.P.lfile)).P.so_name = "StackAr.cpp")
+
+(* Figure 3 (9): push with rclass, racs, rsig, rtempl, rcall, rpos *)
+let test_fig3_routine_push () =
+  let pdb = stack_pdb () in
+  let push = find_routine pdb "push" "Stack<int>::" in
+  Alcotest.(check string) "racs pub" "pub" push.P.ro_acs;
+  Alcotest.(check string) "rlink C++" "C++" push.P.ro_link;
+  Alcotest.(check string) "rstore NA" "NA" push.P.ro_store;
+  Alcotest.(check string) "rvirt no" "no" push.P.ro_virt;
+  Alcotest.(check string) "signature" "void (const int &)"
+    (P.typeref_name pdb push.P.ro_sig);
+  (* rtempl points at the memfunc template push *)
+  (match push.P.ro_templ with
+   | Some te ->
+       let te = Option.get (P.find_template pdb te) in
+       Alcotest.(check string) "rtempl name" "push" te.P.te_name;
+       Alcotest.(check string) "rtempl kind" "memfunc" te.P.te_kind
+   | None -> Alcotest.fail "push has no rtempl");
+  (* rcall: isFull, Overflow ctor, vector::operator[] *)
+  let callees =
+    List.map
+      (fun (c : P.call) ->
+        P.routine_full_name pdb (Option.get (P.find_routine pdb c.c_callee)))
+      push.P.ro_calls
+  in
+  Alcotest.(check bool) "calls isFull" true (List.mem "Stack<int>::isFull" callees);
+  Alcotest.(check bool) "calls Overflow ctor" true
+    (List.mem "Overflow::Overflow" callees);
+  (* rpos: header and body recorded, in StackAr.cpp *)
+  Alcotest.(check bool) "rpos body set" true (push.P.ro_pos.P.bstart <> P.null_loc);
+  Alcotest.(check string) "body in StackAr.cpp" "StackAr.cpp"
+    (Option.get (P.find_file pdb push.P.ro_pos.P.bstart.P.lfile)).P.so_name
+
+(* Figure 3 (12): Stack<int> with ckind, ctempl, cfunc, cmem *)
+let test_fig3_class_stack_int () =
+  let pdb = stack_pdb () in
+  let cl = find_class pdb "Stack<int>" in
+  Alcotest.(check string) "ckind class" "class" cl.P.cl_kind;
+  (match cl.P.cl_templ with
+   | Some te ->
+       Alcotest.(check string) "ctempl is Stack" "Stack"
+         (Option.get (P.find_template pdb te)).P.te_name
+   | None -> Alcotest.fail "Stack<int> has no ctempl");
+  Alcotest.(check bool) "cfunc list present" true (List.length cl.P.cl_funcs >= 8);
+  let members = List.map (fun m -> m.P.m_name) cl.P.cl_members in
+  Alcotest.(check (list string)) "cmem (Fig 3: theArray, topOfStack)"
+    [ "theArray"; "topOfStack" ] members;
+  let the_array = List.hd cl.P.cl_members in
+  Alcotest.(check string) "cmacs priv" "priv" the_array.P.m_acs;
+  Alcotest.(check string) "cmkind var" "var" the_array.P.m_kind;
+  (* cmtype points at the instantiated vector class (a cl# reference) *)
+  (match the_array.P.m_type with
+   | P.Clref id ->
+       Alcotest.(check string) "cmtype cl# vector<int>" "vector<int>"
+         (Option.get (P.find_class pdb id)).P.cl_name
+   | P.Tyref _ -> Alcotest.fail "theArray's type should be a cl# reference")
+
+(* Figure 3 (13)-(18): the type chain const int & -> ref -> tref -> int *)
+let test_fig3_type_chain () =
+  let pdb = stack_pdb () in
+  let by_name n =
+    List.find_opt
+      (fun (ty : P.type_item) -> P.typeref_name pdb (P.Tyref ty.P.ty_id) = n)
+      pdb.P.types
+  in
+  (match by_name "const int &" with
+   | Some { P.ty_info = P.Yref target; _ } -> (
+       match target with
+       | P.Tyref id -> (
+           let t = Option.get (P.find_type pdb id) in
+           Alcotest.(check string) "ref -> const int" "const int"
+             (P.typeref_name pdb (P.Tyref id));
+           match t.P.ty_info with
+           | P.Ytref { target = P.Tyref inner; yconst = true; _ } ->
+               Alcotest.(check string) "tref -> int" "int"
+                 (P.typeref_name pdb (P.Tyref inner))
+           | _ -> Alcotest.fail "const int should be a tref")
+       | _ -> Alcotest.fail "ref should point at a ty#")
+   | _ -> Alcotest.fail "const int & not found or not a ref");
+  (* (17): bool () const *)
+  (match by_name "bool () const" with
+   | Some { P.ty_info = P.Yfunc { cqual = true; args = []; _ }; _ } -> ()
+   | _ -> Alcotest.fail "bool () const not found");
+  (* (18): void (const int &) *)
+  match by_name "void (const int &)" with
+  | Some { P.ty_info = P.Yfunc { args = [ _ ]; _ }; _ } -> ()
+  | _ -> Alcotest.fail "void (const int &) not found"
+
+(* Table 1: all item kinds appear with their prefixes *)
+let test_table1_coverage () =
+  let pdb = stack_pdb () in
+  let s = Pdt_pdb.Pdb_write.to_string pdb in
+  Alcotest.(check bool) "header" true
+    (String.length s > 10 && String.sub s 0 9 = "<PDB 1.0>");
+  List.iter
+    (fun prefix ->
+      let re = Str.regexp (Str.quote (prefix ^ "#")) in
+      Alcotest.(check bool) (prefix ^ "# present") true
+        (try ignore (Str.search_forward re s 0); true with Not_found -> false))
+    [ "so"; "ro"; "cl"; "ty"; "te"; "ma" ]
+
+(* location-based vs id-based template mapping for specializations *)
+let spec_src =
+  "template <class T> class Traits {\npublic:\n  int size() { return 1; }\n};\n\
+   template <> class Traits<char> {\npublic:\n  int size() { return 99; }\n};\n\
+   int main() { Traits<int> a; Traits<char> b; return a.size() + b.size(); }"
+
+let test_specialization_mapping_modes () =
+  let opts = { Pdt_sema.Sema.default_options with map_specializations = true } in
+  let c = Pdt.compile_string ~opts spec_src in
+  (* location-based: specialization's location is outside the primary
+     template's definition, so it cannot be mapped (the §3.1 limitation) *)
+  let pdb_loc =
+    A.run ~opts:{ A.default_options with mapping = A.Location_based } c.Pdt.program
+  in
+  let spec_loc = find_class pdb_loc "Traits<char>" in
+  Alcotest.(check bool) "location mode: spec unmapped" true (spec_loc.P.cl_templ = None);
+  let prim_loc = find_class pdb_loc "Traits<int>" in
+  Alcotest.(check bool) "location mode: primary mapped" true (prim_loc.P.cl_templ <> None);
+  (* id mode (the paper's proposed fix): both are mapped *)
+  let pdb_ids = A.run ~opts:{ A.default_options with mapping = A.Il_ids } c.Pdt.program in
+  let spec_ids = find_class pdb_ids "Traits<char>" in
+  Alcotest.(check bool) "id mode: spec mapped via cstempl" true
+    (spec_ids.P.cl_stempl <> None || spec_ids.P.cl_templ <> None)
+
+let test_traversal_selection () =
+  let pdb =
+    stack_pdb ~opts:{ A.default_options with emit_types = false; emit_macros = false } ()
+  in
+  Alcotest.(check int) "no types emitted" 0 (List.length pdb.P.types);
+  Alcotest.(check int) "no macros emitted" 0 (List.length pdb.P.pdb_macros);
+  Alcotest.(check bool) "classes still there" true (pdb.P.classes <> [])
+
+let test_defined_flag () =
+  let pdb = stack_pdb () in
+  let push = find_routine pdb "push" "Stack<int>::" in
+  Alcotest.(check bool) "push defined" true push.P.ro_defined;
+  let pop = find_routine pdb "pop" "Stack<int>::" in
+  Alcotest.(check bool) "pop only declared (used mode)" false pop.P.ro_defined
+
+let test_ids_dense_and_unique () =
+  let pdb = stack_pdb () in
+  let check_ids name ids =
+    let sorted = List.sort compare ids in
+    Alcotest.(check (list int)) name (List.init (List.length ids) (fun i -> i + 1)) sorted
+  in
+  check_ids "so ids" (List.map (fun f -> f.P.so_id) pdb.P.files);
+  check_ids "cl ids" (List.map (fun (c : P.class_item) -> c.P.cl_id) pdb.P.classes);
+  check_ids "ro ids" (List.map (fun (r : P.routine_item) -> r.P.ro_id) pdb.P.routines);
+  check_ids "te ids" (List.map (fun (t : P.template_item) -> t.P.te_id) pdb.P.templates)
+
+let suite =
+  [ Alcotest.test_case "Fig 3: file inclusion records" `Quick test_fig3_files;
+    Alcotest.test_case "Fig 3: template items" `Quick test_fig3_templates;
+    Alcotest.test_case "Fig 3: routine push attributes" `Quick test_fig3_routine_push;
+    Alcotest.test_case "Fig 3: class Stack<int>" `Quick test_fig3_class_stack_int;
+    Alcotest.test_case "Fig 3: type chain" `Quick test_fig3_type_chain;
+    Alcotest.test_case "Table 1: item kind coverage" `Quick test_table1_coverage;
+    Alcotest.test_case "specialization mapping modes" `Quick test_specialization_mapping_modes;
+    Alcotest.test_case "traversal selection" `Quick test_traversal_selection;
+    Alcotest.test_case "used-mode defined flags" `Quick test_defined_flag;
+    Alcotest.test_case "dense unique ids" `Quick test_ids_dense_and_unique ]

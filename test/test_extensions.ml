@@ -1,0 +1,155 @@
+(* Tests for the extensions beyond the paper's four utilities:
+   selective instrumentation, pdbstats, compile_project. *)
+
+module D = Pdt_ductape.Ductape
+module I = Pdt_tau.Instrument
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ---------------- selective instrumentation ---------------- *)
+
+let test_glob () =
+  Alcotest.(check bool) "exact" true (I.glob_match "push" "push");
+  Alcotest.(check bool) "star suffix" true (I.glob_match "vector*" "vector_grow");
+  Alcotest.(check bool) "star prefix" true (I.glob_match "*Pop" "topAndPop");
+  Alcotest.(check bool) "middle star" true (I.glob_match "is*ty" "isEmpty");
+  Alcotest.(check bool) "no match" false (I.glob_match "push" "pusher");
+  Alcotest.(check bool) "star matches empty" true (I.glob_match "a*b" "ab")
+
+let test_parse_selection () =
+  let sel =
+    I.parse_selection
+      "# comment\nBEGIN_EXCLUDE_LIST\nmatvec\nvector*\nEND_EXCLUDE_LIST\n\
+       BEGIN_INCLUDE_LIST\nsolve\ndot\nEND_INCLUDE_LIST\n"
+  in
+  Alcotest.(check (list string)) "exclude" [ "matvec"; "vector*" ] sel.I.sel_exclude;
+  Alcotest.(check (option (list string))) "include" (Some [ "solve"; "dot" ])
+    sel.I.sel_include_only
+
+let test_selection_filters_plan () =
+  let vfs = Pdt_workloads.Pooma_like.vfs () in
+  let c = Pdt.compile_exn ~vfs Pdt_workloads.Pooma_like.main_file in
+  let d = D.index (Pdt_analyzer.Analyzer.run c.Pdt.program) in
+  let plan = I.plan d in
+  let sel =
+    I.parse_selection "BEGIN_EXCLUDE_LIST\nmatvec\noperator*\nEND_EXCLUDE_LIST\n"
+  in
+  let filtered = I.apply_selection sel plan in
+  Alcotest.(check bool) "matvec excluded" false
+    (List.exists (fun ir -> ir.I.ir_name = "matvec") filtered);
+  Alcotest.(check bool) "operator[] excluded" false
+    (List.exists (fun ir -> ir.I.ir_name = "operator[]") filtered);
+  Alcotest.(check bool) "dot kept" true
+    (List.exists (fun ir -> ir.I.ir_name = "dot") filtered);
+  Alcotest.(check bool) "plan shrank" true (List.length filtered < List.length plan)
+
+let test_include_only () =
+  let sel = { I.sel_exclude = []; sel_include_only = Some [ "solve" ] } in
+  Alcotest.(check bool) "solve in" true (I.selected sel "solve");
+  Alcotest.(check bool) "others out" false (I.selected sel "matvec")
+
+let test_selective_profile () =
+  (* excluding the hot accessors shrinks the profile to the selected timers *)
+  let vfs = Pdt_workloads.Pooma_like.vfs ~n:8 () in
+  let main = Pdt_workloads.Pooma_like.main_file in
+  let c = Pdt.compile_exn ~vfs main in
+  let d = D.index (Pdt_analyzer.Analyzer.run c.Pdt.program) in
+  let sel =
+    I.parse_selection
+      "BEGIN_EXCLUDE_LIST\noperator*\nat\ncols\nrows\nsize\nEND_EXCLUDE_LIST\n"
+  in
+  let plan = I.apply_selection sel (I.plan d) in
+  let vfs2, _ = I.instrument_vfs vfs plan in
+  let c2 = Pdt.compile_exn ~vfs:vfs2 main in
+  let r = Pdt_tau.Interp.run c2.Pdt.program in
+  let names = List.map (fun (n, _, _, _, _, _) -> n) (Pdt_tau.Pprof.rows r.profile) in
+  Alcotest.(check bool) "no accessor timers" false
+    (List.exists (fun n -> contains n "at [") names);
+  Alcotest.(check bool) "solver timers present" true
+    (List.exists (fun n -> contains n "solve") names)
+
+(* ---------------- pdbstats ---------------- *)
+
+let stack_d () =
+  let vfs = Pdt_workloads.Stack.vfs () in
+  let c = Pdt.compile_exn ~vfs Pdt_workloads.Stack.main_file in
+  D.index (Pdt_analyzer.Analyzer.run c.Pdt.program)
+
+let test_pdbstats_summary () =
+  let d = stack_d () in
+  let s = Pdt_tools.Pdbstats.summary d in
+  Alcotest.(check bool) "routines counted" true (s.n_routines > 20);
+  Alcotest.(check bool) "instantiations counted" true (s.n_instantiations >= 2);
+  Alcotest.(check bool) "call edges" true (s.n_call_edges >= 15);
+  (* main has the largest fan-out in this program *)
+  let rs = Pdt_tools.Pdbstats.routine_stats d in
+  let main = List.find (fun r -> r.Pdt_tools.Pdbstats.rs_name = "main") rs in
+  Alcotest.(check int) "main fan-out equals max" s.max_fan_out
+    main.Pdt_tools.Pdbstats.rs_fan_out
+
+let test_pdbstats_inheritance_depth () =
+  let src =
+    "class A {}; class B : public A {}; class C : public B {};\n\
+     int main() { C c; return 0; }"
+  in
+  let c = Pdt.compile_string src in
+  let d = D.index (Pdt_analyzer.Analyzer.run c.Pdt.program) in
+  let cs = Pdt_tools.Pdbstats.class_stats d in
+  let depth name =
+    (List.find (fun x -> x.Pdt_tools.Pdbstats.cs_name = name) cs).Pdt_tools.Pdbstats.cs_depth
+  in
+  Alcotest.(check int) "A depth" 0 (depth "A");
+  Alcotest.(check int) "B depth" 1 (depth "B");
+  Alcotest.(check int) "C depth" 2 (depth "C")
+
+let test_pdbstats_dead_code () =
+  let src =
+    "int used() { return 1; }\nint dead() { return 2; }\n\
+     int main() { return used(); }"
+  in
+  let c = Pdt.compile_string src in
+  let d = D.index (Pdt_analyzer.Analyzer.run c.Pdt.program) in
+  let s = Pdt_tools.Pdbstats.summary d in
+  Alcotest.(check int) "one unreachable routine" 1 s.unreachable_from_main
+
+let test_pdbstats_report () =
+  let d = stack_d () in
+  let out = Pdt_tools.Pdbstats.report d in
+  Alcotest.(check bool) "has summary" true (contains out "Program statistics");
+  Alcotest.(check bool) "lists Stack<int>" true (contains out "Stack<int>")
+
+(* ---------------- compile_project ---------------- *)
+
+let test_compile_project () =
+  let vfs, files = Pdt_workloads.Generator.project_vfs ~n_tus:3 () in
+  let merged, compilations = Pdt.compile_project ~vfs files in
+  Alcotest.(check int) "all TUs compiled" 4 (List.length compilations);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "no errors" false (Pdt_util.Diag.has_errors c.Pdt.diags))
+    compilations;
+  let d = D.index merged in
+  Alcotest.(check (list string)) "merged PDB consistent" []
+    (Pdt_tools.Pdbconv.check d);
+  (* the merged call graph crosses TU boundaries: main calls every driver *)
+  let main =
+    List.find (fun (r : Pdt_pdb.Pdb.routine_item) -> r.ro_name = "main")
+      (D.routines d)
+  in
+  Alcotest.(check bool) "cross-TU edges resolved after merge" true
+    (List.length (D.callees d main) >= 3)
+
+let suite =
+  [ Alcotest.test_case "glob matching" `Quick test_glob;
+    Alcotest.test_case "selection file parsing" `Quick test_parse_selection;
+    Alcotest.test_case "selection filters plan" `Quick test_selection_filters_plan;
+    Alcotest.test_case "include-only list" `Quick test_include_only;
+    Alcotest.test_case "selective profile" `Quick test_selective_profile;
+    Alcotest.test_case "pdbstats summary" `Quick test_pdbstats_summary;
+    Alcotest.test_case "pdbstats inheritance depth" `Quick test_pdbstats_inheritance_depth;
+    Alcotest.test_case "pdbstats dead code" `Quick test_pdbstats_dead_code;
+    Alcotest.test_case "pdbstats report" `Quick test_pdbstats_report;
+    Alcotest.test_case "compile_project merge" `Quick test_compile_project ]

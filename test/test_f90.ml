@@ -1,0 +1,163 @@
+(* Fortran 90 front-end tests: the paper's §6 language extension. *)
+
+open Pdt_il.Il
+
+let compile src =
+  let diags = Pdt_util.Diag.create () in
+  let prog = Pdt_f90.F90_sema.compile_string ~diags src in
+  (prog, diags)
+
+let compile_ok src =
+  let prog, diags = compile src in
+  if Pdt_util.Diag.has_errors diags then
+    Alcotest.failf "F90 compile errors:\n%s" (Pdt_util.Diag.to_string diags);
+  prog
+
+let demo () = compile_ok Pdt_workloads.Fortran_demo.linear_algebra_f90
+
+let find_routine prog name =
+  match List.find_opt (fun r -> r.ro_name = name) (routines prog) with
+  | Some r -> r
+  | None -> Alcotest.failf "routine %s not found" name
+
+let callee_names prog r =
+  List.map (fun cs -> (routine prog cs.cs_callee).ro_name) (calls r)
+
+let test_module_to_namespace () =
+  let prog = demo () in
+  match namespaces prog with
+  | [ ns ] ->
+      Alcotest.(check string) "module name" "linear_algebra" ns.na_name;
+      Alcotest.(check bool) "module members recorded" true
+        (List.length ns.na_members >= 7)
+  | l -> Alcotest.failf "expected 1 namespace, got %d" (List.length l)
+
+let test_derived_type_to_class () =
+  let prog = demo () in
+  let vec3 = List.find (fun c -> c.cl_name = "vec3") (classes prog) in
+  Alcotest.(check string) "struct kind" "struct" (class_kind_to_string vec3.cl_kind);
+  Alcotest.(check (list string)) "components as members" [ "x"; "y"; "z" ]
+    (List.map (fun m -> m.dm_name) vec3.cl_members);
+  Alcotest.(check string) "component type" "real"
+    (type_name prog (List.hd vec3.cl_members).dm_type);
+  (match vec3.cl_parent with
+   | Pnamespace ns ->
+       Alcotest.(check string) "nested in module" "linear_algebra"
+         (namespace prog ns).na_name
+   | _ -> Alcotest.fail "vec3 should live in the module")
+
+let test_array_attributes () =
+  let prog = demo () in
+  let m3 = List.find (fun c -> c.cl_name = "matrix3") (classes prog) in
+  let a = List.hd m3.cl_members in
+  Alcotest.(check string) "dimension(3,3) becomes array type" "real [3] [3]"
+    (type_name prog a.dm_type)
+
+let test_routines_and_linkage () =
+  let prog = demo () in
+  let dot3 = find_routine prog "dot3" in
+  Alcotest.(check string) "Fortran linkage" "Fortran" dot3.ro_link;
+  Alcotest.(check string) "signature uses derived types" "real (vec3, vec3)"
+    (type_name prog dot3.ro_sig);
+  let scale3 = find_routine prog "scale3" in
+  Alcotest.(check string) "subroutine returns void" "void (vec3, real)"
+    (type_name prog scale3.ro_sig)
+
+let test_call_edges () =
+  let prog = demo () in
+  let nv = find_routine prog "norm_vec3" in
+  Alcotest.(check (list string)) "norm_vec3 calls dot3" [ "dot3" ]
+    (callee_names prog nv);
+  let main = find_routine prog "demo" in
+  let names = callee_names prog main in
+  Alcotest.(check bool) "program calls scale3" true (List.mem "scale3" names);
+  Alcotest.(check bool) "program calls fact" true (List.mem "fact" names)
+
+let test_generic_interface_resolution () =
+  (* the paper: "Fortran interfaces will correspond to routines with
+     aliases" — a call through the generic name resolves to a procedure *)
+  let prog = demo () in
+  let main = find_routine prog "demo" in
+  let names = callee_names prog main in
+  Alcotest.(check bool) "norm(a) resolved to norm_vec3" true
+    (List.mem "norm_vec3" names);
+  Alcotest.(check bool) "generic name itself is not a callee" false
+    (List.mem "norm" names)
+
+let test_recursion_edge () =
+  let prog = demo () in
+  let fact = find_routine prog "fact" in
+  Alcotest.(check (list string)) "fact calls itself" [ "fact" ]
+    (callee_names prog fact)
+
+let test_pdb_emission () =
+  let prog = demo () in
+  let pdb = Pdt_analyzer.Analyzer.run prog in
+  let s = Pdt_pdb.Pdb_write.to_string pdb in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "na item for module" true (contains "na#1 linear_algebra");
+  Alcotest.(check bool) "Fortran rlink" true (contains "rlink Fortran");
+  Alcotest.(check bool) "derived type class item" true (contains "ckind struct");
+  (* and it roundtrips through the common PDB format *)
+  let s' = Pdt_pdb.Pdb_write.to_string (Pdt_pdb.Pdb_parse.of_string s) in
+  Alcotest.(check string) "roundtrip" s s'
+
+let test_uniform_tools () =
+  (* the §6 goal: language-independent tools work unchanged on Fortran PDBs *)
+  let prog = demo () in
+  let d = Pdt_ductape.Ductape.index (Pdt_analyzer.Analyzer.run prog) in
+  Alcotest.(check (list string)) "pdbconv check clean" []
+    (Pdt_tools.Pdbconv.check d);
+  let root =
+    List.find (fun (r : Pdt_pdb.Pdb.routine_item) -> r.ro_name = "demo")
+      (Pdt_ductape.Ductape.routines d)
+  in
+  let out = Pdt_tools.Pdbtree.call_graph ~root d in
+  let contains sub =
+    let n = String.length out and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub out i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "call tree spans languages' common format" true
+    (contains "`--> linear_algebra::norm_vec3");
+  Alcotest.(check bool) "recursion cut works" true (contains "fact ...")
+
+let test_lexer_basics () =
+  let diags = Pdt_util.Diag.create () in
+  let toks = Pdt_f90.F90_lexer.tokenize ~diags ~file:"t.f90" "X = 3.5e2 + N_total ! comment\n" in
+  let spellings =
+    List.filter_map
+      (fun (tk : Pdt_f90.F90_lexer.tok) ->
+        match tk.tok with
+        | Pdt_f90.F90_lexer.Newline | Pdt_f90.F90_lexer.Eof -> None
+        | t -> Some (Pdt_f90.F90_lexer.spelling t))
+      toks
+  in
+  Alcotest.(check (list string)) "case folded, comment dropped"
+    [ "x"; "="; "350."; "+"; "n_total" ] spellings
+
+let test_continuation_lines () =
+  let prog =
+    compile_ok
+      "subroutine s(a, &\n    b)\n  real :: a, b\n  a = b\nend subroutine s\n"
+  in
+  let s = find_routine prog "s" in
+  Alcotest.(check int) "both args seen" 2 (List.length s.ro_params)
+
+let suite =
+  [ Alcotest.test_case "module -> namespace" `Quick test_module_to_namespace;
+    Alcotest.test_case "derived type -> class" `Quick test_derived_type_to_class;
+    Alcotest.test_case "array attributes" `Quick test_array_attributes;
+    Alcotest.test_case "routines and linkage" `Quick test_routines_and_linkage;
+    Alcotest.test_case "call edges" `Quick test_call_edges;
+    Alcotest.test_case "generic interface resolution" `Quick
+      test_generic_interface_resolution;
+    Alcotest.test_case "recursive function edge" `Quick test_recursion_edge;
+    Alcotest.test_case "PDB emission + roundtrip" `Quick test_pdb_emission;
+    Alcotest.test_case "uniform tools over Fortran" `Quick test_uniform_tools;
+    Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+    Alcotest.test_case "continuation lines" `Quick test_continuation_lines ]

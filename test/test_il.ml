@@ -1,0 +1,115 @@
+(* Direct IL unit tests: interning, naming, queries, stats. *)
+
+open Pdt_il.Il
+
+let test_type_interning () =
+  let p = create_program () in
+  let i1 = ty_int p in
+  let i2 = ty_int p in
+  Alcotest.(check int) "builtins interned" i1 i2;
+  let ptr1 = intern_type p (Tptr i1) in
+  let ptr2 = intern_type p (Tptr i2) in
+  Alcotest.(check int) "derived types interned" ptr1 ptr2;
+  Alcotest.(check bool) "distinct types distinct" true (ptr1 <> i1)
+
+let test_type_names () =
+  let p = create_program () in
+  let int_ = ty_int p in
+  let cint = intern_type p (Tqual { base = int_; q_const = true; q_volatile = false }) in
+  let cint_ref = intern_type p (Tref cint) in
+  Alcotest.(check string) "const int &" "const int &" (type_name p cint_ref);
+  let arr = intern_type p (Tarray (intern_type p (Tarray (int_, Some 4)), Some 3)) in
+  Alcotest.(check string) "nested array" "int [4] [3]" (type_name p arr);
+  let fn =
+    intern_type p
+      (Tfunc { rett = ty_bool p; params = [ (cint_ref, false) ]; ellipsis = false;
+               cqual = true; exceptions = None })
+  in
+  Alcotest.(check string) "member function type" "bool (const int &) const"
+    (type_name p fn);
+  let variadic =
+    intern_type p
+      (Tfunc { rett = ty_void p; params = []; ellipsis = true; cqual = false;
+               exceptions = None })
+  in
+  Alcotest.(check string) "variadic" "void (...)" (type_name p variadic)
+
+let test_strip_and_class_of () =
+  let p = create_program () in
+  let c = add_class p ~name:"K" ~kind:Ckind_class ~loc:Pdt_util.Srcloc.dummy
+      ~parent:Pnone ~access:Acc_na in
+  let cls = intern_type p (Tclass c.cl_id) in
+  let wrapped =
+    intern_type p
+      (Tref (intern_type p (Tqual { base = cls; q_const = true; q_volatile = false })))
+  in
+  Alcotest.(check int) "strip_qual_ref" cls (strip_qual_ref p wrapped);
+  Alcotest.(check (option int)) "class_of_type through ptr" (Some c.cl_id)
+    (class_of_type p (intern_type p (Tptr cls)))
+
+let test_full_names () =
+  let p = create_program () in
+  let ns = add_namespace p ~name:"outer" ~loc:Pdt_util.Srcloc.dummy ~parent:Pnone in
+  let inner = add_namespace p ~name:"inner" ~loc:Pdt_util.Srcloc.dummy
+      ~parent:(Pnamespace ns.na_id) in
+  let c = add_class p ~name:"C" ~kind:Ckind_class ~loc:Pdt_util.Srcloc.dummy
+      ~parent:(Pnamespace inner.na_id) ~access:Acc_na in
+  let sig_ = intern_type p (Tfunc { rett = ty_void p; params = []; ellipsis = false;
+                                    cqual = false; exceptions = None }) in
+  let r = add_routine p ~name:"m" ~loc:Pdt_util.Srcloc.dummy ~parent:(Pclass c.cl_id)
+      ~access:Pub ~sig_ in
+  Alcotest.(check string) "class full name" "outer::inner::C" (class_full_name p c);
+  Alcotest.(check string) "routine full name" "outer::inner::C::m"
+    (routine_full_name p r)
+
+let test_overloads_and_member_lookup () =
+  let p = create_program () in
+  let c = add_class p ~name:"C" ~kind:Ckind_class ~loc:Pdt_util.Srcloc.dummy
+      ~parent:Pnone ~access:Acc_na in
+  let mk_sig args =
+    intern_type p
+      (Tfunc { rett = ty_void p; params = List.map (fun a -> (a, false)) args;
+               ellipsis = false; cqual = false; exceptions = None })
+  in
+  let r1 = add_routine p ~name:"f" ~loc:Pdt_util.Srcloc.dummy ~parent:(Pclass c.cl_id)
+      ~access:Pub ~sig_:(mk_sig []) in
+  let r2 = add_routine p ~name:"f" ~loc:Pdt_util.Srcloc.dummy ~parent:(Pclass c.cl_id)
+      ~access:Pub ~sig_:(mk_sig [ ty_int p ]) in
+  c.cl_funcs <- [ r1.ro_id; r2.ro_id ];
+  Alcotest.(check int) "both overloads found" 2
+    (List.length (find_member_funcs p c "f"));
+  Alcotest.(check bool) "overload keys differ" true
+    (overload_key p r1 <> overload_key p r2)
+
+let test_calls_order () =
+  let p = create_program () in
+  let sig_ = intern_type p (Tfunc { rett = ty_void p; params = []; ellipsis = false;
+                                    cqual = false; exceptions = None }) in
+  let a = add_routine p ~name:"a" ~loc:Pdt_util.Srcloc.dummy ~parent:Pnone
+      ~access:Acc_na ~sig_ in
+  let b = add_routine p ~name:"b" ~loc:Pdt_util.Srcloc.dummy ~parent:Pnone
+      ~access:Acc_na ~sig_ in
+  (* ro_calls stores reversed; calls returns source order *)
+  a.ro_calls <- [ { cs_callee = b.ro_id; cs_virtual = false; cs_loc = Pdt_util.Srcloc.dummy } ];
+  a.ro_calls <-
+    { cs_callee = a.ro_id; cs_virtual = false; cs_loc = Pdt_util.Srcloc.dummy } :: a.ro_calls;
+  let order = List.map (fun cs -> cs.cs_callee) (calls a) in
+  Alcotest.(check (list int)) "source order" [ b.ro_id; a.ro_id ] order
+
+let test_stats_fields () =
+  let vfs = Pdt_workloads.Stack.vfs () in
+  let c = Pdt.compile_exn ~vfs Pdt_workloads.Stack.main_file in
+  let s = stats c.Pdt.program in
+  Alcotest.(check bool) "defined <= routines" true (s.n_defined_routines <= s.n_routines);
+  Alcotest.(check bool) "instantiated <= classes" true
+    (s.n_instantiated_classes <= s.n_classes);
+  Alcotest.(check int) "files" 6 s.n_files
+
+let suite =
+  [ Alcotest.test_case "type interning" `Quick test_type_interning;
+    Alcotest.test_case "type names" `Quick test_type_names;
+    Alcotest.test_case "strip/class_of helpers" `Quick test_strip_and_class_of;
+    Alcotest.test_case "full names through parents" `Quick test_full_names;
+    Alcotest.test_case "overloads and member lookup" `Quick test_overloads_and_member_lookup;
+    Alcotest.test_case "call-site ordering" `Quick test_calls_order;
+    Alcotest.test_case "stats fields" `Quick test_stats_fields ]

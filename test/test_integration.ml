@@ -1,0 +1,130 @@
+(* Kitchen-sink integration tests: all mini-STL headers together, bigger
+   programs end-to-end through compile -> PDB -> tools -> interpreter. *)
+
+let run_ok src =
+  let vfs = Pdt_util.Vfs.create () in
+  Pdt_workloads.Ministl.mount vfs;
+  let c = Pdt.compile_string ~vfs src in
+  if Pdt_util.Diag.has_errors c.Pdt.diags then
+    Alcotest.failf "compile errors:\n%s" (Pdt_util.Diag.to_string c.Pdt.diags);
+  (c, Pdt_tau.Interp.run c.Pdt.program)
+
+let test_all_headers_together () =
+  let src =
+    {|#include <vector.h>
+#include <pair.h>
+#include <list.h>
+#include <algorithm.h>
+#include <iostream.h>
+#include <string.h>
+
+int main() {
+    vector<int> v;
+    for (int i = 0; i < 8; i++)
+        v.push_back(i * 3 % 7);
+    pair<int, double> p = make_pair(2, 1.5);
+    int hi = max(v[0], v[1]);
+    int lo = min(v[0], v[1]);
+    swap(hi, lo);
+    list<int> l;
+    l.push_back(42);
+    cout << v.size() << " " << p.first << " " << hi << " " << lo << " "
+         << l.back() << endl;
+    return 0;
+}
+|}
+  in
+  let _, r = run_ok src in
+  Alcotest.(check int) "exit" 0 r.exit_code;
+  (* v = [0;3;6;2;5;1;4;0]; hi/lo = max/min(0,3) then swapped *)
+  Alcotest.(check string) "output" "8 2 0 3 42\n" r.output
+
+let test_pair_template_two_params () =
+  let _, r =
+    run_ok
+      "#include <pair.h>\nint main() { pair<int, bool> p(7, true); return p.second ? p.first : 0; }"
+  in
+  Alcotest.(check int) "two-parameter template" 7 r.exit_code
+
+let test_algorithm_swap_refs () =
+  let _, r =
+    run_ok
+      "#include <algorithm.h>\nint main() { double a = 1.5; double b = 2.5; swap(a, b); return (int)(a * 10); }"
+  in
+  Alcotest.(check int) "swap through references" 25 r.exit_code
+
+let test_string_builtin () =
+  let _, r =
+    run_ok
+      "#include <string.h>\n#include <iostream.h>\n\
+       int main() { string s(\"hello\"); string t(\" world\");\n\
+       \  string u = s + t;\n  cout << u.c_str() << \"/\" << u.length() << endl;\n\
+       \  return s == t ? 1 : 0; }"
+  in
+  Alcotest.(check string) "string ops" "hello world/11\n" r.output;
+  Alcotest.(check int) "comparison" 0 r.exit_code
+
+let test_list_of_template () =
+  let _, r =
+    run_ok
+      "#include <list.h>\n#include <pair.h>\n\
+       int main() {\n\
+       \  list<pair<int, int> > l;\n\
+       \  l.push_back(make_pair(1, 2));\n\
+       \  l.push_back(make_pair(3, 4));\n\
+       \  pair<int, int> last = l.back();\n\
+       \  return last.first * 10 + last.second;\n}"
+  in
+  Alcotest.(check int) "list of pairs" 34 r.exit_code
+
+let test_full_pipeline_on_big_program () =
+  (* generator with everything cranked up: compile, analyze, html, merge,
+     instrument, run — no crashes, consistent output *)
+  let cfg =
+    { Pdt_workloads.Generator.default_config with
+      n_class_templates = 12; methods_per_class = 5; n_function_templates = 6;
+      n_plain_classes = 6; n_instantiation_types = 4 }
+  in
+  let src = Pdt_workloads.Generator.single_file_program ~cfg () in
+  let vfs = Pdt_util.Vfs.create () in
+  Pdt_workloads.Ministl.mount vfs;
+  Pdt_util.Vfs.add_file vfs "big.cpp" src;
+  let c = Pdt.compile ~vfs "big.cpp" in
+  Alcotest.(check bool) "no errors" false (Pdt_util.Diag.has_errors c.Pdt.diags);
+  let pdb = Pdt_analyzer.Analyzer.run c.Pdt.program in
+  let d = Pdt_ductape.Ductape.index pdb in
+  Alcotest.(check (list string)) "consistent" [] (Pdt_tools.Pdbconv.check d);
+  Alcotest.(check bool) "many items" true (Pdt_pdb.Pdb.item_count pdb > 200);
+  let pages = Pdt_tools.Pdbhtml.generate d in
+  Alcotest.(check bool) "html ok" true (List.length pages > 20);
+  let plan = Pdt_tau.Instrument.plan d in
+  let vfs2, _ = Pdt_tau.Instrument.instrument_vfs vfs plan in
+  let c2 = Pdt.compile ~vfs:vfs2 "big.cpp" in
+  Alcotest.(check bool) "instrumented compiles" false
+    (Pdt_util.Diag.has_errors c2.Pdt.diags);
+  let r1 = Pdt_tau.Interp.run c.Pdt.program in
+  let r2 = Pdt_tau.Interp.run c2.Pdt.program in
+  Alcotest.(check int) "same exit" r1.exit_code r2.exit_code;
+  Alcotest.(check bool) "profile non-empty" true
+    (List.length (Pdt_tau.Pprof.rows r2.profile) > 5)
+
+let test_stack_pdb_through_disk () =
+  (* write the PDB to disk, read it back through the tools path *)
+  let vfs = Pdt_workloads.Stack.vfs () in
+  let c = Pdt.compile_exn ~vfs Pdt_workloads.Stack.main_file in
+  let pdb = Pdt_analyzer.Analyzer.run c.Pdt.program in
+  let path = Filename.temp_file "pdt_test" ".pdb" in
+  Pdt_pdb.Pdb_write.to_file pdb path;
+  let d = Pdt_ductape.Ductape.of_file path in
+  Sys.remove path;
+  Alcotest.(check int) "same item count" (Pdt_pdb.Pdb.item_count pdb)
+    (Pdt_pdb.Pdb.item_count (Pdt_ductape.Ductape.pdb d))
+
+let suite =
+  [ Alcotest.test_case "all mini-STL headers together" `Quick test_all_headers_together;
+    Alcotest.test_case "pair: two type parameters" `Quick test_pair_template_two_params;
+    Alcotest.test_case "algorithm swap by reference" `Quick test_algorithm_swap_refs;
+    Alcotest.test_case "string builtin" `Quick test_string_builtin;
+    Alcotest.test_case "list of pairs" `Quick test_list_of_template;
+    Alcotest.test_case "full pipeline on big program" `Quick test_full_pipeline_on_big_program;
+    Alcotest.test_case "PDB via the filesystem" `Quick test_stack_pdb_through_disk ]

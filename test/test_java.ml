@@ -1,0 +1,201 @@
+(* Java front-end tests: the paper's §6 Java IL Analyzer. *)
+
+open Pdt_il.Il
+
+let demo_src =
+  {|package org.acl.solvers;
+
+import java.util.List;
+
+public interface Solver {
+    double solve(double rhs);
+}
+
+public class Vector3 {
+    private double x;
+    private double y;
+    private double z;
+
+    public Vector3(double x, double y, double z) {
+        this.x = x;
+        this.y = y;
+        this.z = z;
+    }
+
+    public double dot(Vector3 other) {
+        return x * other.x + y * other.y + z * other.z;
+    }
+
+    public double normSquared() {
+        return this.dot(this);
+    }
+
+    public static Vector3 zero() {
+        return new Vector3(0.0, 0.0, 0.0);
+    }
+}
+
+public class JacobiSolver implements Solver {
+    private Vector3 state;
+    private int iterations;
+
+    public JacobiSolver() {
+        state = Vector3.zero();
+        iterations = 0;
+    }
+
+    public double solve(double rhs) {
+        double residual = rhs;
+        while (residual > 0.001) {
+            residual = residual / 2.0;
+            iterations = iterations + 1;
+        }
+        return state.normSquared() + residual;
+    }
+
+    public final int getIterations() {
+        return iterations;
+    }
+}
+|}
+
+let compile_ok src =
+  let diags = Pdt_util.Diag.create () in
+  let prog = Pdt_java.Java_sema.compile_string ~diags src in
+  if Pdt_util.Diag.has_errors diags then
+    Alcotest.failf "Java compile errors:\n%s" (Pdt_util.Diag.to_string diags);
+  prog
+
+let demo () = compile_ok demo_src
+
+let find_class prog name =
+  match List.find_opt (fun c -> c.cl_name = name) (classes prog) with
+  | Some c -> c
+  | None -> Alcotest.failf "class %s not found" name
+
+let find_routine prog full =
+  match List.find_opt (fun r -> routine_full_name prog r = full) (routines prog) with
+  | Some r -> r
+  | None -> Alcotest.failf "routine %s not found" full
+
+let callee_names prog r =
+  List.map (fun cs -> routine_full_name prog (routine prog cs.cs_callee)) (calls r)
+
+let test_package_to_namespaces () =
+  let prog = demo () in
+  let names = List.map (fun n -> n.na_name) (namespaces prog) in
+  Alcotest.(check (list string)) "dotted package nests" [ "org"; "acl"; "solvers" ] names;
+  let solvers = List.nth (namespaces prog) 2 in
+  (match solvers.na_parent with
+   | Pnamespace p -> Alcotest.(check string) "parent" "acl" (namespace prog p).na_name
+   | _ -> Alcotest.fail "solvers should nest in acl");
+  let v3 = find_class prog "Vector3" in
+  Alcotest.(check string) "class in package" "org::acl::solvers::Vector3"
+    (class_full_name prog v3)
+
+let test_interface_and_implements () =
+  let prog = demo () in
+  let solver = find_class prog "Solver" in
+  let solve_decl = routine prog (List.hd solver.cl_funcs) in
+  Alcotest.(check string) "interface method pure" "pure" (virt_to_string solve_decl.ro_virt);
+  Alcotest.(check bool) "declared only" false solve_decl.ro_defined;
+  let jacobi = find_class prog "JacobiSolver" in
+  Alcotest.(check int) "implements as base" 1 (List.length jacobi.cl_bases);
+  Alcotest.(check (list int)) "derived backlink" [ jacobi.cl_id ] solver.cl_derived
+
+let test_fields_and_modifiers () =
+  let prog = demo () in
+  let v3 = find_class prog "Vector3" in
+  Alcotest.(check int) "3 fields" 3 (List.length v3.cl_members);
+  Alcotest.(check string) "private field" "priv"
+    (access_to_string (List.hd v3.cl_members).dm_access);
+  let zero = find_routine prog "org::acl::solvers::Vector3::zero" in
+  Alcotest.(check bool) "static factory" true zero.ro_static;
+  Alcotest.(check string) "not virtual" "no" (virt_to_string zero.ro_virt);
+  let get = find_routine prog "org::acl::solvers::JacobiSolver::getIterations" in
+  Alcotest.(check string) "final method not virtual" "no" (virt_to_string get.ro_virt);
+  let dot = find_routine prog "org::acl::solvers::Vector3::dot" in
+  Alcotest.(check string) "instance methods virtual (Java dispatch)" "virt"
+    (virt_to_string dot.ro_virt);
+  Alcotest.(check string) "Java linkage" "Java" dot.ro_link
+
+let test_call_edges () =
+  let prog = demo () in
+  let norm = find_routine prog "org::acl::solvers::Vector3::normSquared" in
+  Alcotest.(check (list string)) "this.dot(this)"
+    [ "org::acl::solvers::Vector3::dot" ] (callee_names prog norm);
+  let ctor = find_routine prog "org::acl::solvers::JacobiSolver::JacobiSolver" in
+  Alcotest.(check bool) "ctor calls static zero() through class name" true
+    (List.mem "org::acl::solvers::Vector3::zero" (callee_names prog ctor));
+  let solve = find_routine prog "org::acl::solvers::JacobiSolver::solve" in
+  Alcotest.(check bool) "field-receiver call" true
+    (List.mem "org::acl::solvers::Vector3::normSquared" (callee_names prog solve));
+  (* zero() calls the Vector3 constructor through new *)
+  let zero = find_routine prog "org::acl::solvers::Vector3::zero" in
+  Alcotest.(check (list string)) "new -> ctor edge"
+    [ "org::acl::solvers::Vector3::Vector3" ] (callee_names prog zero)
+
+let test_ctor_kind () =
+  let prog = demo () in
+  let ctor = find_routine prog "org::acl::solvers::Vector3::Vector3" in
+  Alcotest.(check bool) "constructor kind" true (ctor.ro_kind = Rk_ctor);
+  Alcotest.(check string) "signature" "void (double, double, double)"
+    (type_name prog ctor.ro_sig)
+
+let test_pdb_and_tools () =
+  let prog = demo () in
+  let pdb = Pdt_analyzer.Analyzer.run prog in
+  let s = Pdt_pdb.Pdb_write.to_string pdb in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "Java rlink in PDB" true (contains "rlink Java");
+  Alcotest.(check bool) "namespaces emitted" true (contains "na#");
+  let s' = Pdt_pdb.Pdb_write.to_string (Pdt_pdb.Pdb_parse.of_string s) in
+  Alcotest.(check string) "roundtrip" s s';
+  let d = Pdt_ductape.Ductape.index pdb in
+  Alcotest.(check (list string)) "consistent" [] (Pdt_tools.Pdbconv.check d);
+  (* call graph through the common tools *)
+  let solve =
+    List.find
+      (fun (r : Pdt_pdb.Pdb.routine_item) ->
+        r.ro_name = "solve" && Pdt_pdb.Pdb.routine_full_name (Pdt_ductape.Ductape.pdb d) r
+                               <> "org::acl::solvers::Solver::solve")
+      (Pdt_ductape.Ductape.routines d)
+  in
+  let out = Pdt_tools.Pdbtree.call_graph ~root:solve d in
+  let contains_out sub =
+    let n = String.length out and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub out i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "tree over Java PDB" true (contains_out "normSquared")
+
+let test_exceptions_and_throws () =
+  let prog =
+    compile_ok
+      "public class Risky {\n\
+       \  public void danger() throws java.io.IOException {\n\
+       \    throw new RuntimeException();\n  }\n\
+       \  public int safe() {\n\
+       \    try { danger(); return 1; } catch (Exception e) { return 0; }\n  }\n\
+       }"
+  in
+  let danger = find_routine prog "Risky::danger" in
+  (match (type_ prog danger.ro_sig).ty_kind with
+   | Tfunc { exceptions = Some [ _ ]; _ } -> ()
+   | _ -> Alcotest.fail "throws clause not in signature");
+  let safe = find_routine prog "Risky::safe" in
+  Alcotest.(check (list string)) "call inside try" [ "Risky::danger" ]
+    (callee_names prog safe)
+
+let suite =
+  [ Alcotest.test_case "package -> nested namespaces" `Quick test_package_to_namespaces;
+    Alcotest.test_case "interface and implements" `Quick test_interface_and_implements;
+    Alcotest.test_case "fields and modifiers" `Quick test_fields_and_modifiers;
+    Alcotest.test_case "call edges" `Quick test_call_edges;
+    Alcotest.test_case "constructor kind" `Quick test_ctor_kind;
+    Alcotest.test_case "PDB and tools over Java" `Quick test_pdb_and_tools;
+    Alcotest.test_case "throws and try/catch" `Quick test_exceptions_and_throws ]

@@ -1,0 +1,92 @@
+(* Unit tests for the C++ lexer. *)
+
+open Pdt_util
+open Pdt_lex
+
+let lex src =
+  let diags = Diag.create () in
+  let toks = Lexer.tokenize ~diags ~file:"t.cpp" src in
+  (toks, diags)
+
+let kinds src = List.map (fun (t : Token.tok) -> t.tok) (fst (lex src))
+
+let spellings src = List.map Token.spelling (kinds src)
+
+let check_spellings msg src expected =
+  Alcotest.(check (list string)) msg expected (spellings src)
+
+let test_idents_keywords () =
+  check_spellings "mix" "class Stack int foo _bar x9"
+    [ "class"; "Stack"; "int"; "foo"; "_bar"; "x9" ];
+  match kinds "class Stack" with
+  | [ Token.Kw "class"; Token.Ident "Stack" ] -> ()
+  | _ -> Alcotest.fail "keyword/ident classification"
+
+let test_numbers () =
+  (match kinds "42 0x1F 3.14 1e10 2.5e-3 10L 7u 1.5f" with
+   | [ Token.IntLit (_, 42L); Token.IntLit (_, 0x1FL); Token.FloatLit (_, f1);
+       Token.FloatLit (_, f2); Token.FloatLit (_, f3); Token.IntLit (_, 10L);
+       Token.IntLit (_, 7L); Token.FloatLit (_, f4) ] ->
+       Alcotest.(check (float 1e-9)) "pi" 3.14 f1;
+       Alcotest.(check (float 1e0)) "1e10" 1e10 f2;
+       Alcotest.(check (float 1e-9)) "exp" 2.5e-3 f3;
+       Alcotest.(check (float 1e-9)) "f suffix" 1.5 f4
+   | ts ->
+       Alcotest.failf "wrong tokens: %s"
+         (String.concat " " (List.map Token.describe ts)))
+
+let test_strings_chars () =
+  (match kinds {|"hello" 'a' '\n' "tab\there"|} with
+   | [ Token.StringLit (_, "hello"); Token.CharLit (_, 97); Token.CharLit (_, 10);
+       Token.StringLit (_, "tab\there") ] -> ()
+   | ts ->
+       Alcotest.failf "wrong tokens: %s"
+         (String.concat " " (List.map Token.describe ts)))
+
+let test_punctuators () =
+  check_spellings "maximal munch" "a<<=b >>= -> ->* ... :: ++ -- << >> <= >= == != && ||"
+    [ "a"; "<<="; "b"; ">>="; "->"; "->*"; "..."; "::"; "++"; "--"; "<<"; ">>";
+      "<="; ">="; "=="; "!="; "&&"; "||" ];
+  check_spellings "angle brackets kept merged" "vector<Stack<int>> v"
+    [ "vector"; "<"; "Stack"; "<"; "int"; ">>"; "v" ]
+
+let test_comments () =
+  check_spellings "line comment" "a // comment here\nb" [ "a"; "b" ];
+  check_spellings "block comment" "a /* x\ny */ b" [ "a"; "b" ];
+  check_spellings "comment inside expr" "1 +/*c*/ 2" [ "1"; "+"; "2" ]
+
+let test_positions () =
+  let toks, _ = lex "ab cd\n  ef" in
+  let locs = List.map (fun (t : Token.tok) -> (t.loc.Srcloc.line, t.loc.Srcloc.col)) toks in
+  Alcotest.(check (list (pair int int))) "positions" [ (1, 1); (1, 4); (2, 3) ] locs;
+  let bols = List.map (fun (t : Token.tok) -> t.bol) toks in
+  Alcotest.(check (list bool)) "bol flags" [ true; false; true ] bols
+
+let test_line_splice () =
+  check_spellings "backslash-newline" "foo\\\nbar" [ "foo"; "bar" ];
+  let toks, _ = lex "#define X \\\n 1\nY" in
+  (* the spliced line keeps X and 1 on one logical line for the PP, but the
+     lexer just skips the splice *)
+  Alcotest.(check int) "token count" 5 (List.length toks)
+
+let test_unterminated () =
+  let diags = Diag.create () in
+  (try ignore (Lexer.tokenize ~diags ~file:"t.cpp" "\"abc") with Diag.Error _ -> ());
+  Alcotest.(check bool) "error recorded" true (Diag.has_errors diags)
+
+let test_text_reconstruction () =
+  let toks, _ = lex "template <class T> class Stack { };" in
+  Alcotest.(check string) "roundtrip text"
+    "template <class T> class Stack { };"
+    (Token.text_of_toks toks)
+
+let suite =
+  [ Alcotest.test_case "idents and keywords" `Quick test_idents_keywords;
+    Alcotest.test_case "numeric literals" `Quick test_numbers;
+    Alcotest.test_case "string and char literals" `Quick test_strings_chars;
+    Alcotest.test_case "punctuators" `Quick test_punctuators;
+    Alcotest.test_case "comments" `Quick test_comments;
+    Alcotest.test_case "source positions" `Quick test_positions;
+    Alcotest.test_case "line splices" `Quick test_line_splice;
+    Alcotest.test_case "unterminated literal" `Quick test_unterminated;
+    Alcotest.test_case "text reconstruction" `Quick test_text_reconstruction ]

@@ -1,0 +1,336 @@
+(* Unit tests for the C++ parser. *)
+
+open Pdt_util
+open Pdt_ast.Ast
+
+let parse src =
+  let diags = Diag.create () in
+  let toks = Pdt_lex.Lexer.tokenize ~diags ~file:"t.cpp" src in
+  let tu = Pdt_parse.Parser.parse_translation_unit ~diags ~file:"t.cpp" toks in
+  (tu, diags)
+
+let parse_ok src =
+  let tu, diags = parse src in
+  if Diag.has_errors diags then
+    Alcotest.failf "parse errors:\n%s" (Diag.to_string diags);
+  tu
+
+let decl_kinds tu =
+  List.map
+    (fun d ->
+      match d.d with
+      | DNamespace _ -> "namespace"
+      | DClass _ -> "class"
+      | DEnum _ -> "enum"
+      | DTypedef _ -> "typedef"
+      | DFunction _ -> "function"
+      | DVar _ -> "var"
+      | DTemplate _ -> "template"
+      | DUsing _ -> "using"
+      | DAccess _ -> "access"
+      | DFriend _ -> "friend"
+      | DExplicitInst _ -> "inst"
+      | DEmpty -> "empty")
+    tu.tu_decls
+
+let test_simple_function () =
+  let tu = parse_ok "int add(int a, int b) { return a + b; }" in
+  match tu.tu_decls with
+  | [ { d = DFunction f; _ } ] ->
+      Alcotest.(check string) "name" "add" (qual_name_to_string f.f_name);
+      Alcotest.(check int) "params" 2 (List.length f.f_params);
+      Alcotest.(check bool) "has body" true (f.f_body <> None)
+  | _ -> Alcotest.failf "decls: %s" (String.concat "," (decl_kinds tu))
+
+let test_class () =
+  let tu =
+    parse_ok
+      "class Point {\npublic:\n  Point(int x, int y);\n  int getX() const;\n\
+       private:\n  int x_;\n  int y_;\n};"
+  in
+  match tu.tu_decls with
+  | [ { d = DClass c; _ } ] ->
+      Alcotest.(check string) "name" "Point"
+        (match c.c_name with Some p -> p.id | None -> "?");
+      (* members: access, ctor, method, access, 2 fields *)
+      Alcotest.(check int) "member count" 6 (List.length c.c_members);
+      let kinds =
+        List.map
+          (fun d ->
+            match d.d with
+            | DAccess _ -> "access"
+            | DFunction { f_kind = Fk_ctor; _ } -> "ctor"
+            | DFunction _ -> "fn"
+            | DVar _ -> "var"
+            | _ -> "?")
+          c.c_members
+      in
+      Alcotest.(check (list string)) "member kinds"
+        [ "access"; "ctor"; "fn"; "access"; "var"; "var" ] kinds
+  | _ -> Alcotest.failf "decls: %s" (String.concat "," (decl_kinds tu))
+
+let test_inheritance () =
+  let tu = parse_ok "class A {}; class B {}; class C : public A, private virtual B {};" in
+  match List.nth tu.tu_decls 2 with
+  | { d = DClass c; _ } ->
+      Alcotest.(check int) "bases" 2 (List.length c.c_bases);
+      let b0 = List.nth c.c_bases 0 and b1 = List.nth c.c_bases 1 in
+      Alcotest.(check bool) "b0 public" true (b0.b_access = Some Public);
+      Alcotest.(check bool) "b1 virtual" true b1.b_virtual
+  | _ -> Alcotest.fail "expected class C"
+
+let test_class_template () =
+  let tu =
+    parse_ok
+      "template <class T>\nclass Stack {\npublic:\n  void push(const T & x);\n\
+       \  T pop();\nprivate:\n  int top_;\n};"
+  in
+  match tu.tu_decls with
+  | [ { d = DTemplate ([ TP_type ("T", None) ], { d = DClass c; _ }, text); _ } ] ->
+      Alcotest.(check string) "name" "Stack"
+        (match c.c_name with Some p -> p.id | None -> "?");
+      Alcotest.(check bool) "text captured" true
+        (String.length text > 20 &&
+         String.sub text 0 8 = "template")
+  | _ -> Alcotest.failf "decls: %s" (String.concat "," (decl_kinds tu))
+
+let test_out_of_line_member_template () =
+  let tu =
+    parse_ok
+      "template <class T> class Stack { public: void push(const T & x); };\n\
+       template <class T>\nvoid Stack<T>::push(const T & x) { }"
+  in
+  match List.nth tu.tu_decls 1 with
+  | { d = DTemplate (_, { d = DFunction f; _ }, _); _ } ->
+      Alcotest.(check string) "qualified name" "Stack<T>::push"
+        (qual_name_to_string f.f_name);
+      Alcotest.(check bool) "body" true (f.f_body <> None)
+  | _ -> Alcotest.fail "expected out-of-line member template"
+
+let test_nested_template_args () =
+  let tu = parse_ok
+      "template <class T> class vector {};\n\
+       template <class T> class Stack {};\n\
+       vector<Stack<int> > a;\nvector<Stack<int>> b;"
+  in
+  (match List.nth tu.tu_decls 2 with
+   | { d = DVar v; _ } ->
+       Alcotest.(check string) "spaced" "vector<Stack<int>>" (type_to_string v.v_type)
+   | _ -> Alcotest.fail "expected var a");
+  match List.nth tu.tu_decls 3 with
+  | { d = DVar v; _ } ->
+      Alcotest.(check string) "gtgt split" "vector<Stack<int>>" (type_to_string v.v_type)
+  | _ -> Alcotest.fail "expected var b"
+
+let test_function_template () =
+  let tu = parse_ok "template <class T> T max2(T a, T b) { if (a < b) return b; return a; }" in
+  match tu.tu_decls with
+  | [ { d = DTemplate ([ TP_type ("T", None) ], { d = DFunction f; _ }, _); _ } ] ->
+      Alcotest.(check string) "name" "max2" (qual_name_to_string f.f_name)
+  | _ -> Alcotest.failf "decls: %s" (String.concat "," (decl_kinds tu))
+
+let test_specialization () =
+  let tu =
+    parse_ok
+      "template <class T> class Box {};\ntemplate <> class Box<char> { public: int c; };"
+  in
+  match List.nth tu.tu_decls 1 with
+  | { d = DTemplate ([], { d = DClass c; _ }, _); _ } -> (
+      match c.c_name with
+      | Some { id = "Box"; targs = Some [ TA_type (TBuiltin { base = `Char; _ }) ] } -> ()
+      | _ -> Alcotest.fail "expected Box<char> name")
+  | _ -> Alcotest.fail "expected explicit specialization"
+
+let test_namespaces () =
+  let tu = parse_ok "namespace N { int x; namespace M { int y; } }" in
+  match tu.tu_decls with
+  | [ { d = DNamespace (Some "N", [ { d = DVar _; _ }; { d = DNamespace (Some "M", _, _); _ } ], _); _ } ] -> ()
+  | _ -> Alcotest.failf "decls: %s" (String.concat "," (decl_kinds tu))
+
+let test_enum_typedef () =
+  let tu = parse_ok "enum Color { Red, Green = 5, Blue };\ntypedef unsigned long size_type;\nsize_type s;" in
+  (match List.nth tu.tu_decls 0 with
+   | { d = DEnum (Some "Color", items); _ } ->
+       Alcotest.(check int) "items" 3 (List.length items)
+   | _ -> Alcotest.fail "enum");
+  match List.nth tu.tu_decls 2 with
+  | { d = DVar v; _ } -> Alcotest.(check string) "typedef used" "size_type" (type_to_string v.v_type)
+  | _ -> Alcotest.fail "var of typedef type"
+
+let test_operators () =
+  let tu =
+    parse_ok
+      "class Complex {\npublic:\n  Complex operator+(const Complex & o) const;\n\
+       \  bool operator==(const Complex & o) const;\n};\n\
+       Complex Complex::operator+(const Complex & o) const { return o; }"
+  in
+  match List.nth tu.tu_decls 1 with
+  | { d = DFunction f; _ } ->
+      Alcotest.(check string) "qualified op" "Complex::operator+"
+        (qual_name_to_string f.f_name);
+      (match f.f_kind with
+       | Fk_operator "operator+" -> ()
+       | _ -> Alcotest.fail "kind should be operator+")
+  | _ -> Alcotest.fail "expected out-of-line operator"
+
+let test_ctor_inits_and_default_args () =
+  let tu =
+    parse_ok
+      "class V { public: V(int n = 10, double f = 0.5) : n_(n), f_(f) { } int n_; double f_; };"
+  in
+  match tu.tu_decls with
+  | [ { d = DClass c; _ } ] -> (
+      match List.filter_map (fun d -> match d.d with DFunction f -> Some f | _ -> None) c.c_members with
+      | [ f ] ->
+          Alcotest.(check int) "inits" 2 (List.length f.f_inits);
+          Alcotest.(check bool) "default args" true
+            (List.for_all (fun p -> p.pdefault <> None) f.f_params)
+      | _ -> Alcotest.fail "one ctor expected")
+  | _ -> Alcotest.fail "class expected"
+
+let test_stmts () =
+  let tu =
+    parse_ok
+      "int f(int n) {\n\
+       \  int s = 0;\n\
+       \  for (int i = 0; i < n; i++) s += i;\n\
+       \  while (s > 100) { s -= 10; }\n\
+       \  do { s++; } while (s < 0);\n\
+       \  switch (n) { case 0: return 0; default: break; }\n\
+       \  if (s == 7) return 1; else return s;\n\
+       }"
+  in
+  match tu.tu_decls with
+  | [ { d = DFunction { f_body = Some { s = SCompound stmts; _ }; _ }; _ } ] ->
+      Alcotest.(check int) "stmt count" 6 (List.length stmts)
+  | _ -> Alcotest.fail "function with body"
+
+let test_try_throw () =
+  let tu =
+    parse_ok
+      "class Overflow {};\n\
+       int f(int x) {\n\
+       \  try { if (x > 0) throw Overflow(); } catch (Overflow & e) { return 1; } catch (...) { return 2; }\n\
+       \  return 0;\n}"
+  in
+  match List.nth tu.tu_decls 1 with
+  | { d = DFunction { f_body = Some { s = SCompound (s0 :: _); _ }; _ }; _ } -> (
+      match s0.s with
+      | STry (_, handlers) -> Alcotest.(check int) "handlers" 2 (List.length handlers)
+      | _ -> Alcotest.fail "expected try")
+  | _ -> Alcotest.fail "expected function"
+
+let test_expr_precedence () =
+  let tu = parse_ok "int x = 1 + 2 * 3 - 4 / 2;" in
+  match tu.tu_decls with
+  | [ { d = DVar { v_init = EqInit e; _ }; _ } ] ->
+      Alcotest.(check string) "tree" "((1 + (2 * 3)) - (4 / 2))" (expr_to_string e)
+  | _ -> Alcotest.fail "var expected"
+
+let test_new_delete () =
+  let tu = parse_ok "class T{}; void f() { T *p = new T(); delete p; int *a = new int[10]; delete[] a; }" in
+  match List.nth tu.tu_decls 1 with
+  | { d = DFunction { f_body = Some { s = SCompound stmts; _ }; _ }; _ } ->
+      Alcotest.(check int) "stmts" 4 (List.length stmts)
+  | _ -> Alcotest.fail "function expected"
+
+let test_virtual_pure () =
+  let tu = parse_ok "class Shape { public: virtual double area() const = 0; virtual ~Shape() { } };" in
+  match tu.tu_decls with
+  | [ { d = DClass c; _ } ] -> (
+      let fns = List.filter_map (fun d -> match d.d with DFunction f -> Some f | _ -> None) c.c_members in
+      match fns with
+      | [ area; dtor ] ->
+          Alcotest.(check bool) "virtual" true area.f_quals.q_virtual;
+          Alcotest.(check bool) "pure" true area.f_quals.q_pure;
+          Alcotest.(check bool) "dtor virtual" true dtor.f_quals.q_virtual;
+          Alcotest.(check bool) "dtor kind" true (dtor.f_kind = Fk_dtor)
+      | _ -> Alcotest.fail "two functions expected")
+  | _ -> Alcotest.fail "class expected"
+
+let test_member_call_not_template () =
+  (* 'a < b' where a is not a template must stay a comparison *)
+  let tu = parse_ok "int f(int a, int b) { return a < b; }" in
+  match tu.tu_decls with
+  | [ { d = DFunction { f_body = Some { s = SCompound [ { s = SReturn (Some e); _ } ]; _ }; _ }; _ } ] ->
+      Alcotest.(check string) "comparison" "(a < b)" (expr_to_string e)
+  | _ -> Alcotest.fail "function expected"
+
+let test_explicit_instantiation () =
+  let tu = parse_ok "template <class T> class Stack {};\ntemplate class Stack<int>;" in
+  match List.nth tu.tu_decls 1 with
+  | { d = DExplicitInst { d = DClass c; _ }; _ } -> (
+      match c.c_name with
+      | Some { id = "Stack"; targs = Some [ TA_type (TBuiltin { base = `Int; _ }) ] } -> ()
+      | _ -> Alcotest.fail "Stack<int> expected")
+  | _ -> Alcotest.fail "explicit instantiation expected"
+
+let test_figure1_stack () =
+  (* the complete Figure 1 program parses without error *)
+  let src =
+    "template <class T> class vector { public: int size() const; T & operator[](int i); };\n\
+     class Overflow {};\nclass Underflow {};\n\
+     template <class Object>\n\
+     class Stack {\n\
+     public:\n\
+     \  explicit Stack( int capacity = 10 );\n\
+     \  bool isEmpty( ) const;\n\
+     \  bool isFull( ) const;\n\
+     \  const Object & top( ) const;\n\
+     \  void makeEmpty( );\n\
+     \  void pop( );\n\
+     \  void push( const Object & x );\n\
+     \  Object topAndPop( );\n\
+     private:\n\
+     \  vector<Object> theArray;\n\
+     \  int topOfStack;\n\
+     };\n\
+     template <class Object>\n\
+     bool Stack<Object>::isFull( ) const {\n\
+     \  return topOfStack == theArray.size( ) - 1;\n\
+     }\n\
+     template <class Object>\n\
+     void Stack<Object>::push( const Object & x ) {\n\
+     \  if( isFull( ) )\n\
+     \    throw Overflow( );\n\
+     \  theArray[ ++topOfStack ] = x;\n\
+     }\n\
+     template <class Object>\n\
+     Object Stack<Object>::topAndPop( ) {\n\
+     \  if( isEmpty( ) )\n\
+     \    throw Underflow( );\n\
+     \  return theArray[ topOfStack-- ];\n\
+     }\n\
+     int main( ) {\n\
+     \  Stack<int> s;\n\
+     \  for( int i = 0; i < 10; i++ )\n\
+     \    s.push( i );\n\
+     \  while( !s.isEmpty( ) )\n\
+     \    s.topAndPop( );\n\
+     \  return 0;\n\
+     }\n"
+  in
+  let tu = parse_ok src in
+  Alcotest.(check int) "toplevel decls" 8 (List.length tu.tu_decls)
+
+let suite =
+  [ Alcotest.test_case "simple function" `Quick test_simple_function;
+    Alcotest.test_case "class with members" `Quick test_class;
+    Alcotest.test_case "inheritance" `Quick test_inheritance;
+    Alcotest.test_case "class template" `Quick test_class_template;
+    Alcotest.test_case "out-of-line member template" `Quick test_out_of_line_member_template;
+    Alcotest.test_case "nested template args (>>)" `Quick test_nested_template_args;
+    Alcotest.test_case "function template" `Quick test_function_template;
+    Alcotest.test_case "explicit specialization" `Quick test_specialization;
+    Alcotest.test_case "namespaces" `Quick test_namespaces;
+    Alcotest.test_case "enum and typedef" `Quick test_enum_typedef;
+    Alcotest.test_case "operator overloading" `Quick test_operators;
+    Alcotest.test_case "ctor inits and default args" `Quick test_ctor_inits_and_default_args;
+    Alcotest.test_case "statements" `Quick test_stmts;
+    Alcotest.test_case "try/catch/throw" `Quick test_try_throw;
+    Alcotest.test_case "expression precedence" `Quick test_expr_precedence;
+    Alcotest.test_case "new/delete" `Quick test_new_delete;
+    Alcotest.test_case "virtual and pure virtual" `Quick test_virtual_pure;
+    Alcotest.test_case "a<b is comparison" `Quick test_member_call_not_template;
+    Alcotest.test_case "explicit instantiation" `Quick test_explicit_instantiation;
+    Alcotest.test_case "Figure 1 Stack program" `Quick test_figure1_stack ]

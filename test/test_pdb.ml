@@ -1,0 +1,162 @@
+(* PDB format tests: writer/parser roundtrip, escaping, property tests. *)
+
+module P = Pdt_pdb.Pdb
+module W = Pdt_pdb.Pdb_write
+module R = Pdt_pdb.Pdb_parse
+
+let roundtrip pdb =
+  let s = W.to_string pdb in
+  let pdb' = R.of_string s in
+  let s' = W.to_string pdb' in
+  (s, s')
+
+let test_empty () =
+  let s, s' = roundtrip (P.create ()) in
+  Alcotest.(check string) "empty roundtrip" s s'
+
+let test_stack_roundtrip () =
+  let vfs = Pdt_workloads.Stack.vfs () in
+  let c = Pdt.compile ~vfs Pdt_workloads.Stack.main_file in
+  let pdb = Pdt_analyzer.Analyzer.run c.Pdt.program in
+  let s, s' = roundtrip pdb in
+  Alcotest.(check string) "stack roundtrip" s s'
+
+let test_krylov_roundtrip () =
+  let vfs = Pdt_workloads.Pooma_like.vfs () in
+  let c = Pdt.compile ~vfs Pdt_workloads.Pooma_like.main_file in
+  let pdb = Pdt_analyzer.Analyzer.run c.Pdt.program in
+  let s, s' = roundtrip pdb in
+  Alcotest.(check string) "krylov roundtrip" s s'
+
+let test_text_escaping () =
+  Alcotest.(check string) "escape" "a\\nb\\\\c" (W.escape_text "a\nb\\c");
+  Alcotest.(check string) "unescape" "a\nb\\c" (W.unescape_text "a\\nb\\\\c");
+  let prop s = W.unescape_text (W.escape_text s) = s in
+  Alcotest.(check bool) "multi-line template text" true
+    (prop "template <class T>\nclass X {\n  int f();\n};")
+
+let test_parse_error_reporting () =
+  (match R.of_string "bogus line without item\n" with
+   | exception R.Parse_error (1, _) -> ()
+   | _ -> Alcotest.fail "expected parse error");
+  match R.of_string "ro#1 f\nrsig banana\n" with
+  | exception R.Parse_error (2, _) -> ()
+  | _ -> Alcotest.fail "expected parse error on bad typeref"
+
+let test_null_locations () =
+  let pdb = P.create () in
+  pdb.P.routines <-
+    [ { P.ro_id = 1; ro_name = "f"; ro_loc = P.null_loc; ro_parent = P.Pnone;
+        ro_acs = "NA"; ro_sig = P.Tyref 1; ro_link = "C++"; ro_store = "NA";
+        ro_virt = "no"; ro_kind = "NA"; ro_static = false; ro_inline = false;
+        ro_templ = None; ro_calls = []; ro_pos = P.null_extent; ro_defined = false } ];
+  pdb.P.types <-
+    [ { P.ty_id = 1; ty_name = "void ()"; ty_loc = P.null_loc; ty_parent = P.Pnone;
+        ty_acs = "NA";
+        ty_info = P.Yfunc { rett = P.Tyref 2; args = []; ellipsis = false;
+                            cqual = false; exceptions = None };
+        ty_names = [] };
+      { P.ty_id = 2; ty_name = "void"; ty_loc = P.null_loc; ty_parent = P.Pnone;
+        ty_acs = "NA"; ty_info = P.Ybuiltin { yikind = "NA" }; ty_names = [] } ];
+  let s, s' = roundtrip pdb in
+  Alcotest.(check string) "null locs roundtrip" s s'
+
+let test_typeref_names () =
+  let vfs = Pdt_workloads.Stack.vfs () in
+  let c = Pdt.compile ~vfs Pdt_workloads.Stack.main_file in
+  let pdb = Pdt_analyzer.Analyzer.run c.Pdt.program in
+  (* every type has a printable, non-empty name *)
+  List.iter
+    (fun (ty : P.type_item) ->
+      let n = P.typeref_name pdb (P.Tyref ty.P.ty_id) in
+      Alcotest.(check bool) ("type name nonempty: " ^ n) true (String.length n > 0))
+    pdb.P.types
+
+(* ------------------------------------------------------------------ *)
+(* Property tests: random PDBs survive write/parse/write               *)
+(* ------------------------------------------------------------------ *)
+
+let gen_name =
+  QCheck.Gen.(
+    let id_char = oneof [ char_range 'a' 'z'; char_range 'A' 'Z'; return '_' ] in
+    map (fun cs -> String.concat "" (List.map (String.make 1) cs)) (list_size (int_range 1 12) id_char))
+
+let gen_loc nfiles =
+  QCheck.Gen.(
+    oneof
+      [ return P.null_loc;
+        map3
+          (fun f l c -> { P.lfile = f; lline = l; lcol = c })
+          (int_range 1 (max 1 nfiles)) (int_range 1 500) (int_range 1 120) ])
+
+let gen_pdb : P.t QCheck.Gen.t =
+  QCheck.Gen.(
+    let* nfiles = int_range 1 4 in
+    let* ntypes = int_range 1 6 in
+    let* nclasses = int_range 0 4 in
+    let* nroutines = int_range 0 5 in
+    let* file_names = list_repeat nfiles gen_name in
+    let files =
+      List.mapi (fun i n -> { P.so_id = i + 1; so_name = n ^ ".h"; so_includes = [] }) file_names
+    in
+    let* type_names = list_repeat ntypes gen_name in
+    let types =
+      List.mapi
+        (fun i n ->
+          { P.ty_id = i + 1; ty_name = n; ty_loc = P.null_loc; ty_parent = P.Pnone;
+            ty_acs = "NA"; ty_info = P.Ybuiltin { yikind = "int" }; ty_names = [] })
+        type_names
+    in
+    let* class_names = list_repeat nclasses gen_name in
+    let* class_locs = list_repeat nclasses (gen_loc nfiles) in
+    let classes =
+      List.mapi
+        (fun i (n, l) ->
+          { P.cl_id = i + 1; cl_name = n; cl_loc = l; cl_kind = "class";
+            cl_parent = P.Pnone; cl_acs = "NA"; cl_templ = None; cl_stempl = None;
+            cl_bases = []; cl_friends = []; cl_funcs = []; cl_members = [];
+            cl_pos = P.null_extent })
+        (List.combine class_names class_locs)
+    in
+    let* routine_specs =
+      list_repeat nroutines (pair gen_name (gen_loc nfiles))
+    in
+    let routines =
+      List.mapi
+        (fun i (n, l) ->
+          { P.ro_id = i + 1; ro_name = n; ro_loc = l; ro_parent = P.Pnone;
+            ro_acs = "pub"; ro_sig = P.Tyref 1; ro_link = "C++"; ro_store = "NA";
+            ro_virt = "no"; ro_kind = "NA"; ro_static = i mod 2 = 0;
+            ro_inline = false; ro_templ = None; ro_calls = []; ro_pos = P.null_extent;
+            ro_defined = i mod 3 = 0 })
+        routine_specs
+    in
+    let pdb = P.create () in
+    pdb.P.files <- files;
+    pdb.P.types <- types;
+    pdb.P.classes <- classes;
+    pdb.P.routines <- routines;
+    return pdb)
+
+let prop_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"random PDB write/parse/write stable"
+    (QCheck.make gen_pdb) (fun pdb ->
+      let s, s' = roundtrip pdb in
+      s = s')
+
+let prop_item_count =
+  QCheck.Test.make ~count:100 ~name:"item count preserved by parse"
+    (QCheck.make gen_pdb) (fun pdb ->
+      let s = W.to_string pdb in
+      P.item_count (R.of_string s) = P.item_count pdb)
+
+let suite =
+  [ Alcotest.test_case "empty roundtrip" `Quick test_empty;
+    Alcotest.test_case "stack roundtrip" `Quick test_stack_roundtrip;
+    Alcotest.test_case "krylov roundtrip" `Quick test_krylov_roundtrip;
+    Alcotest.test_case "text escaping" `Quick test_text_escaping;
+    Alcotest.test_case "parse error reporting" `Quick test_parse_error_reporting;
+    Alcotest.test_case "null locations" `Quick test_null_locations;
+    Alcotest.test_case "typeref names" `Quick test_typeref_names;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_item_count ]

@@ -1,0 +1,85 @@
+(* Prelink (automatic instantiation) simulation tests — the §2 comparison. *)
+
+module PL = Pdt_prelink.Prelink
+
+let simulate ?(cfg = Pdt_workloads.Generator.default_config) () =
+  let src = Pdt_workloads.Generator.single_file_program ~cfg () in
+  let c = Pdt.compile_string src in
+  if Pdt_util.Diag.has_errors c.Pdt.diags then
+    Alcotest.failf "compile errors:\n%s" (Pdt_util.Diag.to_string c.Pdt.diags);
+  PL.simulate c.Pdt.program
+
+let test_rounds_track_chain_depth () =
+  (* deeper template chains need more prelink rounds *)
+  let shallow =
+    simulate ~cfg:{ Pdt_workloads.Generator.default_config with
+                    n_class_templates = 6; chain_depth = 1 } ()
+  in
+  let deep =
+    simulate ~cfg:{ Pdt_workloads.Generator.default_config with
+                    n_class_templates = 6; chain_depth = 4 } ()
+  in
+  Alcotest.(check bool) "deep chains need more rounds" true
+    (deep.PL.rounds > shallow.PL.rounds);
+  Alcotest.(check bool) "multiple rounds for chained templates" true
+    (deep.PL.rounds >= 3)
+
+let test_stack_corpus_rounds () =
+  let vfs = Pdt_workloads.Stack.vfs () in
+  let c = Pdt.compile_exn ~vfs Pdt_workloads.Stack.main_file in
+  let rep = PL.simulate c.Pdt.program in
+  (* main uses Stack<int>; Stack<int>'s members use vector<int>: 2+ rounds *)
+  Alcotest.(check bool) "at least 2 rounds" true (rep.PL.rounds >= 2);
+  Alcotest.(check bool) "recompiles >= rounds" true (rep.PL.recompiles >= rep.PL.rounds)
+
+let test_il_visibility_comparison () =
+  let rep = simulate () in
+  (* the paper's point: used mode exposes instantiations in the IL, the
+     automatic scheme exposes none *)
+  Alcotest.(check bool) "used mode exposes entities" true
+    (rep.PL.used_mode_il_entities > 0);
+  Alcotest.(check int) "automatic mode exposes none" 0
+    rep.PL.automatic_mode_il_entities
+
+let test_requests_sum () =
+  let rep = simulate () in
+  Alcotest.(check int) "per-round requests sum to total"
+    rep.PL.total_instantiations
+    (List.fold_left ( + ) 0 rep.PL.requests_per_round)
+
+let test_no_templates_no_rounds () =
+  let c = Pdt.compile_string "int f() { return 1; }\nint main() { return f(); }" in
+  let rep = PL.simulate c.Pdt.program in
+  Alcotest.(check int) "no instantiations" 0 rep.PL.total_instantiations;
+  Alcotest.(check int) "no rounds" 0 rep.PL.rounds
+
+let test_deferred_requests_mode () =
+  (* with used-mode off, sema records requests instead of instantiating *)
+  let src =
+    "template <class T> class B { public: T v; };\n\
+     int main() { B<int> b; b.v = 1; return b.v; }"
+  in
+  let opts = { Pdt_sema.Sema.default_options with instantiate_used = false } in
+  let vfs = Pdt_util.Vfs.create () in
+  Pdt_util.Vfs.add_file vfs "main.cpp" src;
+  let diags = Pdt_util.Diag.create () in
+  let pp = Pdt_pp.Preproc.run ~vfs ~diags "main.cpp" in
+  let tu = Pdt_parse.Parser.parse_translation_unit ~diags ~file:"main.cpp" pp.tokens in
+  let t = Pdt_sema.Sema.analyze_full ~opts ~diags pp tu in
+  let reqs = Pdt_sema.Sema.deferred_requests t in
+  Alcotest.(check bool) "request recorded" true
+    (List.exists (fun r -> r = "B<int>") reqs)
+
+let test_report_string () =
+  let rep = simulate () in
+  let s = PL.report_to_string rep in
+  Alcotest.(check bool) "mentions rounds" true (String.length s > 40)
+
+let suite =
+  [ Alcotest.test_case "rounds track chain depth" `Quick test_rounds_track_chain_depth;
+    Alcotest.test_case "stack corpus rounds" `Quick test_stack_corpus_rounds;
+    Alcotest.test_case "IL visibility: used vs automatic" `Quick test_il_visibility_comparison;
+    Alcotest.test_case "requests sum to total" `Quick test_requests_sum;
+    Alcotest.test_case "template-free program" `Quick test_no_templates_no_rounds;
+    Alcotest.test_case "deferred requests mode" `Quick test_deferred_requests_mode;
+    Alcotest.test_case "report string" `Quick test_report_string ]

@@ -1,0 +1,164 @@
+(* SILOON tests (paper §4.2, Figure 8): mangling, planning, generation. *)
+
+module D = Pdt_ductape.Ductape
+module S = Pdt_siloon.Siloon
+module M = Pdt_siloon.Mangle
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let stack_plan () =
+  let vfs = Pdt_workloads.Stack.vfs () in
+  let c = Pdt.compile_exn ~vfs Pdt_workloads.Stack.main_file in
+  let d = D.index (Pdt_analyzer.Analyzer.run c.Pdt.program) in
+  (d, S.plan d)
+
+(* ---------------- mangling ---------------- *)
+
+let test_mangle_basics () =
+  Alcotest.(check string) "plain" "push" (M.mangle "push");
+  Alcotest.(check string) "template" "Stack_Lint_G" (M.mangle "Stack<int>");
+  Alcotest.(check string) "scope" "Stack_Lint_G__push" (M.mangle "Stack<int>::push");
+  Alcotest.(check string) "operators" "operator_lb_rb" (M.mangle "operator[]");
+  Alcotest.(check string) "spaces removed" "constint_r" (M.mangle "const int &")
+
+let test_mangle_valid_identifiers () =
+  let ok name =
+    name <> ""
+    && String.for_all
+         (fun c ->
+           (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9') || c = '_')
+         name
+  in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) ("valid: " ^ M.mangle n) true (ok (M.mangle n)))
+    [ "Stack<int>::push"; "vector<Stack<double> >"; "operator+"; "operator()";
+      "~Stack"; "a::b::c<x, y>"; "operator<<"; "f(int, const char *)" ]
+
+let prop_mangle_valid =
+  QCheck.Test.make ~count:200 ~name:"mangled names are always identifiers"
+    QCheck.(string_gen_of_size (QCheck.Gen.int_range 1 30) QCheck.Gen.printable)
+    (fun s ->
+      let m = M.mangle s in
+      String.for_all
+        (fun c ->
+          (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+          || (c >= '0' && c <= '9') || c = '_'
+          (* characters we do not map pass through; restrict the property to
+             the C++-name alphabet *)
+          || not (String.contains "<>,: *&[]()~+-=!/%^|" c))
+        m)
+
+let test_mangle_overloads_distinct () =
+  let m1 = M.mangle_routine ~full_name:"ostream::operator<<" ~param_types:[ "int" ] in
+  let m2 = M.mangle_routine ~full_name:"ostream::operator<<" ~param_types:[ "double" ] in
+  Alcotest.(check bool) "overloads get distinct names" true (m1 <> m2)
+
+(* ---------------- planning ---------------- *)
+
+let test_plan_covers_instantiations () =
+  let _, plan = stack_plan () in
+  let names =
+    List.map (fun ec -> ec.S.ec_class.Pdt_pdb.Pdb.cl_name) plan.S.classes
+  in
+  Alcotest.(check bool) "Stack<int> exported" true (List.mem "Stack<int>" names);
+  Alcotest.(check bool) "vector<int> exported" true (List.mem "vector<int>" names);
+  let stack = List.find (fun ec -> ec.S.ec_class.Pdt_pdb.Pdb.cl_name = "Stack<int>") plan.S.classes in
+  let kinds = List.map (fun em -> em.S.em_kind) stack.S.ec_methods in
+  Alcotest.(check bool) "has ctor" true (List.mem `Ctor kinds);
+  Alcotest.(check bool) "has dtor" true (List.mem `Dtor kinds);
+  Alcotest.(check bool) "has methods" true (List.mem `Method kinds)
+
+let test_plan_skips_private () =
+  let src =
+    "class Sec {\npublic:\n  int open() { return 1; }\nprivate:\n  int hidden() { return 2; }\n};\n\
+     int main() { Sec s; return s.open(); }"
+  in
+  let c = Pdt.compile_string src in
+  let d = D.index (Pdt_analyzer.Analyzer.run c.Pdt.program) in
+  let plan = S.plan d in
+  let sec = List.find (fun ec -> ec.S.ec_class.Pdt_pdb.Pdb.cl_name = "Sec") plan.S.classes in
+  let names = List.map (fun em -> em.S.em_routine.Pdt_pdb.Pdb.ro_name) sec.S.ec_methods in
+  Alcotest.(check bool) "open exported" true (List.mem "open" names);
+  Alcotest.(check bool) "hidden not exported" false (List.mem "hidden" names)
+
+let test_abstract_class_no_ctor_bridge () =
+  let src =
+    "class Abstract {\npublic:\n  Abstract() { }\n  virtual int f() = 0;\n};\n\
+     class Conc : public Abstract {\npublic:\n  virtual int f() { return 1; }\n};\n\
+     int main() { Conc c; return c.f(); }"
+  in
+  let c = Pdt.compile_string src in
+  let d = D.index (Pdt_analyzer.Analyzer.run c.Pdt.program) in
+  let plan = S.plan d in
+  let abs = List.find (fun ec -> ec.S.ec_class.Pdt_pdb.Pdb.cl_name = "Abstract") plan.S.classes in
+  Alcotest.(check bool) "marked abstract" true abs.S.ec_abstract;
+  let bridge = S.generate_bridge d plan in
+  Alcotest.(check bool) "abstract ctor guarded" true
+    (contains bridge "class Abstract is abstract")
+
+(* ---------------- generation ---------------- *)
+
+let test_bridge_structure () =
+  let d, plan = stack_plan () in
+  let bridge = S.generate_bridge d plan in
+  Alcotest.(check bool) "extern C functions" true (contains bridge "extern \"C\" siloon_value");
+  Alcotest.(check bool) "ctor creates object" true (contains bridge "new Stack<int>(");
+  Alcotest.(check bool) "method dispatch" true (contains bridge "obj->push(");
+  Alcotest.(check bool) "registration function" true (contains bridge "siloon_register_all");
+  Alcotest.(check bool) "registrations present" true (contains bridge "siloon_register(reg, \"")
+
+let test_perl_structure () =
+  let d, plan = stack_plan () in
+  let perl = S.generate_perl d plan ~module_name:"StackLib" in
+  Alcotest.(check bool) "package per class" true (contains perl "package StackLib::Stack_Lint_G;");
+  Alcotest.(check bool) "constructor blesses" true (contains perl "bless { _handle =>");
+  Alcotest.(check bool) "DESTROY" true (contains perl "sub DESTROY");
+  Alcotest.(check bool) "siloon_call dispatch" true (contains perl "siloon_call('");
+  Alcotest.(check bool) "arity check from default args" true (contains perl "expected 0..1 args")
+
+let test_python_structure () =
+  let d, plan = stack_plan () in
+  let py = S.generate_python d plan ~module_name:"StackLib" in
+  Alcotest.(check bool) "class per class" true (contains py "class Stack_Lint_G(object):");
+  Alcotest.(check bool) "init calls bridge" true (contains py "def __init__(self, *args):");
+  Alcotest.(check bool) "del calls dtor" true (contains py "def __del__(self):");
+  Alcotest.(check bool) "operator[] becomes __getitem__" true (contains py "__getitem__");
+  Alcotest.(check bool) "methods present" true (contains py "def push(self, *args):")
+
+let test_template_inventory () =
+  let d, _ = stack_plan () in
+  let inv = S.template_inventory d in
+  let stack_class =
+    List.find
+      (fun ((te : Pdt_pdb.Pdb.template_item), _) ->
+        te.te_name = "Stack" && te.te_kind = "class")
+      inv
+  in
+  Alcotest.(check bool) "Stack has instantiations" true (snd stack_class >= 1);
+  (* uninstantiated member templates are listed with count 0: the paper's
+     proposed extension needs exactly this *)
+  let pop =
+    List.find
+      (fun ((te : Pdt_pdb.Pdb.template_item), _) ->
+        te.te_name = "pop" && te.te_kind = "memfunc")
+      inv
+  in
+  Alcotest.(check int) "pop uninstantiated" 0 (snd pop)
+
+let suite =
+  [ Alcotest.test_case "mangle basics" `Quick test_mangle_basics;
+    Alcotest.test_case "mangle produces identifiers" `Quick test_mangle_valid_identifiers;
+    QCheck_alcotest.to_alcotest prop_mangle_valid;
+    Alcotest.test_case "overload mangling distinct" `Quick test_mangle_overloads_distinct;
+    Alcotest.test_case "plan covers instantiations" `Quick test_plan_covers_instantiations;
+    Alcotest.test_case "plan skips private members" `Quick test_plan_skips_private;
+    Alcotest.test_case "abstract classes guarded" `Quick test_abstract_class_no_ctor_bridge;
+    Alcotest.test_case "bridge structure" `Quick test_bridge_structure;
+    Alcotest.test_case "perl wrapper structure" `Quick test_perl_structure;
+    Alcotest.test_case "python wrapper structure" `Quick test_python_structure;
+    Alcotest.test_case "template inventory" `Quick test_template_inventory ]

@@ -1,0 +1,291 @@
+(* Template instantiation tests — the heart of the paper. *)
+
+open Pdt_il.Il
+
+let compile_ok ?(with_stl = false) src =
+  let vfs = Pdt_util.Vfs.create () in
+  if with_stl then Pdt_workloads.Ministl.mount vfs;
+  let c = Pdt.compile_string ~vfs src in
+  if Pdt_util.Diag.has_errors c.Pdt.diags then
+    Alcotest.failf "compile errors:\n%s" (Pdt_util.Diag.to_string c.Pdt.diags);
+  c.Pdt.program
+
+let find_class prog name =
+  match List.find_opt (fun c -> c.cl_name = name) (classes prog) with
+  | Some c -> c
+  | None ->
+      Alcotest.failf "class %s not found (have: %s)" name
+        (String.concat ", " (List.map (fun c -> c.cl_name) (classes prog)))
+
+let member prog cls name =
+  match find_member_funcs prog cls name with
+  | r :: _ -> r
+  | [] -> Alcotest.failf "member %s::%s not found" cls.cl_name name
+
+let box_src =
+  "template <class T>\nclass Box {\npublic:\n  Box() : v_(T()) { }\n\
+   \  void set(const T & v) { v_ = v; }\n  const T & get() const { return v_; }\n\
+   \  int unused_helper() { return 42; }\nprivate:\n  T v_;\n};\n"
+
+let test_basic_instantiation () =
+  let prog = compile_ok (box_src ^ "int main() { Box<int> b; b.set(3); return 0; }") in
+  let b = find_class prog "Box<int>" in
+  Alcotest.(check bool) "has template link" true (b.cl_template <> None);
+  let te = template prog (Option.get b.cl_template) in
+  Alcotest.(check string) "template name" "Box" te.te_name;
+  Alcotest.(check string) "template kind" "class" (template_kind_to_string te.te_kind);
+  (* member types substituted *)
+  let v = List.find (fun m -> m.dm_name = "v_") b.cl_members in
+  Alcotest.(check string) "field type" "int" (type_name prog v.dm_type)
+
+let test_used_mode_laziness () =
+  let prog = compile_ok (box_src ^ "int main() { Box<int> b; b.set(3); return 0; }") in
+  let b = find_class prog "Box<int>" in
+  Alcotest.(check bool) "set instantiated" true (member prog b "set").ro_defined;
+  Alcotest.(check bool) "ctor instantiated" true (member prog b "Box").ro_defined;
+  Alcotest.(check bool) "get NOT instantiated (unused)" false
+    (member prog b "get").ro_defined;
+  Alcotest.(check bool) "unused_helper NOT instantiated" false
+    (member prog b "unused_helper").ro_defined
+
+let test_instantiation_cache () =
+  let prog =
+    compile_ok
+      (box_src
+      ^ "int f() { Box<int> a; return 0; }\nint g() { Box<int> b; return 0; }\n\
+         int main() { return f() + g(); }")
+  in
+  let boxes = List.filter (fun c -> c.cl_name = "Box<int>") (classes prog) in
+  Alcotest.(check int) "single instantiation" 1 (List.length boxes)
+
+let test_multiple_instantiations () =
+  let prog =
+    compile_ok
+      (box_src
+      ^ "int main() { Box<int> a; Box<double> b; Box<char> c; a.set(1); return 0; }")
+  in
+  ignore (find_class prog "Box<int>");
+  ignore (find_class prog "Box<double>");
+  ignore (find_class prog "Box<char>");
+  let te =
+    List.find (fun te -> te.te_name = "Box" && te.te_kind = Tk_class) (templates prog)
+  in
+  Alcotest.(check int) "3 instances recorded" 3 (List.length te.te_instances)
+
+let test_nested_instantiation () =
+  let prog =
+    compile_ok
+      (box_src ^ "int main() { Box<Box<int> > nested; return 0; }")
+  in
+  ignore (find_class prog "Box<Box<int>>");
+  ignore (find_class prog "Box<int>")
+
+let test_template_member_of_template_arg () =
+  let prog = compile_ok ~with_stl:true
+      "#include <vector.h>\n\
+       template <class T>\nclass Stack {\npublic:\n  Stack() { }\n\
+       \  void push(const T & x) { data_.push_back(x); }\n\
+       \  int size() const { return data_.size(); }\nprivate:\n  vector<T> data_;\n};\n\
+       int main() { Stack<double> s; s.push(1.5); return s.size(); }"
+  in
+  let stack = find_class prog "Stack<double>" in
+  let v = List.find (fun m -> m.dm_name = "data_") stack.cl_members in
+  Alcotest.(check string) "member instantiates vector" "vector<double>"
+    (type_name prog v.dm_type);
+  (* used-mode: push_back and size of vector<double> instantiated *)
+  let vec = find_class prog "vector<double>" in
+  Alcotest.(check bool) "vector::push_back defined" true
+    (member prog vec "push_back").ro_defined
+
+let test_out_of_line_member_template () =
+  let prog =
+    compile_ok
+      "template <class T> class Pair {\npublic:\n  T first;\n  T sum() const;\n};\n\
+       template <class T>\nT Pair<T>::sum() const { return first + first; }\n\
+       int main() { Pair<int> p; p.first = 2; return p.sum(); }"
+  in
+  let pair = find_class prog "Pair<int>" in
+  let sum = member prog pair "sum" in
+  Alcotest.(check bool) "out-of-line body instantiated" true sum.ro_defined;
+  (* rtempl points at the memfunc template, as in Figure 3 *)
+  let te = template prog (Option.get sum.ro_template) in
+  Alcotest.(check string) "memfunc template" "memfunc" (template_kind_to_string te.te_kind);
+  Alcotest.(check string) "template name" "sum" te.te_name
+
+let test_function_template_deduction () =
+  let prog =
+    compile_ok
+      "template <class T> T max2(T a, T b) { if (a < b) return b; return a; }\n\
+       int main() { int i = max2(1, 2); double d = max2(1.5, 2.5); return i; }"
+  in
+  let te = List.find (fun te -> te.te_kind = Tk_func) (templates prog) in
+  Alcotest.(check int) "two instantiations" 2 (List.length te.te_instances);
+  let insts =
+    List.filter_map
+      (fun (_, i) -> match i with Inst_routine r -> Some (routine prog r) | _ -> None)
+      te.te_instances
+  in
+  let sigs = List.sort compare (List.map (fun r -> type_name prog r.ro_sig) insts) in
+  Alcotest.(check (list string)) "deduced signatures"
+    [ "double (double, double)"; "int (int, int)" ] sigs
+
+let test_explicit_template_args () =
+  let prog =
+    compile_ok
+      "template <class T> T zero() { return T(); }\n\
+       int main() { return zero<int>(); }"
+  in
+  let te = List.find (fun te -> te.te_kind = Tk_func) (templates prog) in
+  Alcotest.(check int) "instantiated explicitly" 1 (List.length te.te_instances)
+
+let test_deduction_through_class () =
+  let prog =
+    compile_ok
+      (box_src
+      ^ "template <class T> T unwrap(const Box<T> & b) { return b.get(); }\n\
+         int main() { Box<int> b; return unwrap(b); }")
+  in
+  let te =
+    List.find (fun te -> te.te_name = "unwrap" && te.te_kind = Tk_func) (templates prog)
+  in
+  Alcotest.(check int) "deduced from Box<int>" 1 (List.length te.te_instances);
+  (* deduction triggered get()'s instantiation *)
+  let b = find_class prog "Box<int>" in
+  Alcotest.(check bool) "get now defined" true (member prog b "get").ro_defined
+
+let test_explicit_specialization () =
+  let prog =
+    compile_ok
+      "template <class T> class Traits {\npublic:\n  int size() { return 1; }\n};\n\
+       template <> class Traits<char> {\npublic:\n  int size() { return 99; }\n};\n\
+       int main() { Traits<int> a; Traits<char> b; return a.size() + b.size(); }"
+  in
+  let ti = find_class prog "Traits<int>" in
+  let tc = find_class prog "Traits<char>" in
+  (* the primary instantiation has ctempl, the specialization records spec_of *)
+  Alcotest.(check bool) "primary has template" true (ti.cl_template <> None);
+  Alcotest.(check bool) "spec recorded" true (tc.cl_spec_of <> None);
+  Alcotest.(check bool) "spec ctempl hidden by default (paper limitation)" true
+    (tc.cl_template = None)
+
+let test_partial_specialization () =
+  let prog =
+    compile_ok
+      "template <class T> class Kind {\npublic:\n  int which() { return 0; }\n};\n\
+       template <class T> class Kind<T *> {\npublic:\n  int which() { return 1; }\n};\n\
+       int main() { Kind<int> a; Kind<int *> b; return a.which() + b.which(); }"
+  in
+  let a = find_class prog "Kind<int>" in
+  let b = find_class prog "Kind<int *>" in
+  Alcotest.(check bool) "primary used for Kind<int>" true (a.cl_template <> None);
+  Alcotest.(check bool) "partial spec used for Kind<int *>" true (b.cl_spec_of <> None);
+  (* behavioural check through the interpreter *)
+  let wa = member prog a "which" and wb = member prog b "which" in
+  Alcotest.(check bool) "both defined" true (wa.ro_defined && wb.ro_defined)
+
+let test_fixed_mode_specialization_mapping () =
+  let src =
+    "template <class T> class Traits {\npublic:\n  int size() { return 1; }\n};\n\
+     template <> class Traits<char> {\npublic:\n  int size() { return 99; }\n};\n\
+     int main() { Traits<char> b; return b.size(); }"
+  in
+  let opts = { Pdt_sema.Sema.default_options with map_specializations = true } in
+  let c = Pdt.compile_string ~opts src in
+  let prog = c.Pdt.program in
+  let tc = find_class prog "Traits<char>" in
+  Alcotest.(check bool) "fixed mode maps specialization" true (tc.cl_template <> None)
+
+let test_default_template_args () =
+  let prog =
+    compile_ok
+      "template <class T = int> class Def {\npublic:\n  T v;\n};\n\
+       int main() { Def<> d; d.v = 3; return d.v; }"
+  in
+  ignore (find_class prog "Def<int>")
+
+let test_nontype_params () =
+  let prog =
+    compile_ok
+      "template <class T, int N> class FixedArray {\npublic:\n  int capacity() { return N; }\nprivate:\n  T data[N];\n};\n\
+       int main() { FixedArray<double, 16> a; return a.capacity(); }"
+  in
+  let fa = find_class prog "FixedArray<double, 16>" in
+  let data = List.find (fun m -> m.dm_name = "data") fa.cl_members in
+  Alcotest.(check string) "array sized by non-type arg" "double [16]"
+    (type_name prog data.dm_type)
+
+let test_explicit_instantiation () =
+  let prog =
+    compile_ok (box_src ^ "template class Box<long>;\nint main() { return 0; }")
+  in
+  let b = find_class prog "Box<long>" in
+  (* explicit instantiation instantiates ALL members *)
+  Alcotest.(check bool) "get defined" true (member prog b "get").ro_defined;
+  Alcotest.(check bool) "unused_helper defined" true
+    (member prog b "unused_helper").ro_defined
+
+let test_used_mode_off () =
+  let opts = { Pdt_sema.Sema.default_options with instantiate_used = false } in
+  let c =
+    Pdt.compile_string ~opts
+      (box_src ^ "int f() { Box<int> b; return 0; }")
+  in
+  let t =
+    let vfs = Pdt_util.Vfs.create () in
+    ignore vfs;
+    c.Pdt.program
+  in
+  let boxes = List.filter (fun cl -> cl.cl_name = "Box<int>") (classes t) in
+  Alcotest.(check int) "no instantiation happened" 0 (List.length boxes)
+
+let test_template_text_recorded () =
+  let prog = compile_ok (box_src ^ "int main() { Box<int> b; return 0; }") in
+  let te = List.find (fun te -> te.te_name = "Box") (templates prog) in
+  Alcotest.(check bool) "ttext starts with template<...>" true
+    (String.length te.te_text > 20 && String.sub te.te_text 0 8 = "template")
+
+let test_member_chain_instantiation () =
+  (* instantiating A<T> whose method uses B<T> must cascade on use *)
+  let prog =
+    compile_ok
+      "template <class T> class B {\npublic:\n  T id(T x) { return x; }\n};\n\
+       template <class T> class A {\npublic:\n  T go(T x) { B<T> b; return b.id(x); }\n};\n\
+       int main() { A<int> a; return a.go(7); }"
+  in
+  let b = find_class prog "B<int>" in
+  Alcotest.(check bool) "cascaded instantiation defined" true
+    (List.exists (fun rid -> (routine prog rid).ro_defined) b.cl_funcs)
+
+let test_self_referential_template () =
+  (* a template whose member refers to its own instantiation must not loop *)
+  let prog =
+    compile_ok
+      "template <class T> class Node {\npublic:\n  T value;\n  Node<T> *next;\n};\n\
+       int main() { Node<int> n; n.next = 0; return 0; }"
+  in
+  let n = find_class prog "Node<int>" in
+  let next = List.find (fun m -> m.dm_name = "next") n.cl_members in
+  Alcotest.(check string) "self-referential member type" "Node<int> *"
+    (type_name prog next.dm_type)
+
+let suite =
+  [ Alcotest.test_case "basic instantiation" `Quick test_basic_instantiation;
+    Alcotest.test_case "used-mode laziness" `Quick test_used_mode_laziness;
+    Alcotest.test_case "instantiation cache" `Quick test_instantiation_cache;
+    Alcotest.test_case "multiple instantiations" `Quick test_multiple_instantiations;
+    Alcotest.test_case "nested instantiation" `Quick test_nested_instantiation;
+    Alcotest.test_case "template member types" `Quick test_template_member_of_template_arg;
+    Alcotest.test_case "out-of-line member template" `Quick test_out_of_line_member_template;
+    Alcotest.test_case "function template deduction" `Quick test_function_template_deduction;
+    Alcotest.test_case "explicit template args" `Quick test_explicit_template_args;
+    Alcotest.test_case "deduction through class args" `Quick test_deduction_through_class;
+    Alcotest.test_case "explicit specialization" `Quick test_explicit_specialization;
+    Alcotest.test_case "partial specialization" `Quick test_partial_specialization;
+    Alcotest.test_case "fixed-mode spec mapping" `Quick test_fixed_mode_specialization_mapping;
+    Alcotest.test_case "default template args" `Quick test_default_template_args;
+    Alcotest.test_case "non-type parameters" `Quick test_nontype_params;
+    Alcotest.test_case "explicit instantiation" `Quick test_explicit_instantiation;
+    Alcotest.test_case "used mode off (automatic scheme)" `Quick test_used_mode_off;
+    Alcotest.test_case "template text recorded" `Quick test_template_text_recorded;
+    Alcotest.test_case "member chain instantiation" `Quick test_member_chain_instantiation;
+    Alcotest.test_case "self-referential template" `Quick test_self_referential_template ]
