@@ -374,6 +374,49 @@ let bechamel_benches () =
     (Int64.to_float instr.cycles /. Int64.to_float plain.cycles)
 
 (* ------------------------------------------------------------------ *)
+(* B6: parallel incremental project builds                             *)
+(* ------------------------------------------------------------------ *)
+
+let b6_parallel_build () =
+  section "B6: parallel incremental project builds (pdbbuild driver)";
+  let n_tus = 12 in
+  (* heavier per-TU compiles than the default config, so cache and pool
+     effects dominate the fixed costs *)
+  let cfg =
+    { Pdt_workloads.Generator.default_config with
+      n_class_templates = 16; methods_per_class = 6; chain_depth = 4;
+      n_instantiation_types = 5 }
+  in
+  let project () = Pdt_workloads.Generator.project_vfs ~cfg ~n_tus () in
+  let run ?cache_dir ~domains label =
+    let vfs, sources = project () in
+    let r =
+      Pdt_build.Build.build
+        ~options:{ Pdt_build.Build.default_options with domains; cache_dir }
+        ~vfs sources
+    in
+    Printf.printf "%-24s %s\n" label (Pdt_build.Build.summary r);
+    r
+  in
+  Printf.printf "project: %d TUs + main, shared template header\n\n" n_tus;
+  let seq = run ~domains:1 "sequential (1 domain)" in
+  let par = run ~domains:4 "parallel (4 domains)" in
+  let cache_dir =
+    let f = Filename.temp_file "pdt-bench-b6" ".cache" in
+    Sys.remove f; f
+  in
+  let cold = run ~cache_dir ~domains:4 "cold cache (4 domains)" in
+  let warm = run ~cache_dir ~domains:1 "warm cache (1 domain)" in
+  let digest (r : Pdt_build.Build.result) = Pdt_pdb.Pdb_digest.of_pdb r.merged in
+  Printf.printf "\nparallel speedup over sequential : %.2fx (%.3fs -> %.3fs wall)\n"
+    (seq.wall_seconds /. par.wall_seconds) seq.wall_seconds par.wall_seconds;
+  Printf.printf "warm-cache speedup over sequential: %.2fx (%.3fs -> %.3fs wall)\n"
+    (seq.wall_seconds /. warm.wall_seconds) seq.wall_seconds warm.wall_seconds;
+  Printf.printf "merged PDB digest %s, identical across all four builds: %b\n"
+    (digest seq)
+    (List.for_all (fun r -> digest r = digest seq) [ par; cold; warm ])
+
+(* ------------------------------------------------------------------ *)
 (* Specialization-mapping ablation                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -426,6 +469,7 @@ let () =
   parallel_profile ();
   b1_instantiation_modes ();
   b2_pdbmerge_scaling ();
+  b6_parallel_build ();
   specialization_mapping ();
   if not quick then bechamel_benches ();
   print_newline ()

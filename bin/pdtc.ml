@@ -9,7 +9,32 @@ let language_of source =
   | ".java" -> `Java
   | _ -> `Cpp
 
-let run source includes output mapping no_used fixed_spec =
+(* --project: hand the source list to the parallel incremental build driver
+   (the pdbbuild engine) and write one merged PDB. *)
+let run_project sources includes output jobs no_used fixed_spec mapping =
+  let vfs = Pdt_util.Vfs.create ~include_paths:includes () in
+  Pdt_util.Vfs.set_disk_fallback vfs true;
+  let options =
+    { Pdt_build.Build.default_options with
+      domains = jobs;
+      sema =
+        { Pdt_sema.Sema.instantiate_used = not no_used;
+          map_specializations = fixed_spec };
+      mapping =
+        (if mapping = "ids" then Pdt_analyzer.Analyzer.Il_ids
+         else Pdt_analyzer.Analyzer.Location_based) }
+  in
+  let r = Pdt_build.Build.build ~options ~vfs sources in
+  List.iter
+    (fun (source, msg) -> Printf.eprintf "pdtc: %s failed:\n%s\n" source msg)
+    (Pdt_build.Build.failures r);
+  let out = Option.value ~default:"merged.pdb" output in
+  Pdt_pdb.Pdb_write.to_file r.merged out;
+  print_endline (Pdt_build.Build.summary r);
+  Printf.printf "wrote %s (%d items)\n" out (Pdt_pdb.Pdb.item_count r.merged);
+  if r.failed = 0 then 0 else if r.failed < List.length r.units then 2 else 1
+
+let run_single source includes output mapping no_used fixed_spec =
   match language_of source with
   | (`Fortran | `Java) as lang -> begin
     (* the Fortran 90 / Java IL Analyzers (paper §6) feed the same PDB *)
@@ -67,8 +92,18 @@ let run source includes output mapping no_used fixed_spec =
   end
   end
 
-let source =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"SOURCE" ~doc:"C++ source file")
+let run sources includes output mapping no_used fixed_spec project jobs =
+  match (project, sources) with
+  | true, _ -> run_project sources includes output jobs no_used fixed_spec mapping
+  | false, [ source ] -> run_single source includes output mapping no_used fixed_spec
+  | false, [] -> prerr_endline "pdtc: missing SOURCE argument"; 124
+  | false, _ :: _ :: _ ->
+      prerr_endline "pdtc: several sources given; use --project to build them into one merged PDB";
+      124
+
+let sources =
+  Arg.(non_empty & pos_all file []
+       & info [] ~docv:"SOURCE" ~doc:"Source file(s); several require $(b,--project)")
 
 let includes =
   Arg.(value & opt_all dir [] & info [ "I"; "include" ] ~docv:"DIR" ~doc:"Include search directory")
@@ -91,9 +126,21 @@ let fixed_spec =
        & info [ "map-specializations" ]
            ~doc:"Carry template ids through the IL so specializations map to their primary template")
 
+let project =
+  Arg.(value & flag
+       & info [ "project" ]
+           ~doc:"Build all sources as one project: compile each translation unit \
+                 in parallel (see $(b,--jobs)), through the incremental cache, and \
+                 merge the PDBs (alias for the pdbbuild driver)")
+
+let jobs =
+  Arg.(value & opt int (Pdt_build.Scheduler.default_domains ())
+       & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains for --project builds")
+
 let cmd =
   let doc = "compile C++ source into a program database (PDB)" in
   Cmd.v (Cmd.info "pdtc" ~doc)
-    Term.(const run $ source $ includes $ output $ mapping $ no_used $ fixed_spec)
+    Term.(const run $ sources $ includes $ output $ mapping $ no_used $ fixed_spec
+          $ project $ jobs)
 
 let () = exit (Cmd.eval' cmd)

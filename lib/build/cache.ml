@@ -1,0 +1,162 @@
+(** The incremental PDB cache.
+
+    A cache entry maps a content hash of one translation unit's inputs to
+    its serialized PDB under [.pdt-cache/].  The key covers everything that
+    can change the PDB:
+
+    - the source path and its contents,
+    - the contents of every file in the (lexically scanned) include closure,
+    - the compile-option fingerprint the driver passes in,
+    - the cache format version.
+
+    The closure scan over-approximates: it follows every [#include] it can
+    resolve, including ones inside inactive [#if] regions, so an edit to a
+    conditionally included header conservatively invalidates the entry.
+
+    Entries are self-describing — the first line is a magic header carrying
+    the format version and the key — so [load] can reject stale-version and
+    misfiled entries explicitly, and any parse failure of the body (a
+    truncated or corrupt file) is a cache miss, never a crash.  Writes go
+    through a per-domain temp file and [Sys.rename] so concurrent workers
+    never expose a half-written entry. *)
+
+open Pdt_util
+
+let format_version = 1
+
+let magic = Printf.sprintf "PDT-CACHE v%d" format_version
+
+type t = { dir : string }
+
+let default_dir = ".pdt-cache"
+
+let create ?(dir = default_dir) () = { dir }
+
+let dir t = t.dir
+
+(* ------------------------------------------------------------------ *)
+(* Keys                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Lexical include scan: finds  #include "x"  and  #include <x>  at the
+   start of a line (after whitespace), the only forms the preprocessor
+   accepts.  Macro-computed includes don't exist in this front end. *)
+let scan_includes (src : string) : (bool * string) list =
+  let acc = ref [] in
+  String.split_on_char '\n' src
+  |> List.iter (fun line ->
+         let n = String.length line in
+         let i = ref 0 in
+         while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do incr i done;
+         if !i < n && line.[!i] = '#' then begin
+           incr i;
+           while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do incr i done;
+           let kw = "include" in
+           let k = String.length kw in
+           if !i + k <= n && String.sub line !i k = kw then begin
+             i := !i + k;
+             while !i < n && (line.[!i] = ' ' || line.[!i] = '\t') do incr i done;
+             if !i < n then
+               match line.[!i] with
+               | '"' -> (
+                   match String.index_from_opt line (!i + 1) '"' with
+                   | Some j ->
+                       acc := (false, String.sub line (!i + 1) (j - !i - 1)) :: !acc
+                   | None -> ())
+               | '<' -> (
+                   match String.index_from_opt line (!i + 1) '>' with
+                   | Some j ->
+                       acc := (true, String.sub line (!i + 1) (j - !i - 1)) :: !acc
+                   | None -> ())
+               | _ -> ()
+           end
+         end);
+  List.rev !acc
+
+(** The include closure of [source]: [(path, contents)] in DFS first-visit
+    order, the source itself first.  Unresolvable includes are skipped (the
+    compile proper will diagnose them; for the key they simply contribute
+    nothing, and creating the missing header later changes the closure and
+    hence the key). *)
+let include_closure ~vfs (source : string) : (string * string) list =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec visit path =
+    let path = Vfs.normalize path in
+    if not (Hashtbl.mem seen path) then begin
+      Hashtbl.replace seen path ();
+      match Vfs.read_raw vfs path with
+      | None -> ()
+      | Some contents ->
+          out := (path, contents) :: !out;
+          List.iter
+            (fun (system, name) ->
+              match Vfs.resolve_include vfs ~from:path ~system name with
+              | Some p -> visit p
+              | None -> ())
+            (scan_includes contents)
+    end
+  in
+  visit source;
+  List.rev !out
+
+(** Cache key for one translation unit.  [options] is the driver's
+    compile-option fingerprint (instantiation mode, mapping, language). *)
+let key ~vfs ~(options : string) (source : string) : string =
+  let closure = include_closure ~vfs source in
+  Hashutil.strings
+    (magic :: options :: List.concat_map (fun (p, c) -> [ p; c ]) closure)
+
+(* ------------------------------------------------------------------ *)
+(* Entries                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let entry_path t key = Filename.concat t.dir (key ^ ".pdb")
+
+let header key = Printf.sprintf "%s key=%s" magic key
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Some s
+
+(** Look a key up.  [None] on: no entry, version mismatch, key mismatch
+    (misfiled entry), or a body that fails to parse as a PDB. *)
+let load t key : Pdt_pdb.Pdb.t option =
+  match read_file (entry_path t key) with
+  | None -> None
+  | Some content -> (
+      match String.index_opt content '\n' with
+      | None -> None
+      | Some i ->
+          let hdr = String.sub content 0 i in
+          if hdr <> header key then None
+          else
+            let body = String.sub content (i + 1) (String.length content - i - 1) in
+            (try Some (Pdt_pdb.Pdb_parse.of_string body) with _ -> None))
+
+let mkdir_p dirname =
+  if not (Sys.file_exists dirname) then begin
+    let parent = Filename.dirname dirname in
+    if parent <> dirname && not (Sys.file_exists parent) then begin
+      try Sys.mkdir parent 0o755 with Sys_error _ -> ()
+    end;
+    try Sys.mkdir dirname 0o755 with Sys_error _ -> ()
+  end
+
+let store t key (pdb : Pdt_pdb.Pdb.t) : unit =
+  mkdir_p t.dir;
+  let final = entry_path t key in
+  let tmp =
+    Printf.sprintf "%s.tmp.%d" final (Domain.self () :> int)
+  in
+  let oc = open_out_bin tmp in
+  output_string oc (header key);
+  output_char oc '\n';
+  output_string oc (Pdt_pdb.Pdb_write.to_string pdb);
+  close_out oc;
+  Sys.rename tmp final

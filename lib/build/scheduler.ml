@@ -1,0 +1,91 @@
+(** A fixed-size pool of OCaml 5 domains draining a shared work queue.
+
+    The project build compiles translation units on [domains] workers; the
+    queue is guarded by a [Mutex.t]/[Condition.t] pair (no domainslib
+    dependency).  Results land in per-index slots so callers see them in
+    submission order, never completion order — determinism downstream
+    (merge order, summary order) does not depend on scheduling. *)
+
+type 'a queue = {
+  jobs : 'a Queue.t;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  mutable closed : bool;
+}
+
+let queue_create () =
+  { jobs = Queue.create (); mutex = Mutex.create ();
+    nonempty = Condition.create (); closed = false }
+
+let queue_push q x =
+  Mutex.lock q.mutex;
+  Queue.push x q.jobs;
+  Condition.signal q.nonempty;
+  Mutex.unlock q.mutex
+
+(** No further pushes; workers blocked on an empty queue drain and exit. *)
+let queue_close q =
+  Mutex.lock q.mutex;
+  q.closed <- true;
+  Condition.broadcast q.nonempty;
+  Mutex.unlock q.mutex
+
+(** Blocking pop; [None] once the queue is closed and drained. *)
+let queue_pop q =
+  Mutex.lock q.mutex;
+  let rec take () =
+    match Queue.take_opt q.jobs with
+    | Some x -> Some x
+    | None ->
+        if q.closed then None
+        else begin
+          Condition.wait q.nonempty q.mutex;
+          take ()
+        end
+  in
+  let r = take () in
+  Mutex.unlock q.mutex;
+  r
+
+(** Default worker count: leave one core for the orchestrating domain, and
+    don't oversubscribe small containers. *)
+let default_domains () =
+  max 1 (min 8 (Domain.recommended_domain_count () - 1))
+
+(** [parallel_map ~domains f items] applies [f] to every element on a pool
+    of [domains] workers.  Slot [i] of the result corresponds to item [i];
+    an exception escaping [f] is captured as [Error] for that slot only.
+    [domains <= 1] (or a single item) degrades to a plain sequential map,
+    which keeps the zero-parallelism path trivially deterministic. *)
+let parallel_map ?domains (f : 'a -> 'b) (items : 'a array) :
+    ('b, exn) result array =
+  let n = Array.length items in
+  let domains =
+    match domains with
+    | Some d -> max 1 (min d n)
+    | None -> max 1 (min (default_domains ()) n)
+  in
+  let run1 x = try Ok (f x) with e -> Error e in
+  if n = 0 then [||]
+  else if domains <= 1 then Array.map run1 items
+  else begin
+    let results = Array.make n None in
+    let q = queue_create () in
+    Array.iteri (fun i _ -> queue_push q i) items;
+    queue_close q;
+    let worker () =
+      let rec loop () =
+        match queue_pop q with
+        | None -> ()
+        | Some i ->
+            results.(i) <- Some (run1 items.(i));
+            loop ()
+      in
+      loop ()
+    in
+    let ds = List.init domains (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join ds;
+    Array.map
+      (function Some r -> r | None -> Error (Failure "scheduler: lost job"))
+      results
+  end

@@ -344,8 +344,21 @@ let type_key (pdb : P.t) (ty : P.type_item) =
 (** Merge several PDBs into one, eliminating duplicate entities (notably
     duplicate template instantiations).  Later occurrences contribute
     definitions that earlier ones lacked: an undefined routine merged with a
-    defined duplicate adopts its body position and call list. *)
+    defined duplicate adopts its body position and call list.
+
+    The result is independent of the caller's input order: inputs are first
+    sorted by their canonical serialization, so any permutation of the same
+    PDB list allocates the same ids in the same order and serializes to the
+    same bytes.  (Within the merge itself no hashtable iteration order is
+    observable — emission follows the explicit [order_*] allocation lists.)
+    A parallel driver can therefore merge PDBs as they complete without
+    making the output depend on completion order. *)
 let merge (pdbs : P.t list) : P.t =
+  let pdbs =
+    List.map (fun p -> (Pdt_pdb.Pdb_write.to_string p, p)) pdbs
+    |> List.stable_sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map snd
+  in
   let out = P.create () in
   (* key -> new id, per kind *)
   let fkeys = Hashtbl.create 64 and ckeys = Hashtbl.create 64 in

@@ -137,6 +137,12 @@ val class_hierarchy : t -> P.class_item tree list
 val merge : P.t list -> P.t
 (** Merge PDBs from separate compilations into one, eliminating duplicate
     entities — in particular duplicate template instantiations (the engine
-    behind pdbmerge, Table 2).  Later inputs can complete entities earlier
-    ones only declared: an undefined routine adopts a later duplicate's
-    definition (body extent and call list). *)
+    behind pdbmerge, Table 2).  Duplicates complete each other: an undefined
+    routine adopts a duplicate's definition (body extent and call list).
+
+    The merge is deterministic and independent of the input permutation —
+    inputs are canonicalized by content before ids are allocated — so
+    parallel builds that merge PDBs as compilations finish produce output
+    byte-identical to a sequential build.  It is also idempotent up to
+    normalization: [merge [merge ps]] serializes identically to
+    [merge ps]. *)

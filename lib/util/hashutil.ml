@@ -1,0 +1,22 @@
+(** Stable content hashing.
+
+    The incremental build cache and the PDB digest need a hash that is
+    stable across processes and OCaml versions, so [Hashtbl.hash] (whose
+    output is implementation-defined) is out.  We use the stdlib [Digest]
+    (MD5) rendered as hex — collision resistance is ample for cache keys
+    and equality fingerprints; nothing here is security-sensitive. *)
+
+let string (s : string) : string = Digest.to_hex (Digest.string s)
+
+(** Hash a list of labelled parts into one key.  Parts are length-prefixed
+    before concatenation so that [["ab";"c"]] and [["a";"bc"]] (or a part
+    containing a separator) cannot collide structurally. *)
+let strings (parts : string list) : string =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun p ->
+      Buffer.add_string b (string_of_int (String.length p));
+      Buffer.add_char b ':';
+      Buffer.add_string b p)
+    parts;
+  string (Buffer.contents b)

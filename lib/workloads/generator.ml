@@ -167,17 +167,83 @@ let single_file_program ?(cfg = default_config) () : string =
   header cfg ^ "\n" ^ translation_unit ~with_include:false cfg ~tu_index:0
   ^ "\nint main( ) { return tu0_driver( ) % 256; }\n"
 
+(** A TU with a deliberate semantic error (an unknown type), for testing
+    that a project build isolates per-unit failures. *)
+let broken_unit ~tu_index : string =
+  Printf.sprintf
+    "#include \"generated.h\"\n\nint tu%d_driver( ) {\n    NoSuchType broken;\n    return 0;\n}\n"
+    tu_index
+
+(** A small Fortran 90 translation unit (one module, one function), for
+    mixed-language project builds. *)
+let fortran_unit ~tu_index : string =
+  Printf.sprintf
+    {|! generated Fortran unit %d
+module gen%d_mod
+  implicit none
+contains
+  function gen%d_scale(x) result(y)
+    real :: x, y
+    y = x * %d.0 + 1.0
+  end function gen%d_scale
+end module gen%d_mod
+|}
+    tu_index tu_index tu_index (tu_index + 2) tu_index tu_index
+
+(** A small Java translation unit (one package-scoped class), for
+    mixed-language project builds. *)
+let java_unit ~tu_index : string =
+  Printf.sprintf
+    {|package gen;
+
+public class Gen%d {
+    private int base;
+    public Gen%d(int b) { base = b; }
+    public int apply(int x) { return x + base + %d; }
+}
+|}
+    tu_index tu_index tu_index
+
+(** The files of a multi-TU project as [(name, contents)] pairs:
+    [generated.h] + [tu<i>.cpp] files + main. *)
+let project_files ?(cfg = default_config) ~n_tus () : (string * string) list =
+  [ ("generated.h", header cfg) ]
+  @ List.init n_tus (fun i ->
+        (Printf.sprintf "tu%d.cpp" i, translation_unit cfg ~tu_index:i))
+  @ [ ("main.cpp", main_unit ~n_tus) ]
+
 (** VFS for a multi-TU project: [generated.h] + [tu<i>.cpp] files + main. *)
 let project_vfs ?(cfg = default_config) ~n_tus () :
     Pdt_util.Vfs.t * string list =
   let vfs = Pdt_util.Vfs.create () in
   Ministl.mount vfs;
-  Pdt_util.Vfs.add_file vfs "generated.h" (header cfg);
-  let tu_files =
-    List.init n_tus (fun i ->
-        let name = Printf.sprintf "tu%d.cpp" i in
-        Pdt_util.Vfs.add_file vfs name (translation_unit cfg ~tu_index:i);
-        name)
+  List.iter
+    (fun (name, contents) -> Pdt_util.Vfs.add_file vfs name contents)
+    (project_files ~cfg ~n_tus ());
+  let sources =
+    List.init n_tus (fun i -> Printf.sprintf "tu%d.cpp" i) @ [ "main.cpp" ]
   in
-  Pdt_util.Vfs.add_file vfs "main.cpp" (main_unit ~n_tus);
-  (vfs, tu_files @ [ "main.cpp" ])
+  (vfs, sources)
+
+(** Like {!project_vfs} but with one Fortran and one Java unit alongside
+    the C++ ones — the pdbbuild mixed-language scenario.  All three front
+    ends feed the same PDB format, so the merge sees one project. *)
+let mixed_project_vfs ?(cfg = default_config) ~n_tus () :
+    Pdt_util.Vfs.t * string list =
+  let vfs, cpp_sources = project_vfs ~cfg ~n_tus () in
+  Pdt_util.Vfs.add_file vfs "gen0.f90" (fortran_unit ~tu_index:0);
+  Pdt_util.Vfs.add_file vfs "Gen0.java" (java_unit ~tu_index:0);
+  (vfs, cpp_sources @ [ "gen0.f90"; "Gen0.java" ])
+
+(** Write a project to a real directory (for exercising the command-line
+    drivers); returns the on-disk source paths in build order. *)
+let write_project ?(cfg = default_config) ~n_tus ~dir () : string list =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun (name, contents) ->
+      let oc = open_out_bin (Filename.concat dir name) in
+      output_string oc contents;
+      close_out oc)
+    (project_files ~cfg ~n_tus ());
+  List.init n_tus (fun i -> Filename.concat dir (Printf.sprintf "tu%d.cpp" i))
+  @ [ Filename.concat dir "main.cpp" ]

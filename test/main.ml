@@ -19,5 +19,6 @@ let () =
       ("extensions", Test_extensions.suite);
       ("parallel", Test_parallel.suite);
       ("il", Test_il.suite);
+      ("build", Test_build.suite);
       ("integration", Test_integration.suite);
       ("java", Test_java.suite) ]

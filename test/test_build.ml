@@ -1,0 +1,269 @@
+(* Project-build tests: the Domain-pool scheduler, the content-hash PDB
+   cache, and the parallel incremental build driver (pdbbuild's engine).
+
+   The invariants locked in here are the ones the driver's determinism
+   story rests on: parallel output is byte-identical to sequential output,
+   the merge is input-order independent and idempotent, a warm cache
+   recompiles nothing and changes nothing, and neither a failing unit nor
+   a corrupt cache entry can sink the build. *)
+
+module B = Pdt_build.Build
+module C = Pdt_build.Cache
+module S = Pdt_build.Scheduler
+module D = Pdt_ductape.Ductape
+module P = Pdt_pdb.Pdb
+module G = Pdt_workloads.Generator
+
+let pdb_string = Pdt_pdb.Pdb_write.to_string
+
+(* a unique, not-yet-created directory for a test's cache *)
+let fresh_dir () =
+  let f = Filename.temp_file "pdt-build-test" ".cache" in
+  Sys.remove f;
+  f
+
+let n_tus = 5
+
+let project () = G.project_vfs ~n_tus ()
+
+let build ?cache_dir ~domains (vfs, sources) =
+  B.build ~options:{ B.default_options with domains; cache_dir } ~vfs sources
+
+(* ---------------- scheduler ---------------- *)
+
+let test_scheduler_map () =
+  let items = Array.init 50 (fun i -> i) in
+  let r = S.parallel_map ~domains:4 (fun i -> i * i) items in
+  Array.iteri
+    (fun i -> function
+      | Ok v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) (i * i) v
+      | Error _ -> Alcotest.fail "unexpected error slot")
+    r
+
+let test_scheduler_isolates_exceptions () =
+  let items = Array.init 20 (fun i -> i) in
+  let r =
+    S.parallel_map ~domains:4
+      (fun i -> if i mod 7 = 3 then failwith "boom" else i)
+      items
+  in
+  Array.iteri
+    (fun i -> function
+      | Ok v -> Alcotest.(check bool) "ok slot" true (v = i && i mod 7 <> 3)
+      | Error e ->
+          Alcotest.(check bool) "error slot" true
+            (i mod 7 = 3 && e = Failure "boom"))
+    r
+
+(* ---------------- parallel = sequential ---------------- *)
+
+let test_parallel_equals_sequential () =
+  let seq = build ~domains:1 (project ()) in
+  let par = build ~domains:4 (project ()) in
+  Alcotest.(check int) "no failures (seq)" 0 seq.B.failed;
+  Alcotest.(check int) "no failures (par)" 0 par.B.failed;
+  Alcotest.(check string) "byte-identical merged PDB"
+    (pdb_string seq.B.merged) (pdb_string par.B.merged)
+
+let test_build_equals_compile_project () =
+  (* the driver reproduces the library's sequential compile-then-merge path *)
+  let vfs, sources = project () in
+  let merged, _ = Pdt.compile_project ~vfs sources in
+  let r = build ~domains:4 (project ()) in
+  Alcotest.(check string) "same as Pdt.compile_project"
+    (pdb_string merged) (pdb_string r.B.merged)
+
+(* ---------------- merge determinism ---------------- *)
+
+let project_pdbs () =
+  let vfs, sources = project () in
+  List.map
+    (fun f -> Pdt_analyzer.Analyzer.run (Pdt.compile_exn ~vfs f).Pdt.program)
+    sources
+
+let test_merge_order_independent () =
+  let pdbs = project_pdbs () in
+  let reference = pdb_string (D.merge pdbs) in
+  let permutations =
+    [ List.rev pdbs;
+      (match pdbs with [] -> [] | x :: rest -> rest @ [ x ]);
+      List.sort
+        (fun a b -> compare (P.item_count b) (P.item_count a))
+        pdbs ]
+  in
+  List.iteri
+    (fun i perm ->
+      Alcotest.(check string)
+        (Printf.sprintf "permutation %d merges identically" i)
+        reference (pdb_string (D.merge perm)))
+    permutations
+
+let test_merge_idempotent_normalized () =
+  let pdbs = project_pdbs () in
+  let merged = D.merge pdbs in
+  Alcotest.(check string) "merge [merged] = merged"
+    (pdb_string merged)
+    (pdb_string (D.merge [ merged ]));
+  let single = List.hd pdbs in
+  let normalized = D.merge [ single ] in
+  Alcotest.(check string) "merge [p] is a fixpoint"
+    (pdb_string normalized)
+    (pdb_string (D.merge [ normalized ]))
+
+(* ---------------- the incremental cache ---------------- *)
+
+let test_warm_cache_recompiles_nothing () =
+  let cache_dir = fresh_dir () in
+  let cold = build ~cache_dir ~domains:4 (project ()) in
+  Alcotest.(check int) "cold: all compiled" (n_tus + 1) cold.B.compiled;
+  Alcotest.(check int) "cold: none cached" 0 cold.B.cached;
+  let warm = build ~cache_dir ~domains:4 (project ()) in
+  Alcotest.(check int) "warm: none compiled" 0 warm.B.compiled;
+  Alcotest.(check int) "warm: all cached" (n_tus + 1) warm.B.cached;
+  Alcotest.(check string) "warm merged PDB identical"
+    (pdb_string cold.B.merged) (pdb_string warm.B.merged)
+
+let test_edit_invalidates_one_entry () =
+  let cache_dir = fresh_dir () in
+  let _ = build ~cache_dir ~domains:2 (project ()) in
+  let vfs, sources = project () in
+  (* a source edit that changes the PDB of tu1 only *)
+  Pdt_util.Vfs.add_file vfs "tu1.cpp"
+    (G.translation_unit G.default_config ~tu_index:1
+     ^ "\nint tu1_extra( ) { return 41; }\n");
+  let r = build ~cache_dir ~domains:2 (vfs, sources) in
+  Alcotest.(check int) "exactly one recompile" 1 r.B.compiled;
+  Alcotest.(check int) "the rest served from cache" n_tus r.B.cached;
+  Alcotest.(check bool) "edited routine present" true
+    (List.exists (fun (ro : P.routine_item) -> ro.P.ro_name = "tu1_extra")
+       r.B.merged.P.routines)
+
+let test_header_edit_invalidates_includers () =
+  (* the key covers the include closure: touching generated.h invalidates
+     every C++ unit that includes it *)
+  let cache_dir = fresh_dir () in
+  let _ = build ~cache_dir ~domains:2 (project ()) in
+  let vfs, sources = project () in
+  Pdt_util.Vfs.add_file vfs "generated.h"
+    (G.header G.default_config ^ "\n// touched\n");
+  let r = build ~cache_dir ~domains:2 (vfs, sources) in
+  Alcotest.(check int) "every includer recompiled" (n_tus + 1) r.B.compiled;
+  Alcotest.(check int) "nothing cached" 0 r.B.cached
+
+let test_corrupt_cache_recompiles () =
+  let cache_dir = fresh_dir () in
+  let cold = build ~cache_dir ~domains:2 (project ()) in
+  (* truncate / garble every entry on disk *)
+  Array.iter
+    (fun f ->
+      let path = Filename.concat cache_dir f in
+      let oc = open_out_bin path in
+      output_string oc "garbage, not a cache entry";
+      close_out oc)
+    (Sys.readdir cache_dir);
+  let r = build ~cache_dir ~domains:2 (project ()) in
+  Alcotest.(check int) "corrupt entries recompiled" (n_tus + 1) r.B.compiled;
+  Alcotest.(check int) "no corrupt entry served" 0 r.B.cached;
+  Alcotest.(check string) "merged PDB unaffected"
+    (pdb_string cold.B.merged) (pdb_string r.B.merged)
+
+let test_cache_load_rejects_stale_version () =
+  let cache_dir = fresh_dir () in
+  let vfs, sources = project () in
+  let source = List.hd sources in
+  let pdb = Pdt_analyzer.Analyzer.run (Pdt.compile_exn ~vfs source).Pdt.program in
+  let cache = C.create ~dir:cache_dir () in
+  let key = C.key ~vfs ~options:"opts" source in
+  C.store cache key pdb;
+  (match C.load cache key with
+   | Some loaded ->
+       Alcotest.(check string) "store/load roundtrip" (pdb_string pdb)
+         (pdb_string loaded)
+   | None -> Alcotest.fail "freshly stored entry must load");
+  (* rewrite the entry with a wrong-version header: stale, not crash *)
+  let path = Filename.concat cache_dir (key ^ ".pdb")
+  and body = pdb_string pdb in
+  let oc = open_out_bin path in
+  Printf.fprintf oc "PDT-CACHE v%d key=%s\n%s" (C.format_version + 1) key body;
+  close_out oc;
+  Alcotest.(check bool) "stale version is a miss" true (C.load cache key = None)
+
+let test_cache_key_covers_options () =
+  let vfs, sources = project () in
+  let source = List.hd sources in
+  let k1 = C.key ~vfs ~options:"a" source in
+  let k2 = C.key ~vfs ~options:"b" source in
+  let k1' = C.key ~vfs ~options:"a" source in
+  Alcotest.(check string) "key is deterministic" k1 k1';
+  Alcotest.(check bool) "options change the key" true (k1 <> k2)
+
+(* ---------------- failure isolation ---------------- *)
+
+let test_failed_unit_does_not_sink_build () =
+  let vfs, sources = project () in
+  Pdt_util.Vfs.add_file vfs "broken.cpp" (G.broken_unit ~tu_index:9);
+  let r = build ~domains:4 (vfs, sources @ [ "broken.cpp" ]) in
+  Alcotest.(check int) "one unit failed" 1 r.B.failed;
+  Alcotest.(check int) "the rest compiled" (n_tus + 1) r.B.compiled;
+  (match B.failures r with
+   | [ (source, msg) ] ->
+       Alcotest.(check string) "failure names the unit" "broken.cpp" source;
+       Alcotest.(check bool) "failure carries diagnostics" true (msg <> "")
+   | _ -> Alcotest.fail "expected exactly one failure");
+  (* the merged PDB equals the build without the broken unit *)
+  let clean = build ~domains:4 (project ()) in
+  Alcotest.(check string) "merged PDB excludes only the failed unit"
+    (pdb_string clean.B.merged) (pdb_string r.B.merged)
+
+(* ---------------- mixed-language projects ---------------- *)
+
+let test_mixed_language_project () =
+  let vfs, sources = G.mixed_project_vfs ~n_tus:2 () in
+  let r = build ~domains:4 (vfs, sources) in
+  Alcotest.(check int) "no failures" 0 r.B.failed;
+  Alcotest.(check int) "all units compiled" (List.length sources) r.B.compiled;
+  let routine_names =
+    List.map (fun (ro : P.routine_item) -> ro.P.ro_name) r.B.merged.P.routines
+  in
+  Alcotest.(check bool) "C++ routine present" true
+    (List.mem "tu0_driver" routine_names);
+  Alcotest.(check bool) "Fortran routine present" true
+    (List.exists
+       (fun n ->
+         let sub = "gen0_scale" in
+         let ln = String.length n and ls = String.length sub in
+         let rec go i = i + ls <= ln && (String.sub n i ls = sub || go (i + 1)) in
+         go 0)
+       routine_names);
+  Alcotest.(check bool) "Java class present" true
+    (List.exists (fun (c : P.class_item) -> c.P.cl_name = "Gen0")
+       r.B.merged.P.classes)
+
+let suite =
+  [ Alcotest.test_case "scheduler: map preserves order" `Quick test_scheduler_map;
+    Alcotest.test_case "scheduler: exceptions stay per-slot" `Quick
+      test_scheduler_isolates_exceptions;
+    Alcotest.test_case "parallel = sequential bytes" `Quick
+      test_parallel_equals_sequential;
+    Alcotest.test_case "driver = compile_project" `Quick
+      test_build_equals_compile_project;
+    Alcotest.test_case "merge is input-order independent" `Quick
+      test_merge_order_independent;
+    Alcotest.test_case "merge is idempotent (normalized)" `Quick
+      test_merge_idempotent_normalized;
+    Alcotest.test_case "warm cache recompiles nothing" `Quick
+      test_warm_cache_recompiles_nothing;
+    Alcotest.test_case "edit invalidates exactly one entry" `Quick
+      test_edit_invalidates_one_entry;
+    Alcotest.test_case "header edit invalidates includers" `Quick
+      test_header_edit_invalidates_includers;
+    Alcotest.test_case "corrupt cache entries recompile" `Quick
+      test_corrupt_cache_recompiles;
+    Alcotest.test_case "stale cache version is a miss" `Quick
+      test_cache_load_rejects_stale_version;
+    Alcotest.test_case "cache key covers options" `Quick
+      test_cache_key_covers_options;
+    Alcotest.test_case "failed unit does not sink the build" `Quick
+      test_failed_unit_does_not_sink_build;
+    Alcotest.test_case "mixed C++/Fortran/Java project" `Quick
+      test_mixed_language_project ]

@@ -216,6 +216,31 @@ let prop_generator_compiles =
       not (Diag.has_errors c.Pdt.diags))
 
 (* ------------------------------------------------------------------ *)
+(* Merged multi-TU PDBs survive the on-disk format (the cache path)    *)
+(* ------------------------------------------------------------------ *)
+
+let prop_project_merge_roundtrip =
+  QCheck.Test.make ~count:8
+    ~name:"pdb: write/parse roundtrips the merged PDB of a generated project"
+    QCheck.(int_range 0 300) (fun seed ->
+      let cfg =
+        { Pdt_workloads.Generator.default_config with
+          seed; n_class_templates = 3; methods_per_class = 2 }
+      in
+      let vfs, sources = Pdt_workloads.Generator.project_vfs ~cfg ~n_tus:3 () in
+      let pdbs =
+        List.map
+          (fun f -> Pdt_analyzer.Analyzer.run (Pdt.compile_exn ~vfs f).Pdt.program)
+          sources
+      in
+      let merged = Pdt_ductape.Ductape.merge pdbs in
+      (* the incremental cache stores exactly this serialization, so the
+         roundtrip must be the identity on it *)
+      let s = Pdt_pdb.Pdb_write.to_string merged in
+      let s' = Pdt_pdb.Pdb_write.to_string (Pdt_pdb.Pdb_parse.of_string s) in
+      s = s')
+
+(* ------------------------------------------------------------------ *)
 (* Subst: the empty environment is the identity                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -272,5 +297,6 @@ let suite =
       prop_normalize_no_dots;
       prop_generator_deterministic;
       prop_generator_compiles;
+      prop_project_merge_roundtrip;
       prop_subst_empty_identity;
       prop_instrumentation_preserves_semantics ]
