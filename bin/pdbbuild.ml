@@ -10,7 +10,7 @@
 
 open Cmdliner
 
-let run sources includes output jobs cache_dir no_cache verbose =
+let run sources includes output jobs cache_dir no_cache verbose stats =
   let vfs = Pdt_util.Vfs.create ~include_paths:includes () in
   Pdt_util.Vfs.set_disk_fallback vfs true;
   let options =
@@ -30,11 +30,23 @@ let run sources includes output jobs cache_dir no_cache verbose =
            | Compiled -> "compiled" | Cached -> "cached" | Failed _ -> "FAILED")
           u.seconds)
       r.units;
-  Pdt_pdb.Pdb_write.to_file r.merged output;
+  (* serialize the merged PDB once; the file and the digest share the bytes *)
+  let serialized = Pdt_pdb.Pdb_write.to_string r.merged in
+  let oc = open_out output in
+  output_string oc serialized;
+  close_out oc;
   print_endline (Pdt_build.Build.summary r);
   Printf.printf "wrote %s (%d items, digest %s)\n" output
     (Pdt_pdb.Pdb.item_count r.merged)
-    (Pdt_pdb.Pdb_digest.of_pdb r.merged);
+    (Pdt_pdb.Pdb_digest.of_string serialized);
+  if stats then begin
+    let report = Pdt_util.Perf.report () in
+    if report <> "" then print_string report;
+    let s = Pdt_util.Intern.stats () in
+    Printf.printf "intern: %d entries, %d hits, %d misses (%.1f%% hit rate)\n"
+      s.Pdt_util.Intern.entries s.Pdt_util.Intern.hits s.Pdt_util.Intern.misses
+      (100.0 *. Pdt_util.Intern.hit_rate ())
+  end;
   (* failures don't sink the build, but they must not go unnoticed either:
      0 = clean, 2 = partial (merged PDB written), 1 = nothing compiled *)
   if r.failed = 0 then 0 else if r.failed < List.length r.units then 2 else 1
@@ -63,9 +75,16 @@ let no_cache =
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-unit status and timing")
 
+let stats =
+  Arg.(value & flag
+       & info [ "stats" ]
+           ~doc:"Print per-phase wall-time counters (parse, compile, merge, \
+                 cache I/O) and string-interning statistics after the build")
+
 let cmd =
   let doc = "compile a project to one merged program database, in parallel and incrementally" in
   Cmd.v (Cmd.info "pdbbuild" ~doc)
-    Term.(const run $ sources $ includes $ output $ jobs $ cache_dir $ no_cache $ verbose)
+    Term.(const run $ sources $ includes $ output $ jobs $ cache_dir $ no_cache
+          $ verbose $ stats)
 
 let () = exit (Cmd.eval' cmd)

@@ -12,9 +12,14 @@
       input closure and options are unchanged;
     - per-unit failures are isolated: a unit that fails to compile is
       reported in the summary and the remaining PDBs still merge;
-    - the merge ({!Pdt_ductape.Ductape.merge}) is input-order independent,
-      so the merged PDB is byte-identical whatever the completion order —
-      and identical to a sequential single-TU + pdbmerge build. *)
+    - the merge is canonical — independent of input order {e and} grouping
+      — so the parallel tree reduction ({!Merge_par}) used when running on
+      several domains is byte-identical to the flat sequential
+      {!Pdt_ductape.Ductape.merge}, and to a single-TU + pdbmerge build.
+
+    The pipeline phases report wall time into {!Pdt_util.Perf}
+    ([compile], [cache.load], [cache.store], plus [pdb.parse]/[pdb.write]/
+    [pdb.merge] from the PDB layer); [pdbbuild --stats] prints them. *)
 
 open Pdt_util
 
@@ -118,14 +123,16 @@ let build_unit (o : options) (cache : Cache.t option) ~vfs source : unit_result 
     in
     match (cache, key) with
     | Some c, Some k -> (
-        match Cache.load c k with
+        match Perf.time "cache.load" (fun () -> Cache.load c k) with
         | Some pdb -> finish Cached (Some pdb)
         | None ->
-            let pdb = compile_unit o ~vfs source in
-            Cache.store c k pdb;
+            let pdb = Perf.time "compile" (fun () -> compile_unit o ~vfs source) in
+            (* serialize once; the entry body reuses the bytes *)
+            let body = Pdt_pdb.Pdb_write.to_string pdb in
+            Perf.time "cache.store" (fun () -> Cache.store_serialized c k body);
             finish Compiled (Some pdb))
     | _ ->
-        let pdb = compile_unit o ~vfs source in
+        let pdb = Perf.time "compile" (fun () -> compile_unit o ~vfs source) in
         finish Compiled (Some pdb)
   with
   | Unit_error msg -> finish (Failed msg) None
@@ -154,7 +161,13 @@ let build ?(options = default_options) ~vfs (sources : string list) : result =
                  pdb = None; seconds = 0.0 })
          results)
   in
-  let merged = Pdt_ductape.Ductape.merge (List.filter_map (fun u -> u.pdb) units) in
+  let survivors = List.filter_map (fun u -> u.pdb) units in
+  let merged =
+    (* the tree merge only pays off when pair merges actually run
+       concurrently; with one domain the flat merge does less work *)
+    if options.domains > 1 then Merge_par.merge ~domains:options.domains survivors
+    else Pdt_ductape.Ductape.merge survivors
+  in
   let count p = List.length (List.filter p units) in
   { merged;
     units;

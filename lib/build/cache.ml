@@ -148,7 +148,10 @@ let mkdir_p dirname =
     try Sys.mkdir dirname 0o755 with Sys_error _ -> ()
   end
 
-let store t key (pdb : Pdt_pdb.Pdb.t) : unit =
+(** Store an already-serialized PDB body.  Callers that hold the bytes
+    anyway (the build driver serializes each unit's PDB exactly once and
+    reuses the string for the entry and its digest) avoid re-serializing. *)
+let store_serialized t key (body : string) : unit =
   mkdir_p t.dir;
   let final = entry_path t key in
   let tmp =
@@ -157,6 +160,9 @@ let store t key (pdb : Pdt_pdb.Pdb.t) : unit =
   let oc = open_out_bin tmp in
   output_string oc (header key);
   output_char oc '\n';
-  output_string oc (Pdt_pdb.Pdb_write.to_string pdb);
+  output_string oc body;
   close_out oc;
   Sys.rename tmp final
+
+let store t key (pdb : Pdt_pdb.Pdb.t) : unit =
+  store_serialized t key (Pdt_pdb.Pdb_write.to_string pdb)

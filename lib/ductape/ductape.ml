@@ -59,23 +59,32 @@ let index (pdb : P.t) : t =
       derived = Hashtbl.create 64;
       callers = Hashtbl.create 64 }
   in
+  (* both reverse tables accumulate newest-first and are reversed once at
+     the end; appending per edge would be quadratic in the fan-in *)
   List.iter
     (fun (c : P.class_item) ->
       List.iter
         (fun (_, _, base) ->
           let cur = Option.value ~default:[] (Hashtbl.find_opt t.derived base) in
-          Hashtbl.replace t.derived base (cur @ [ c.P.cl_id ]))
+          Hashtbl.replace t.derived base (c.P.cl_id :: cur))
         c.P.cl_bases)
     pdb.P.classes;
+  let seen_edge = Hashtbl.create 256 in
   List.iter
     (fun (r : P.routine_item) ->
       List.iter
         (fun (c : P.call) ->
-          let cur = Option.value ~default:[] (Hashtbl.find_opt t.callers c.P.c_callee) in
-          if not (List.mem r.P.ro_id cur) then
-            Hashtbl.replace t.callers c.P.c_callee (cur @ [ r.P.ro_id ]))
+          if not (Hashtbl.mem seen_edge (c.P.c_callee, r.P.ro_id)) then begin
+            Hashtbl.add seen_edge (c.P.c_callee, r.P.ro_id) ();
+            let cur =
+              Option.value ~default:[] (Hashtbl.find_opt t.callers c.P.c_callee)
+            in
+            Hashtbl.replace t.callers c.P.c_callee (r.P.ro_id :: cur)
+          end)
         r.P.ro_calls)
     pdb.P.routines;
+  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) t.derived;
+  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) t.callers;
   t
 
 let pdb t = t.pdb
@@ -346,16 +355,20 @@ let type_key (pdb : P.t) (ty : P.type_item) =
     definitions that earlier ones lacked: an undefined routine merged with a
     defined duplicate adopts its body position and call list.
 
-    The result is independent of the caller's input order: inputs are first
-    sorted by their canonical serialization, so any permutation of the same
-    PDB list allocates the same ids in the same order and serializes to the
-    same bytes.  (Within the merge itself no hashtable iteration order is
-    observable — emission follows the explicit [order_*] allocation lists.)
-    A parallel driver can therefore merge PDBs as they complete without
-    making the output depend on completion order. *)
+    The result is canonical: it depends only on the deduplicated content,
+    not on the caller's input order or grouping.  Inputs are first sorted
+    by a content digest (computed once per input — only the 16-byte key is
+    retained for the sort), and after deduplication a final pass orders
+    every kind by its canonical key, reassigns ids densely in that order,
+    rewrites all references, and sorts the unioned reference lists.  Hence
+    for any partition of the inputs, merging the partial merges yields the
+    same bytes as one flat merge — which is what lets {!Pdt_build}'s
+    parallel tree merge reduce pairwise on worker domains and still match
+    the sequential result exactly. *)
 let merge (pdbs : P.t list) : P.t =
+  Pdt_util.Perf.time "pdb.merge" @@ fun () ->
   let pdbs =
-    List.map (fun p -> (Pdt_pdb.Pdb_write.to_string p, p)) pdbs
+    List.map (fun p -> (Pdt_pdb.Pdb_digest.of_pdb p, p)) pdbs
     |> List.stable_sort (fun (a, _) (b, _) -> String.compare a b)
     |> List.map snd
   in
@@ -601,11 +614,153 @@ let merge (pdbs : P.t list) : P.t =
               { m with P.ma_id = newid; ma_loc = remap_loc m.P.ma_loc })
         pdb.P.pdb_macros)
     pdbs;
-  out.P.files <- List.rev_map (Hashtbl.find mfiles) !order_f;
-  out.P.namespaces <- List.rev_map (Hashtbl.find mnamespaces) !order_n;
-  out.P.templates <- List.rev_map (Hashtbl.find mtemplates) !order_te;
-  out.P.classes <- List.rev_map (Hashtbl.find mclasses) !order_c;
-  out.P.routines <- List.rev_map (Hashtbl.find mroutines) !order_r;
-  out.P.types <- List.rev_map (Hashtbl.find mtypes) !order_ty;
-  out.P.pdb_macros <- List.rev_map (Hashtbl.find mmacros) !order_m;
+  (* Canonicalization.  The accumulators above are deduplicated but their
+     id space is first-occurrence order over the input list, so merging
+     the same PDBs grouped differently (a parallel tree merge) would
+     allocate differently.  This final pass makes the output a pure
+     function of the deduplicated content: entities of each kind are
+     ordered by their canonical key (unique per kind — it is the dedup
+     identity), ids are reassigned densely in that order, every reference
+     is rewritten, and unioned reference lists (file includes, namespace
+     members, class member-function lists) are sorted.  Source-ordered
+     lists (calls, base classes, members) keep their winner's order. *)
+  let pre = P.create () in
+  pre.P.files <- List.rev_map (Hashtbl.find mfiles) !order_f;
+  pre.P.namespaces <- List.rev_map (Hashtbl.find mnamespaces) !order_n;
+  pre.P.templates <- List.rev_map (Hashtbl.find mtemplates) !order_te;
+  pre.P.classes <- List.rev_map (Hashtbl.find mclasses) !order_c;
+  pre.P.routines <- List.rev_map (Hashtbl.find mroutines) !order_r;
+  pre.P.types <- List.rev_map (Hashtbl.find mtypes) !order_ty;
+  pre.P.pdb_macros <- List.rev_map (Hashtbl.find mmacros) !order_m;
+  let sort_by key get_id items =
+    List.sort
+      (fun a b ->
+        let c = String.compare (key a) (key b) in
+        if c <> 0 then c else compare (get_id a) (get_id b))
+      items
+  in
+  let sfiles = sort_by file_key (fun f -> f.P.so_id) pre.P.files in
+  let snamespaces = sort_by (namespace_key pre) (fun n -> n.P.na_id) pre.P.namespaces in
+  let stemplates = sort_by (template_key pre) (fun te -> te.P.te_id) pre.P.templates in
+  let sclasses = sort_by (class_key pre) (fun c -> c.P.cl_id) pre.P.classes in
+  let sroutines = sort_by (routine_key pre) (fun r -> r.P.ro_id) pre.P.routines in
+  let stypes = sort_by (type_key pre) (fun ty -> ty.P.ty_id) pre.P.types in
+  let smacros = sort_by macro_key (fun m -> m.P.ma_id) pre.P.pdb_macros in
+  let remap_of get_id items =
+    let h = Hashtbl.create 64 in
+    List.iteri (fun i x -> Hashtbl.replace h (get_id x) (i + 1)) items;
+    h
+  in
+  let fmap = remap_of (fun (f : P.source_file) -> f.P.so_id) sfiles in
+  let nmap = remap_of (fun (n : P.namespace_item) -> n.P.na_id) snamespaces in
+  let temap = remap_of (fun (te : P.template_item) -> te.P.te_id) stemplates in
+  let cmap = remap_of (fun (c : P.class_item) -> c.P.cl_id) sclasses in
+  let rmap = remap_of (fun (r : P.routine_item) -> r.P.ro_id) sroutines in
+  let tymap = remap_of (fun (ty : P.type_item) -> ty.P.ty_id) stypes in
+  let mamap = remap_of (fun (m : P.macro_item) -> m.P.ma_id) smacros in
+  let rid h id = if id = 0 then 0 else Option.value ~default:0 (Hashtbl.find_opt h id) in
+  let rloc (l : P.loc) =
+    if l.P.lfile = 0 then l else { l with P.lfile = rid fmap l.P.lfile }
+  in
+  let rextent (e : P.extent) =
+    { P.hstart = rloc e.P.hstart; hstop = rloc e.P.hstop;
+      bstart = rloc e.P.bstart; bstop = rloc e.P.bstop }
+  in
+  let rtyperef = function
+    | P.Tyref id -> P.Tyref (rid tymap id)
+    | P.Clref id -> P.Clref (rid cmap id)
+  in
+  let rparent = function
+    | P.Pcl id -> P.Pcl (rid cmap id)
+    | P.Pna id -> P.Pna (rid nmap id)
+    | P.Pnone -> P.Pnone
+  in
+  let ritemref = function
+    | P.Rso i -> P.Rso (rid fmap i)
+    | P.Rro i -> P.Rro (rid rmap i)
+    | P.Rcl i -> P.Rcl (rid cmap i)
+    | P.Rty i -> P.Rty (rid tymap i)
+    | P.Rte i -> P.Rte (rid temap i)
+    | P.Rna i -> P.Rna (rid nmap i)
+    | P.Rma i -> P.Rma (rid mamap i)
+  in
+  out.P.files <-
+    List.map
+      (fun (f : P.source_file) ->
+        { P.so_id = rid fmap f.P.so_id; so_name = f.P.so_name;
+          so_includes = List.sort compare (List.map (rid fmap) f.P.so_includes) })
+      sfiles;
+  out.P.namespaces <-
+    List.map
+      (fun (n : P.namespace_item) ->
+        { n with P.na_id = rid nmap n.P.na_id; na_loc = rloc n.P.na_loc;
+          na_parent = rparent n.P.na_parent;
+          na_members = List.sort compare (List.map ritemref n.P.na_members) })
+      snamespaces;
+  out.P.templates <-
+    List.map
+      (fun (te : P.template_item) ->
+        { te with P.te_id = rid temap te.P.te_id; te_loc = rloc te.P.te_loc;
+          te_parent = rparent te.P.te_parent; te_pos = rextent te.P.te_pos })
+      stemplates;
+  out.P.classes <-
+    List.map
+      (fun (c : P.class_item) ->
+        { c with P.cl_id = rid cmap c.P.cl_id; cl_loc = rloc c.P.cl_loc;
+          cl_parent = rparent c.P.cl_parent;
+          cl_templ = Option.map (rid temap) c.P.cl_templ;
+          cl_stempl = Option.map (rid temap) c.P.cl_stempl;
+          cl_bases = List.map (fun (a, v, b) -> (a, v, rid cmap b)) c.P.cl_bases;
+          cl_friends =
+            List.map
+              (function `Cl i -> `Cl (rid cmap i) | `Ro i -> `Ro (rid rmap i))
+              c.P.cl_friends;
+          cl_funcs =
+            List.sort compare
+              (List.map (fun (ro, l) -> (rid rmap ro, rloc l)) c.P.cl_funcs);
+          cl_members =
+            List.map
+              (fun (m : P.member) ->
+                { m with P.m_loc = rloc m.P.m_loc; m_type = rtyperef m.P.m_type })
+              c.P.cl_members;
+          cl_pos = rextent c.P.cl_pos })
+      sclasses;
+  out.P.routines <-
+    List.map
+      (fun (r : P.routine_item) ->
+        { r with P.ro_id = rid rmap r.P.ro_id; ro_loc = rloc r.P.ro_loc;
+          ro_parent = rparent r.P.ro_parent; ro_sig = rtyperef r.P.ro_sig;
+          ro_templ = Option.map (rid temap) r.P.ro_templ;
+          ro_calls =
+            List.map
+              (fun (c : P.call) ->
+                { c with P.c_callee = rid rmap c.P.c_callee; c_loc = rloc c.P.c_loc })
+              r.P.ro_calls;
+          ro_pos = rextent r.P.ro_pos })
+      sroutines;
+  out.P.types <-
+    List.map
+      (fun (ty : P.type_item) ->
+        { ty with P.ty_id = rid tymap ty.P.ty_id; ty_loc = rloc ty.P.ty_loc;
+          ty_parent = rparent ty.P.ty_parent;
+          ty_info =
+            (match ty.P.ty_info with
+             | P.Ybuiltin _ | P.Yenum _ | P.Ytparam | P.Yerror -> ty.P.ty_info
+             | P.Yptr r -> P.Yptr (rtyperef r)
+             | P.Yref r -> P.Yref (rtyperef r)
+             | P.Ytref { target; yconst; yvolatile } ->
+                 P.Ytref { target = rtyperef target; yconst; yvolatile }
+             | P.Yarray { elem; size } -> P.Yarray { elem = rtyperef elem; size }
+             | P.Yfunc { rett; args; ellipsis; cqual; exceptions } ->
+                 P.Yfunc
+                   { rett = rtyperef rett;
+                     args = List.map (fun (r, d) -> (rtyperef r, d)) args;
+                     ellipsis; cqual;
+                     exceptions = Option.map (List.map rtyperef) exceptions }) })
+      stypes;
+  out.P.pdb_macros <-
+    List.map
+      (fun (m : P.macro_item) ->
+        { m with P.ma_id = rid mamap m.P.ma_id; ma_loc = rloc m.P.ma_loc })
+      smacros;
   out

@@ -140,9 +140,12 @@ val merge : P.t list -> P.t
     behind pdbmerge, Table 2).  Duplicates complete each other: an undefined
     routine adopts a duplicate's definition (body extent and call list).
 
-    The merge is deterministic and independent of the input permutation —
-    inputs are canonicalized by content before ids are allocated — so
-    parallel builds that merge PDBs as compilations finish produce output
-    byte-identical to a sequential build.  It is also idempotent up to
-    normalization: [merge [merge ps]] serializes identically to
-    [merge ps]. *)
+    The result is canonical: a pure function of the deduplicated content,
+    independent of input permutation {e and} of grouping.  Inputs are
+    ordered by a content digest computed once per input, and a final pass
+    sorts every kind by its canonical key, reassigns ids densely and
+    rewrites all references.  Consequently [merge [merge xs; merge ys]]
+    serializes to the same bytes as [merge (xs @ ys)] — parallel tree
+    merges (see {!Pdt_build}) match the sequential result exactly — and
+    the merge is idempotent up to normalization: [merge [merge ps]]
+    serializes identically to [merge ps]. *)

@@ -1,365 +1,682 @@
-(** PDB deserialization: parses the ASCII format written by {!Pdb_write}. *)
+(** PDB deserialization: parses the ASCII format written by {!Pdb_write}.
+
+    This is a single-pass cursor parser: it walks the raw source string
+    once, tracking a position and a line number, and builds items in place
+    as their attribute lines stream by.  Compared to the reference parser
+    ({!Pdb_parse_ref}, the original implementation) it allocates no line
+    list, no per-line trimmed copies and no intermediate block structures;
+    item names and enumerated attribute values are routed through the
+    global {!Pdt_util.Intern} pool so the many repeats across a project's
+    PDBs are physically shared.
+
+    Compatibility: the parse result is structurally identical to the
+    reference parser's, and [Parse_error] line numbers match it, including
+    its two-pass error ordering — the reference parser validates structure
+    (item-id syntax, attributes inside blocks) over the whole file before
+    it interprets any attribute, so a structural error on a late line wins
+    over a semantic error on an early one.  This parser emulates that by
+    deferring the first semantic error and continuing in a structure-only
+    scan; tests in [test_pdb.ml] pin the behavior against the reference. *)
 
 open Pdb
 
 exception Parse_error of int * string
 (** line number, message *)
 
+(* A semantic ("pass 2") error, deferred so that structural ("pass 1")
+   errors further down the file keep winning, as in the reference parser. *)
+exception Pass2 of exn
+
 let fail lineno fmt = Printf.ksprintf (fun m -> raise (Parse_error (lineno, m))) fmt
+let fail2 lineno fmt = Printf.ksprintf (fun m -> raise (Pass2 (Parse_error (lineno, m)))) fmt
 
-(* split "so#12" into ("so", 12) *)
-let split_id lineno s =
-  match String.index_opt s '#' with
-  | None -> fail lineno "malformed item id '%s'" s
-  | Some i -> (
-      let prefix = String.sub s 0 i in
-      let num = String.sub s (i + 1) (String.length s - i - 1) in
-      match int_of_string_opt num with
-      | Some n -> (prefix, n)
-      | None -> fail lineno "malformed item id '%s'" s)
+let sub src s e = String.sub src s (e - s)
 
-let parse_typeref lineno s =
-  match split_id lineno s with
-  | "ty", n -> Tyref n
-  | "cl", n -> Clref n
-  | p, _ -> fail lineno "expected type reference, got '%s#'" p
+let is_digit c = c >= '0' && c <= '9'
 
-let parse_parentref lineno s =
-  match split_id lineno s with
-  | "cl", n -> Pcl n
-  | "na", n -> Pna n
-  | p, _ -> fail lineno "expected parent reference, got '%s#'" p
+(* Digits-only value of src[s,e): -1 when empty, over-long (possible
+   overflow) or any non-digit.  The callers fall back to the general
+   (allocating) [int_of_sub] path on -1, so values this rejects still
+   parse exactly as int_of_string would. *)
+let digits src s e =
+  if s >= e || e - s > 18 then -1
+  else begin
+    let rec go i acc =
+      if i >= e then acc
+      else
+        let c = String.unsafe_get src i in
+        if is_digit c then go (i + 1) ((acc * 10) + (Char.code c - 48)) else -1
+    in
+    go s 0
+  end
 
-let parse_itemref lineno s =
-  match split_id lineno s with
-  | "so", n -> Rso n
-  | "ro", n -> Rro n
-  | "cl", n -> Rcl n
-  | "ty", n -> Rty n
-  | "te", n -> Rte n
-  | "na", n -> Rna n
-  | "ma", n -> Rma n
-  | p, _ -> fail lineno "unknown item prefix '%s'" p
+(* int_of_string_opt over src[s,e), without allocating in the all-digit
+   case; the fallback keeps the exotic forms int_of_string accepts
+   (sign, 0x/0o/0b, underscores). *)
+let int_of_sub src s e =
+  match digits src s e with
+  | -1 -> if s >= e then None else int_of_string_opt (sub src s e)
+  | n -> Some n
 
-(* parse "so#3 12 7" or "NULL 0 0" from a word list; returns loc and rest *)
-let parse_loc_words lineno words =
-  match words with
-  | "NULL" :: _ :: _ :: rest -> (null_loc, rest)
-  | f :: l :: c :: rest -> (
-      match (split_id lineno f, int_of_string_opt l, int_of_string_opt c) with
-      | ("so", fid), Some l, Some c -> ({ lfile = fid; lline = l; lcol = c }, rest)
-      | _ -> fail lineno "malformed location")
-  | _ -> fail lineno "truncated location"
+(* does src[s,e) equal lit? *)
+let word_is src s e lit =
+  let n = String.length lit in
+  e - s = n
+  && (let rec go i =
+        i >= n || (String.unsafe_get src (s + i) = String.unsafe_get lit i && go (i + 1))
+      in
+      go 0)
 
-let parse_loc lineno s = fst (parse_loc_words lineno (String.split_on_char ' ' s))
+(* split "so#12" at src[s,e) into the '#' position and the numeric id.
+   [structural] selects immediate vs deferred failure (header lines are
+   validated structurally; ids inside attribute values are semantic). *)
+let split_id_at ~structural src lineno s e =
+  let bad () =
+    let m = Printf.sprintf "malformed item id '%s'" (sub src s e) in
+    if structural then raise (Parse_error (lineno, m))
+    else raise (Pass2 (Parse_error (lineno, m)))
+  in
+  let rec hash i =
+    if i >= e then -1 else if String.unsafe_get src i = '#' then i else hash (i + 1)
+  in
+  match hash s with
+  | -1 -> bad ()
+  | h -> (
+      match int_of_sub src (h + 1) e with
+      | Some n -> (h, n)
+      | None -> bad ())
 
-let parse_extent lineno s =
-  let ws = String.split_on_char ' ' s in
-  let hstart, ws = parse_loc_words lineno ws in
-  let hstop, ws = parse_loc_words lineno ws in
-  let bstart, ws = parse_loc_words lineno ws in
-  let bstop, _ = parse_loc_words lineno ws in
-  { hstart; hstop; bstart; bstop }
+(* The reference fast path: a two-letter prefix, '#', then plain digits —
+   the only shape the writer emits.  Returns -1 when the slice doesn't
+   match [pq#<digits>], sending the caller to the general path (which
+   also produces the errors). *)
+let ref_fast src s e p q =
+  if
+    e - s > 3
+    && String.unsafe_get src s = p
+    && String.unsafe_get src (s + 1) = q
+    && String.unsafe_get src (s + 2) = '#'
+  then digits src (s + 3) e
+  else -1
 
-(* a block: header line + attribute lines *)
-type block = {
-  b_lineno : int;
-  b_prefix : string;
-  b_id : int;
-  b_name : string;
-  b_attrs : (int * string * string) list;  (* lineno, key, rest-of-line *)
+let parse_typeref src ln s e =
+  match ref_fast src s e 't' 'y' with
+  | -1 -> (
+      match ref_fast src s e 'c' 'l' with
+      | -1 ->
+          let h, n = split_id_at ~structural:false src ln s e in
+          if word_is src s h "ty" then Tyref n
+          else if word_is src s h "cl" then Clref n
+          else fail2 ln "expected type reference, got '%s#'" (sub src s h)
+      | n -> Clref n)
+  | n -> Tyref n
+
+let parse_parentref src ln s e =
+  match ref_fast src s e 'c' 'l' with
+  | -1 -> (
+      match ref_fast src s e 'n' 'a' with
+      | -1 ->
+          let h, n = split_id_at ~structural:false src ln s e in
+          if word_is src s h "cl" then Pcl n
+          else if word_is src s h "na" then Pna n
+          else fail2 ln "expected parent reference, got '%s#'" (sub src s h)
+      | n -> Pna n)
+  | n -> Pcl n
+
+let parse_itemref src ln s e =
+  let h, n = split_id_at ~structural:false src ln s e in
+  if word_is src s h "so" then Rso n
+  else if word_is src s h "ro" then Rro n
+  else if word_is src s h "cl" then Rcl n
+  else if word_is src s h "ty" then Rty n
+  else if word_is src s h "te" then Rte n
+  else if word_is src s h "na" then Rna n
+  else if word_is src s h "ma" then Rma n
+  else fail2 ln "unknown item prefix '%s'" (sub src s h)
+
+(* Space-separated fields of src[s,e), with String.split_on_char
+   semantics: consecutive separators yield empty fields, and an empty
+   region yields one empty field.  [next_field] reports the field bounds
+   through the mutable [fs]/[fe] slots rather than an option so the
+   per-field cost is zero allocations. *)
+type fields = {
+  fsrc : string;
+  mutable fpos : int;
+  flim : int;
+  mutable fdone : bool;
+  mutable fs : int;  (* start of the field just read *)
+  mutable fe : int;  (* end of the field just read *)
 }
 
-let split_blocks (src : string) : string * block list =
-  let lines = String.split_on_char '\n' src in
-  let version = ref "1.0" in
-  let blocks = ref [] in
-  let cur : block option ref = ref None in
-  let flush () =
-    match !cur with
-    | Some b ->
-        blocks := { b with b_attrs = List.rev b.b_attrs } :: !blocks;
-        cur := None
-    | None -> ()
+let fields src s e = { fsrc = src; fpos = s; flim = e; fdone = false; fs = 0; fe = 0 }
+
+let next_field f =
+  if f.fdone then false
+  else begin
+    let s = f.fpos in
+    let rec stop i =
+      if i >= f.flim || String.unsafe_get f.fsrc i = ' ' then i else stop (i + 1)
+    in
+    let e = stop s in
+    if e >= f.flim then f.fdone <- true else f.fpos <- e + 1;
+    f.fs <- s;
+    f.fe <- e;
+    true
+  end
+
+(* A location from its three field ranges: "so#3 12 7" or "NULL 0 0".
+   The fast path covers exactly what the writer emits — [so#<digits>] and
+   two plain numbers — without allocating; anything else (negative or
+   exotic integer spellings, malformed ids) drops to the general path,
+   which also produces the errors. *)
+let loc_slow src ln a a' b b' c c' =
+  let h, fid = split_id_at ~structural:false src ln a a' in
+  if word_is src a h "so" then
+    match (int_of_sub src b b', int_of_sub src c c') with
+    | Some l, Some col -> { lfile = fid; lline = l; lcol = col }
+    | _ -> fail2 ln "malformed location"
+  else fail2 ln "malformed location"
+
+let loc_of_ranges src ln a a' b b' c c' =
+  if word_is src a a' "NULL" then null_loc
+  else
+    let fid = ref_fast src a a' 's' 'o' in
+    if fid >= 0 then begin
+      let l = digits src b b' in
+      let col = digits src c c' in
+      if l >= 0 && col >= 0 then { lfile = fid; lline = l; lcol = col }
+      else loc_slow src ln a a' b b' c c'
+    end
+    else loc_slow src ln a a' b b' c c'
+
+(* "so#3 12 7" or "NULL 0 0" from a field stream: consumes exactly three
+   fields; fewer is "truncated location". *)
+let parse_loc_fields src ln fl =
+  if not (next_field fl) then fail2 ln "truncated location";
+  let a = fl.fs and a' = fl.fe in
+  if not (next_field fl) then fail2 ln "truncated location";
+  let b = fl.fs and b' = fl.fe in
+  if not (next_field fl) then fail2 ln "truncated location";
+  let c = fl.fs and c' = fl.fe in
+  loc_of_ranges src ln a a' b b' c c'
+
+(* Single-location attribute values (rloc, cloc, yloc, ...) are the most
+   frequent value shape by far; this specialization scans the three fields
+   directly, without a [fields] stream.  Trailing extra fields are ignored,
+   as the stream version (and the reference parser) ignores them. *)
+let parse_loc_value src ln s e =
+  let rec stop i =
+    if i >= e || String.unsafe_get src i = ' ' then i else stop (i + 1)
   in
-  List.iteri
-    (fun i line ->
-      let lineno = i + 1 in
-      let line = String.trim line in
-      if line = "" then flush ()
-      else if String.length line > 5 && String.sub line 0 5 = "<PDB " then
-        version := String.sub line 5 (String.length line - 6)
-      else begin
-        let key, rest =
-          match String.index_opt line ' ' with
-          | Some j ->
-              (String.sub line 0 j, String.sub line (j + 1) (String.length line - j - 1))
-          | None -> (line, "")
-        in
-        if String.contains key '#' then begin
-          flush ();
-          let prefix, id = split_id lineno key in
-          cur := Some { b_lineno = lineno; b_prefix = prefix; b_id = id;
-                        b_name = rest; b_attrs = [] }
-        end
-        else
-          match !cur with
-          | Some b -> cur := Some { b with b_attrs = (lineno, key, rest) :: b.b_attrs }
-          | None -> fail lineno "attribute '%s' outside of an item block" key
-      end)
-    lines;
-  flush ();
-  (!version, List.rev !blocks)
+  let a = s in
+  let a' = stop a in
+  if a' >= e then fail2 ln "truncated location";
+  let b = a' + 1 in
+  let b' = stop b in
+  if b' >= e then fail2 ln "truncated location";
+  let c = b' + 1 in
+  let c' = stop c in
+  loc_of_ranges src ln a a' b b' c c'
+
+let parse_extent_value src ln s e =
+  let fl = fields src s e in
+  let hstart = parse_loc_fields src ln fl in
+  let hstop = parse_loc_fields src ln fl in
+  let bstart = parse_loc_fields src ln fl in
+  let bstop = parse_loc_fields src ln fl in
+  { hstart; hstop; bstart; bstop }
+
+(* Accumulator for a ty item's kind-dependent attributes; ty_info is
+   assembled when the block ends, as the reference parser does. *)
+type ty_acc = {
+  mutable a_kind : string;
+  mutable a_ikind : string;
+  mutable a_target : typeref;
+  mutable a_const : bool;
+  mutable a_vol : bool;
+  mutable a_elem : typeref;
+  mutable a_size : int option;
+  mutable a_rett : typeref;
+  mutable a_args : (typeref * bool) list;  (* reversed *)
+  mutable a_ellip : bool;
+  mutable a_excep : typeref list option;
+  mutable a_cons : (string * int64) list;  (* reversed *)
+  mutable a_names : string list;           (* reversed *)
+}
+
+(* The item under construction.  List-valued fields accumulate reversed
+   (constant-time prepend) and are reversed once when the block ends. *)
+type building =
+  | Bso of source_file
+  | Bna of namespace_item
+  | Bte of template_item
+  | Bro of routine_item
+  | Bcl of class_item * member option ref  (* the pending cmem member *)
+  | Bty of type_item * ty_acc
+  | Bma of macro_item
 
 let of_string (src : string) : t =
-  let version, blocks = split_blocks src in
+  Pdt_util.Perf.time "pdb.parse" @@ fun () ->
+  (* canonical copy of src[s,e); allocation-free when already pooled *)
+  let intern_sub s e = Pdt_util.Intern.intern_sub src s (e - s) in
+  let len = String.length src in
   let t = create () in
-  t.version <- version;
   let files = ref [] and types = ref [] and classes = ref [] in
   let routines = ref [] and templates = ref [] and namespaces = ref [] in
   let macros = ref [] in
-  List.iter
-    (fun b ->
-      let ln = b.b_lineno in
-      match b.b_prefix with
-      | "so" ->
-          let f = { so_id = b.b_id; so_name = b.b_name; so_includes = [] } in
-          List.iter
-            (fun (ln, k, v) ->
-              match k with
-              | "sinc" -> (
-                  match split_id ln v with
-                  | "so", n -> f.so_includes <- f.so_includes @ [ n ]
-                  | _ -> fail ln "sinc expects so# reference")
-              | _ -> fail ln "unknown so attribute '%s'" k)
-            b.b_attrs;
-          files := f :: !files
-      | "na" ->
-          let n =
-            { na_id = b.b_id; na_name = b.b_name; na_loc = null_loc;
-              na_parent = Pnone; na_members = []; na_alias = None }
-          in
-          List.iter
-            (fun (ln, k, v) ->
-              match k with
-              | "nloc" -> n.na_loc <- parse_loc ln v
-              | "nparent" -> n.na_parent <- parse_parentref ln v
-              | "nmem" -> n.na_members <- n.na_members @ [ parse_itemref ln v ]
-              | "nalias" -> n.na_alias <- Some v
-              | _ -> fail ln "unknown na attribute '%s'" k)
-            b.b_attrs;
-          namespaces := n :: !namespaces
-      | "te" ->
-          let te =
-            { te_id = b.b_id; te_name = b.b_name; te_loc = null_loc;
-              te_parent = Pnone; te_acs = "NA"; te_kind = "class"; te_text = "";
-              te_pos = null_extent }
-          in
-          List.iter
-            (fun (ln, k, v) ->
-              match k with
-              | "tloc" -> te.te_loc <- parse_loc ln v
-              | "tparent" -> te.te_parent <- parse_parentref ln v
-              | "tacs" -> te.te_acs <- v
-              | "tkind" -> te.te_kind <- v
-              | "ttext" -> te.te_text <- Pdb_write.unescape_text v
-              | "tpos" -> te.te_pos <- parse_extent ln v
-              | _ -> fail ln "unknown te attribute '%s'" k)
-            b.b_attrs;
-          templates := te :: !templates
-      | "ro" ->
-          let r =
-            { ro_id = b.b_id; ro_name = b.b_name; ro_loc = null_loc;
-              ro_parent = Pnone; ro_acs = "NA"; ro_sig = Tyref 0; ro_link = "C++";
-              ro_store = "NA"; ro_virt = "no"; ro_kind = "NA"; ro_static = false;
-              ro_inline = false; ro_templ = None; ro_calls = []; ro_pos = null_extent;
+  let cur : building option ref = ref None in
+  let deferred : exn option ref = ref None in
+  (* once [deferred] is set we keep scanning structure only; [in_block]
+     replaces [cur] as the attribute-placement state *)
+  let in_block = ref false in
+  let finalize () =
+    (match !cur with
+     | None -> ()
+     | Some b ->
+         (match b with
+          | Bso f ->
+              f.so_includes <- List.rev f.so_includes;
+              files := f :: !files
+          | Bna n ->
+              n.na_members <- List.rev n.na_members;
+              namespaces := n :: !namespaces
+          | Bte te -> templates := te :: !templates
+          | Bro r ->
+              r.ro_calls <- List.rev r.ro_calls;
+              routines := r :: !routines
+          | Bcl (c, pm) ->
+              (match !pm with
+               | Some m -> c.cl_members <- m :: c.cl_members
+               | None -> ());
+              pm := None;
+              c.cl_bases <- List.rev c.cl_bases;
+              c.cl_friends <- List.rev c.cl_friends;
+              c.cl_funcs <- List.rev c.cl_funcs;
+              c.cl_members <- List.rev c.cl_members;
+              classes := c :: !classes
+          | Bty (ty, a) ->
+              ty.ty_info <-
+                (match a.a_kind with
+                 | "ptr" -> Yptr a.a_target
+                 | "ref" -> Yref a.a_target
+                 | "tref" ->
+                     Ytref { target = a.a_target; yconst = a.a_const; yvolatile = a.a_vol }
+                 | "array" -> Yarray { elem = a.a_elem; size = a.a_size }
+                 | "func" ->
+                     Yfunc { rett = a.a_rett; args = List.rev a.a_args;
+                             ellipsis = a.a_ellip; cqual = a.a_const;
+                             exceptions = a.a_excep }
+                 | "enum" -> Yenum { constants = List.rev a.a_cons }
+                 | "tparam" -> Ytparam
+                 | "error" -> Yerror
+                 | _ -> Ybuiltin { yikind = a.a_ikind });
+              ty.ty_names <- List.rev a.a_names;
+              types := ty :: !types
+          | Bma m -> macros := m :: !macros);
+         cur := None);
+    in_block := false
+  in
+  (* one attribute line, dispatched against the current item.
+     key = src[ks,ke), value = src[vs,ve).  For the high-volume kinds
+     (ro/cl/ty) the key's second character narrows the linear [key]
+     chain to one or two candidates; [key] still verifies the whole
+     word, so near-misses fall through to [unknown] exactly as before. *)
+  let attribute ln ks ke vs ve =
+    let unknown what = fail2 ln "unknown %s attribute '%s'" what (sub src ks ke) in
+    let key lit = word_is src ks ke lit in
+    let c2 = if ke - ks >= 2 then String.unsafe_get src (ks + 1) else '\000' in
+    match !cur with
+    | None -> fail ln "attribute '%s' outside of an item block" (sub src ks ke)
+    | Some (Bso f) ->
+        if key "sinc" then begin
+          let h, n = split_id_at ~structural:false src ln vs ve in
+          if word_is src vs h "so" then f.so_includes <- n :: f.so_includes
+          else fail2 ln "sinc expects so# reference"
+        end
+        else unknown "so"
+    | Some (Bna n) ->
+        if key "nloc" then n.na_loc <- parse_loc_value src ln vs ve
+        else if key "nparent" then n.na_parent <- parse_parentref src ln vs ve
+        else if key "nmem" then n.na_members <- parse_itemref src ln vs ve :: n.na_members
+        else if key "nalias" then n.na_alias <- Some (intern_sub vs ve)
+        else unknown "na"
+    | Some (Bte te) ->
+        if key "tloc" then te.te_loc <- parse_loc_value src ln vs ve
+        else if key "tparent" then te.te_parent <- parse_parentref src ln vs ve
+        else if key "tacs" then te.te_acs <- intern_sub vs ve
+        else if key "tkind" then te.te_kind <- intern_sub vs ve
+        else if key "ttext" then te.te_text <- Pdb_write.unescape_text (sub src vs ve)
+        else if key "tpos" then te.te_pos <- parse_extent_value src ln vs ve
+        else unknown "te"
+    | Some (Bro r) -> (
+        match c2 with
+        | 'l' ->
+            if key "rloc" then r.ro_loc <- parse_loc_value src ln vs ve
+            else if key "rlink" then r.ro_link <- intern_sub vs ve
+            else unknown "ro"
+        | 'c' ->
+            if key "rclass" then r.ro_parent <- parse_parentref src ln vs ve
+            else if key "rcall" then begin
+              let fl = fields src vs ve in
+              if not (next_field fl) then fail2 ln "malformed rcall";
+              let a = fl.fs and a' = fl.fe in
+              if not (next_field fl) then fail2 ln "malformed rcall";
+              let b = fl.fs and b' = fl.fe in
+              let h, callee = split_id_at ~structural:false src ln a a' in
+              if word_is src a h "ro" then begin
+                let l = parse_loc_fields src ln fl in
+                r.ro_calls <-
+                  { c_callee = callee; c_virt = word_is src b b' "virt"; c_loc = l }
+                  :: r.ro_calls
+              end
+              else fail2 ln "rcall expects ro# reference"
+            end
+            else unknown "ro"
+        | 'n' ->
+            if key "rnspace" then r.ro_parent <- parse_parentref src ln vs ve
+            else unknown "ro"
+        | 'a' ->
+            if key "racs" then r.ro_acs <- intern_sub vs ve else unknown "ro"
+        | 's' ->
+            if key "rsig" then r.ro_sig <- parse_typeref src ln vs ve
+            else if key "rstore" then r.ro_store <- intern_sub vs ve
+            else if key "rstatic" then r.ro_static <- true
+            else unknown "ro"
+        | 'v' ->
+            if key "rvirt" then r.ro_virt <- intern_sub vs ve else unknown "ro"
+        | 'k' ->
+            if key "rkind" then r.ro_kind <- intern_sub vs ve else unknown "ro"
+        | 'i' ->
+            if key "rinline" then r.ro_inline <- true else unknown "ro"
+        | 't' ->
+            if key "rtempl" then begin
+              let h, n = split_id_at ~structural:false src ln vs ve in
+              if word_is src vs h "te" then r.ro_templ <- Some n
+              else fail2 ln "rtempl expects te# reference"
+            end
+            else unknown "ro"
+        | 'd' -> if key "rdef" then r.ro_defined <- true else unknown "ro"
+        | 'p' ->
+            if key "rpos" then r.ro_pos <- parse_extent_value src ln vs ve
+            else unknown "ro"
+        | _ -> unknown "ro")
+    | Some (Bcl (c, pm)) -> (
+        match c2 with
+        | 'l' ->
+            if key "cloc" then c.cl_loc <- parse_loc_value src ln vs ve
+            else unknown "cl"
+        | 'k' ->
+            if key "ckind" then c.cl_kind <- intern_sub vs ve else unknown "cl"
+        | 'p' ->
+            if key "cparent" then c.cl_parent <- parse_parentref src ln vs ve
+            else if key "cpos" then c.cl_pos <- parse_extent_value src ln vs ve
+            else unknown "cl"
+        | 'a' ->
+            if key "cacs" then c.cl_acs <- intern_sub vs ve else unknown "cl"
+        | 't' ->
+            if key "ctempl" then begin
+              let h, n = split_id_at ~structural:false src ln vs ve in
+              if word_is src vs h "te" then c.cl_templ <- Some n
+              else fail2 ln "ctempl expects te# reference"
+            end
+            else unknown "cl"
+        | 's' ->
+            if key "cstempl" then begin
+              let h, n = split_id_at ~structural:false src ln vs ve in
+              if word_is src vs h "te" then c.cl_stempl <- Some n
+              else fail2 ln "cstempl expects te# reference"
+            end
+            else unknown "cl"
+        | 'b' ->
+            if key "cbase" then begin
+              let fl = fields src vs ve in
+              if not (next_field fl) then fail2 ln "malformed cbase";
+              let a = fl.fs and a' = fl.fe in
+              if not (next_field fl) then fail2 ln "malformed cbase";
+              let b = fl.fs and b' = fl.fe in
+              if not (next_field fl) then fail2 ln "malformed cbase";
+              let g = fl.fs and g' = fl.fe in
+              if next_field fl then fail2 ln "malformed cbase";
+              let h, base = split_id_at ~structural:false src ln g g' in
+              if word_is src g h "cl" then
+                c.cl_bases <-
+                  (intern_sub a a', word_is src b b' "virt", base) :: c.cl_bases
+              else fail2 ln "cbase expects cl# reference"
+            end
+            else unknown "cl"
+        | 'f' ->
+            if key "cfriend" then begin
+              let h, n = split_id_at ~structural:false src ln vs ve in
+              if word_is src vs h "cl" then c.cl_friends <- `Cl n :: c.cl_friends
+              else if word_is src vs h "ro" then c.cl_friends <- `Ro n :: c.cl_friends
+              else fail2 ln "cfriend expects cl# or ro#"
+            end
+            else if key "cfunc" then begin
+              let fl = fields src vs ve in
+              if not (next_field fl) then fail2 ln "malformed cfunc";
+              let a = fl.fs and a' = fl.fe in
+              let h, ro = split_id_at ~structural:false src ln a a' in
+              if word_is src a h "ro" then begin
+                let l = parse_loc_fields src ln fl in
+                c.cl_funcs <- (ro, l) :: c.cl_funcs
+              end
+              else fail2 ln "cfunc expects ro# reference"
+            end
+            else unknown "cl"
+        | 'm' ->
+            if key "cmem" then begin
+              (match !pm with
+               | Some m -> c.cl_members <- m :: c.cl_members
+               | None -> ());
+              pm :=
+                Some { m_name = intern_sub vs ve; m_loc = null_loc; m_acs = "NA";
+                       m_kind = "var"; m_type = Tyref 0; m_static = false;
+                       m_mutable = false }
+            end
+            else if key "cmloc" || key "cmacs" || key "cmkind" || key "cmtype"
+                    || key "cmstatic" || key "cmmutable" then begin
+              match !pm with
+              | None -> fail2 ln "member attribute without cmem"
+              | Some m ->
+                  let m' =
+                    if key "cmloc" then { m with m_loc = parse_loc_value src ln vs ve }
+                    else if key "cmacs" then { m with m_acs = intern_sub vs ve }
+                    else if key "cmkind" then { m with m_kind = intern_sub vs ve }
+                    else if key "cmtype" then { m with m_type = parse_typeref src ln vs ve }
+                    else if key "cmstatic" then { m with m_static = true }
+                    else { m with m_mutable = true }
+                  in
+                  pm := Some m'
+            end
+            else unknown "cl"
+        | _ -> unknown "cl")
+    | Some (Bty (ty, a)) -> (
+        match c2 with
+        | 'l' ->
+            if key "yloc" then ty.ty_loc <- parse_loc_value src ln vs ve
+            else unknown "ty"
+        | 'p' ->
+            if key "yparent" then ty.ty_parent <- parse_parentref src ln vs ve
+            else if key "yptr" then a.a_target <- parse_typeref src ln vs ve
+            else unknown "ty"
+        | 'a' ->
+            if key "yacs" then ty.ty_acs <- intern_sub vs ve
+            else if key "yargt" then begin
+              let fl = fields src vs ve in
+              if not (next_field fl) then fail2 ln "malformed yargt";
+              let r = fl.fs and r' = fl.fe in
+              if not (next_field fl) then
+                a.a_args <- (parse_typeref src ln r r', false) :: a.a_args
+              else begin
+                let d = fl.fs and d' = fl.fe in
+                if next_field fl then fail2 ln "malformed yargt";
+                let tr = parse_typeref src ln r r' in
+                a.a_args <- (tr, word_is src d d' "T") :: a.a_args
+              end
+            end
+            else unknown "ty"
+        | 'k' ->
+            if key "ykind" then a.a_kind <- intern_sub vs ve else unknown "ty"
+        | 'i' ->
+            if key "yikind" then a.a_ikind <- intern_sub vs ve else unknown "ty"
+        | 'r' ->
+            if key "yref" then a.a_target <- parse_typeref src ln vs ve
+            else if key "yrett" then a.a_rett <- parse_typeref src ln vs ve
+            else unknown "ty"
+        | 't' ->
+            if key "ytref" then a.a_target <- parse_typeref src ln vs ve
+            else unknown "ty"
+        | 'q' ->
+            if key "yqual" then begin
+              if word_is src vs ve "const" then a.a_const <- true
+              else if word_is src vs ve "volatile" then a.a_vol <- true
+            end
+            else unknown "ty"
+        | 'e' ->
+            if key "yelem" then a.a_elem <- parse_typeref src ln vs ve
+            else if key "yellip" then a.a_ellip <- true
+            else if key "yexcep" then begin
+              let fl = fields src vs ve in
+              let refs = ref [] in
+              let rec go () =
+                if next_field fl then begin
+                  if fl.fe > fl.fs then
+                    refs := parse_typeref src ln fl.fs fl.fe :: !refs;
+                  go ()
+                end
+              in
+              go ();
+              a.a_excep <- Some (List.rev !refs)
+            end
+            else unknown "ty"
+        | 's' ->
+            if key "ysize" then a.a_size <- int_of_sub src vs ve
+            else unknown "ty"
+        | 'c' ->
+            if key "ycon" then begin
+              let fl = fields src vs ve in
+              if not (next_field fl) then fail2 ln "malformed ycon";
+              let n = fl.fs and n' = fl.fe in
+              if not (next_field fl) then fail2 ln "malformed ycon";
+              let v = fl.fs and v' = fl.fe in
+              if next_field fl then fail2 ln "malformed ycon";
+              let value =
+                try Int64.of_string (sub src v v') with e -> raise (Pass2 e)
+              in
+              a.a_cons <- (intern_sub n n', value) :: a.a_cons
+            end
+            else unknown "ty"
+        | 'n' ->
+            if key "yname" then a.a_names <- intern_sub vs ve :: a.a_names
+            else unknown "ty"
+        | _ -> unknown "ty")
+    | Some (Bma m) ->
+        if key "makind" then m.ma_kind <- intern_sub vs ve
+        else if key "matext" then m.ma_text <- Pdb_write.unescape_text (sub src vs ve)
+        else if key "maloc" then m.ma_loc <- parse_loc_value src ln vs ve
+        else unknown "ma"
+  in
+  (* a header line "prefix#id name": start building the new item *)
+  let header ln hs he name_s name_e =
+    let h, id = split_id_at ~structural:true src ln hs he in
+    let nm = if name_s < name_e then intern_sub name_s name_e else "" in
+    let b =
+      if word_is src hs h "so" then Bso { so_id = id; so_name = nm; so_includes = [] }
+      else if word_is src hs h "na" then
+        Bna { na_id = id; na_name = nm; na_loc = null_loc; na_parent = Pnone;
+              na_members = []; na_alias = None }
+      else if word_is src hs h "te" then
+        Bte { te_id = id; te_name = nm; te_loc = null_loc; te_parent = Pnone;
+              te_acs = "NA"; te_kind = "class"; te_text = ""; te_pos = null_extent }
+      else if word_is src hs h "ro" then
+        Bro { ro_id = id; ro_name = nm; ro_loc = null_loc; ro_parent = Pnone;
+              ro_acs = "NA"; ro_sig = Tyref 0; ro_link = "C++"; ro_store = "NA";
+              ro_virt = "no"; ro_kind = "NA"; ro_static = false; ro_inline = false;
+              ro_templ = None; ro_calls = []; ro_pos = null_extent;
               ro_defined = false }
-          in
-          List.iter
-            (fun (ln, k, v) ->
-              match k with
-              | "rloc" -> r.ro_loc <- parse_loc ln v
-              | "rclass" -> r.ro_parent <- parse_parentref ln v
-              | "rnspace" -> r.ro_parent <- parse_parentref ln v
-              | "racs" -> r.ro_acs <- v
-              | "rsig" -> r.ro_sig <- parse_typeref ln v
-              | "rlink" -> r.ro_link <- v
-              | "rstore" -> r.ro_store <- v
-              | "rvirt" -> r.ro_virt <- v
-              | "rkind" -> r.ro_kind <- v
-              | "rstatic" -> r.ro_static <- true
-              | "rinline" -> r.ro_inline <- true
-              | "rtempl" -> (
-                  match split_id ln v with
-                  | "te", n -> r.ro_templ <- Some n
-                  | _ -> fail ln "rtempl expects te# reference")
-              | "rcall" -> (
-                  match String.split_on_char ' ' v with
-                  | callee :: virt :: rest -> (
-                      match split_id ln callee with
-                      | "ro", n ->
-                          let l, _ = parse_loc_words ln rest in
-                          r.ro_calls <-
-                            r.ro_calls @ [ { c_callee = n; c_virt = virt = "virt"; c_loc = l } ]
-                      | _ -> fail ln "rcall expects ro# reference")
-                  | _ -> fail ln "malformed rcall")
-              | "rdef" -> r.ro_defined <- true
-              | "rpos" -> r.ro_pos <- parse_extent ln v
-              | _ -> fail ln "unknown ro attribute '%s'" k)
-            b.b_attrs;
-          routines := r :: !routines
-      | "cl" ->
-          let c =
-            { cl_id = b.b_id; cl_name = b.b_name; cl_loc = null_loc;
-              cl_kind = "class"; cl_parent = Pnone; cl_acs = "NA"; cl_templ = None;
-              cl_stempl = None; cl_bases = []; cl_friends = []; cl_funcs = [];
-              cl_members = []; cl_pos = null_extent }
-          in
-          let pending_member : member option ref = ref None in
-          let flush_member () =
-            match !pending_member with
-            | Some m ->
-                c.cl_members <- c.cl_members @ [ m ];
-                pending_member := None
-            | None -> ()
-          in
-          List.iter
-            (fun (ln, k, v) ->
-              match k with
-              | "cloc" -> c.cl_loc <- parse_loc ln v
-              | "ckind" -> c.cl_kind <- v
-              | "cparent" -> c.cl_parent <- parse_parentref ln v
-              | "cacs" -> c.cl_acs <- v
-              | "ctempl" -> (
-                  match split_id ln v with
-                  | "te", n -> c.cl_templ <- Some n
-                  | _ -> fail ln "ctempl expects te# reference")
-              | "cstempl" -> (
-                  match split_id ln v with
-                  | "te", n -> c.cl_stempl <- Some n
-                  | _ -> fail ln "cstempl expects te# reference")
-              | "cbase" -> (
-                  match String.split_on_char ' ' v with
-                  | [ acs; virt; base ] -> (
-                      match split_id ln base with
-                      | "cl", n -> c.cl_bases <- c.cl_bases @ [ (acs, virt = "virt", n) ]
-                      | _ -> fail ln "cbase expects cl# reference")
-                  | _ -> fail ln "malformed cbase")
-              | "cfriend" -> (
-                  match split_id ln v with
-                  | "cl", n -> c.cl_friends <- c.cl_friends @ [ `Cl n ]
-                  | "ro", n -> c.cl_friends <- c.cl_friends @ [ `Ro n ]
-                  | _ -> fail ln "cfriend expects cl# or ro#")
-              | "cfunc" -> (
-                  match String.split_on_char ' ' v with
-                  | ro :: rest -> (
-                      match split_id ln ro with
-                      | "ro", n ->
-                          let l, _ = parse_loc_words ln rest in
-                          c.cl_funcs <- c.cl_funcs @ [ (n, l) ]
-                      | _ -> fail ln "cfunc expects ro# reference")
-                  | _ -> fail ln "malformed cfunc")
-              | "cmem" ->
-                  flush_member ();
-                  pending_member :=
-                    Some { m_name = v; m_loc = null_loc; m_acs = "NA"; m_kind = "var";
-                           m_type = Tyref 0; m_static = false; m_mutable = false }
-              | "cmloc" | "cmacs" | "cmkind" | "cmtype" | "cmstatic" | "cmmutable" -> (
-                  match !pending_member with
-                  | None -> fail ln "member attribute without cmem"
-                  | Some m ->
-                      let m' =
-                        match k with
-                        | "cmloc" -> { m with m_loc = parse_loc ln v }
-                        | "cmacs" -> { m with m_acs = v }
-                        | "cmkind" -> { m with m_kind = v }
-                        | "cmtype" -> { m with m_type = parse_typeref ln v }
-                        | "cmstatic" -> { m with m_static = true }
-                        | _ -> { m with m_mutable = true }
-                      in
-                      pending_member := Some m')
-              | "cpos" -> c.cl_pos <- parse_extent ln v
-              | _ -> fail ln "unknown cl attribute '%s'" k)
-            b.b_attrs;
-          flush_member ();
-          classes := c :: !classes
-      | "ty" ->
-          let info = ref Yerror in
-          let loc = ref null_loc and parent = ref Pnone and acs = ref "NA" in
-          let names = ref [] in
-          let kind = ref "" in
-          let yikind = ref "" and target = ref (Tyref 0) in
-          let quals_const = ref false and quals_vol = ref false in
-          let elem = ref (Tyref 0) and size = ref None in
-          let rett = ref (Tyref 0) and args = ref [] and ellip = ref false in
-          let excep = ref None in
-          let constants = ref [] in
-          List.iter
-            (fun (ln, k, v) ->
-              match k with
-              | "yloc" -> loc := parse_loc ln v
-              | "yparent" -> parent := parse_parentref ln v
-              | "yacs" -> acs := v
-              | "ykind" -> kind := v
-              | "yikind" -> yikind := v
-              | "yptr" | "yref" | "ytref" -> target := parse_typeref ln v
-              | "yqual" ->
-                  if v = "const" then quals_const := true
-                  else if v = "volatile" then quals_vol := true
-              | "yelem" -> elem := parse_typeref ln v
-              | "ysize" -> size := int_of_string_opt v
-              | "yrett" -> rett := parse_typeref ln v
-              | "yargt" -> (
-                  match String.split_on_char ' ' v with
-                  | [ r; d ] -> args := !args @ [ (parse_typeref ln r, d = "T") ]
-                  | [ r ] -> args := !args @ [ (parse_typeref ln r, false) ]
-                  | _ -> fail ln "malformed yargt")
-              | "yellip" -> ellip := true
-              | "yexcep" ->
-                  excep :=
-                    Some
-                      (List.map (parse_typeref ln)
-                         (List.filter (fun s -> s <> "") (String.split_on_char ' ' v)))
-              | "ycon" -> (
-                  match String.split_on_char ' ' v with
-                  | [ n; value ] -> constants := !constants @ [ (n, Int64.of_string value) ]
-                  | _ -> fail ln "malformed ycon")
-              | "yname" -> names := !names @ [ v ]
-              | _ -> fail ln "unknown ty attribute '%s'" k)
-            b.b_attrs;
-          info :=
-            (match !kind with
-             | "ptr" -> Yptr !target
-             | "ref" -> Yref !target
-             | "tref" -> Ytref { target = !target; yconst = !quals_const; yvolatile = !quals_vol }
-             | "array" -> Yarray { elem = !elem; size = !size }
-             | "func" ->
-                 Yfunc { rett = !rett; args = !args; ellipsis = !ellip;
-                         cqual = !quals_const; exceptions = !excep }
-             | "enum" -> Yenum { constants = !constants }
-             | "tparam" -> Ytparam
-             | "error" -> Yerror
-             | _ -> Ybuiltin { yikind = !yikind });
-          types :=
-            { ty_id = b.b_id; ty_name = b.b_name; ty_loc = !loc; ty_parent = !parent;
-              ty_acs = !acs; ty_info = !info; ty_names = !names }
-            :: !types
-      | "ma" ->
-          let m =
-            { ma_id = b.b_id; ma_name = b.b_name; ma_kind = "def"; ma_text = "";
+      else if word_is src hs h "cl" then
+        Bcl
+          ({ cl_id = id; cl_name = nm; cl_loc = null_loc; cl_kind = "class";
+             cl_parent = Pnone; cl_acs = "NA"; cl_templ = None; cl_stempl = None;
+             cl_bases = []; cl_friends = []; cl_funcs = []; cl_members = [];
+             cl_pos = null_extent },
+           ref None)
+      else if word_is src hs h "ty" then
+        Bty
+          ({ ty_id = id; ty_name = nm; ty_loc = null_loc; ty_parent = Pnone;
+             ty_acs = "NA"; ty_info = Yerror; ty_names = [] },
+           { a_kind = ""; a_ikind = ""; a_target = Tyref 0; a_const = false;
+             a_vol = false; a_elem = Tyref 0; a_size = None; a_rett = Tyref 0;
+             a_args = []; a_ellip = false; a_excep = None; a_cons = [];
+             a_names = [] })
+      else if word_is src hs h "ma" then
+        Bma { ma_id = id; ma_name = nm; ma_kind = "def"; ma_text = "";
               ma_loc = null_loc }
-          in
-          List.iter
-            (fun (ln, k, v) ->
-              match k with
-              | "makind" -> m.ma_kind <- v
-              | "matext" -> m.ma_text <- Pdb_write.unescape_text v
-              | "maloc" -> m.ma_loc <- parse_loc ln v
-              | _ -> fail ln "unknown ma attribute '%s'" k)
-            b.b_attrs;
-          macros := m :: !macros
-      | p -> fail ln "unknown item prefix '%s'" p)
-    blocks;
+      else fail2 ln "unknown item prefix '%s'" (sub src hs h)
+    in
+    cur := Some b;
+    in_block := true
+  in
+  let is_space c = c = ' ' || c = '\t' || c = '\r' || c = '\012' in
+  let pos = ref 0 and lineno = ref 0 in
+  while !pos <= len do
+    incr lineno;
+    let ln = !lineno in
+    let ls = !pos in
+    let nl =
+      (* index_from, not index_from_opt: memchr speed without the
+         per-line [Some] allocation *)
+      if ls >= len then len
+      else
+        match String.index_from src ls '\n' with
+        | i -> i
+        | exception Not_found -> len
+    in
+    pos := nl + 1;
+    (* trim the line in place *)
+    let s = ref ls and e = ref nl in
+    while !s < !e && is_space (String.unsafe_get src !s) do incr s done;
+    while !e > !s && is_space (String.unsafe_get src (!e - 1)) do decr e done;
+    let s = !s and e = !e in
+    if s >= e then finalize ()
+    else if e - s > 5 && word_is src s (s + 5) "<PDB " then
+      t.version <- sub src (s + 5) (e - 1)
+    else begin
+      (* key = up to the first space; value = the rest of the line *)
+      let rec sp i = if i >= e || String.unsafe_get src i = ' ' then i else sp (i + 1) in
+      let ke = sp s in
+      let rec hash i =
+        if i >= ke then -1 else if String.unsafe_get src i = '#' then i else hash (i + 1)
+      in
+      let is_header = hash s >= 0 in
+      match !deferred with
+      | Some _ ->
+          (* structure-only continuation: validate ids and placement, as
+             the reference parser's first pass does *)
+          if is_header then begin
+            ignore (split_id_at ~structural:true src ln s ke);
+            in_block := true
+          end
+          else if not !in_block then
+            fail ln "attribute '%s' outside of an item block" (sub src s ke)
+      | None -> (
+          try
+            if is_header then begin
+              finalize ();
+              header ln s ke (if ke < e then ke + 1 else e) e
+            end
+            else begin
+              let vs = if ke < e then ke + 1 else e in
+              attribute ln s ke vs e
+            end
+          with Pass2 err ->
+            deferred := Some err;
+            cur := None;
+            in_block := true)
+    end
+  done;
+  (match !deferred with Some err -> raise err | None -> ());
+  finalize ();
   t.files <- List.rev !files;
   t.types <- List.rev !types;
   t.classes <- List.rev !classes;

@@ -2,7 +2,11 @@
 
     Each item is a block: a first line [<prefix>#<id> <name>] followed by one
     attribute per line, and a blank line between items.  Multi-line text
-    (template and macro bodies) is escaped. *)
+    (template and macro bodies) is escaped.
+
+    The emitters append to the output buffer directly — no [Printf] format
+    interpretation and no intermediate strings on the per-line hot path.
+    The [*_str] helpers remain for callers that want standalone fragments. *)
 
 open Pdb
 
@@ -39,184 +43,265 @@ let unescape_text s =
   go 0;
   Buffer.contents b
 
-let loc_str (l : loc) =
-  if l.lfile = 0 then "NULL 0 0"
-  else Printf.sprintf "so#%d %d %d" l.lfile l.lline l.lcol
+let add_int b n = Buffer.add_string b (string_of_int n)
 
-let extent_str (e : extent) =
-  Printf.sprintf "%s %s %s %s" (loc_str e.hstart) (loc_str e.hstop)
-    (loc_str e.bstart) (loc_str e.bstop)
+let add_loc b (l : loc) =
+  if l.lfile = 0 then Buffer.add_string b "NULL 0 0"
+  else begin
+    Buffer.add_string b "so#";
+    add_int b l.lfile;
+    Buffer.add_char b ' ';
+    add_int b l.lline;
+    Buffer.add_char b ' ';
+    add_int b l.lcol
+  end
 
-let typeref_str = function
-  | Tyref id -> Printf.sprintf "ty#%d" id
-  | Clref id -> Printf.sprintf "cl#%d" id
+let add_extent b (e : extent) =
+  add_loc b e.hstart;
+  Buffer.add_char b ' ';
+  add_loc b e.hstop;
+  Buffer.add_char b ' ';
+  add_loc b e.bstart;
+  Buffer.add_char b ' ';
+  add_loc b e.bstop
+
+let add_typeref b = function
+  | Tyref id ->
+      Buffer.add_string b "ty#";
+      add_int b id
+  | Clref id ->
+      Buffer.add_string b "cl#";
+      add_int b id
+
+let add_itemref b r =
+  let p, id =
+    match r with
+    | Rso id -> ("so#", id)
+    | Rro id -> ("ro#", id)
+    | Rcl id -> ("cl#", id)
+    | Rty id -> ("ty#", id)
+    | Rte id -> ("te#", id)
+    | Rna id -> ("na#", id)
+    | Rma id -> ("ma#", id)
+  in
+  Buffer.add_string b p;
+  add_int b id
+
+let in_buf n f =
+  let b = Buffer.create n in
+  f b;
+  Buffer.contents b
+
+let loc_str (l : loc) = in_buf 24 (fun b -> add_loc b l)
+let extent_str (e : extent) = in_buf 96 (fun b -> add_extent b e)
+let typeref_str r = in_buf 12 (fun b -> add_typeref b r)
+let itemref_str r = in_buf 12 (fun b -> add_itemref b r)
 
 let parent_str = function
-  | Pcl id -> Some (Printf.sprintf "cl#%d" id)
-  | Pna id -> Some (Printf.sprintf "na#%d" id)
+  | Pcl id -> Some ("cl#" ^ string_of_int id)
+  | Pna id -> Some ("na#" ^ string_of_int id)
   | Pnone -> None
 
-let itemref_str = function
-  | Rso id -> Printf.sprintf "so#%d" id
-  | Rro id -> Printf.sprintf "ro#%d" id
-  | Rcl id -> Printf.sprintf "cl#%d" id
-  | Rty id -> Printf.sprintf "ty#%d" id
-  | Rte id -> Printf.sprintf "te#%d" id
-  | Rna id -> Printf.sprintf "na#%d" id
-  | Rma id -> Printf.sprintf "ma#%d" id
-
 let write_to_buffer (t : t) (b : Buffer.t) : unit =
-  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
-  let blank () = Buffer.add_char b '\n' in
-  line "<PDB %s>" t.version;
-  blank ();
+  let str s = Buffer.add_string b s in
+  let ch c = Buffer.add_char b c in
+  let nl () = ch '\n' in
+  (* "key value" for a string-valued attribute *)
+  let kv k v = str k; ch ' '; str v; nl () in
+  let kloc k l = str k; ch ' '; add_loc b l; nl () in
+  let kextent k e = str k; ch ' '; add_extent b e; nl () in
+  let ktyperef k r = str k; ch ' '; add_typeref b r; nl () in
+  (* "key so#" ^ id — for attributes whose value is a single reference *)
+  let kid k id = str k; add_int b id; nl () in
+  let flag k = str k; nl () in
+  let header prefix id name = str prefix; add_int b id; ch ' '; str name; nl () in
+  let parent k = function
+    | Pcl id -> str k; str " cl#"; add_int b id; nl ()
+    | Pna id -> str k; str " na#"; add_int b id; nl ()
+    | Pnone -> ()
+  in
+  str "<PDB ";
+  str t.version;
+  str ">\n";
+  nl ();
   (* source files *)
   List.iter
     (fun f ->
-      line "so#%d %s" f.so_id f.so_name;
-      List.iter (fun i -> line "sinc so#%d" i) f.so_includes;
-      blank ())
+      header "so#" f.so_id f.so_name;
+      List.iter (fun i -> kid "sinc so#" i) f.so_includes;
+      nl ())
     t.files;
   (* namespaces *)
   List.iter
     (fun n ->
-      line "na#%d %s" n.na_id n.na_name;
-      if n.na_loc <> null_loc then line "nloc %s" (loc_str n.na_loc);
-      Option.iter (fun p -> line "nparent %s" p) (parent_str n.na_parent);
-      List.iter (fun r -> line "nmem %s" (itemref_str r)) n.na_members;
-      Option.iter (fun a -> line "nalias %s" a) n.na_alias;
-      blank ())
+      header "na#" n.na_id n.na_name;
+      if n.na_loc <> null_loc then kloc "nloc" n.na_loc;
+      parent "nparent" n.na_parent;
+      List.iter (fun r -> str "nmem "; add_itemref b r; nl ()) n.na_members;
+      Option.iter (fun a -> kv "nalias" a) n.na_alias;
+      nl ())
     t.namespaces;
   (* templates *)
   List.iter
     (fun te ->
-      line "te#%d %s" te.te_id te.te_name;
-      if te.te_loc <> null_loc then line "tloc %s" (loc_str te.te_loc);
-      Option.iter (fun p -> line "tparent %s" p) (parent_str te.te_parent);
-      if te.te_acs <> "NA" then line "tacs %s" te.te_acs;
-      line "tkind %s" te.te_kind;
-      if te.te_text <> "" then line "ttext %s" (escape_text te.te_text);
-      if te.te_pos <> null_extent then line "tpos %s" (extent_str te.te_pos);
-      blank ())
+      header "te#" te.te_id te.te_name;
+      if te.te_loc <> null_loc then kloc "tloc" te.te_loc;
+      parent "tparent" te.te_parent;
+      if te.te_acs <> "NA" then kv "tacs" te.te_acs;
+      kv "tkind" te.te_kind;
+      if te.te_text <> "" then kv "ttext" (escape_text te.te_text);
+      if te.te_pos <> null_extent then kextent "tpos" te.te_pos;
+      nl ())
     t.templates;
   (* routines *)
   List.iter
     (fun r ->
-      line "ro#%d %s" r.ro_id r.ro_name;
-      if r.ro_loc <> null_loc then line "rloc %s" (loc_str r.ro_loc);
+      header "ro#" r.ro_id r.ro_name;
+      if r.ro_loc <> null_loc then kloc "rloc" r.ro_loc;
       (match r.ro_parent with
-       | Pcl id -> line "rclass cl#%d" id
-       | Pna id -> line "rnspace na#%d" id
+       | Pcl id -> kid "rclass cl#" id
+       | Pna id -> kid "rnspace na#" id
        | Pnone -> ());
-      if r.ro_acs <> "NA" then line "racs %s" r.ro_acs;
-      line "rsig %s" (typeref_str r.ro_sig);
-      line "rlink %s" r.ro_link;
-      line "rstore %s" r.ro_store;
-      line "rvirt %s" r.ro_virt;
-      if r.ro_kind <> "NA" then line "rkind %s" r.ro_kind;
-      if r.ro_static then line "rstatic";
-      if r.ro_inline then line "rinline";
-      Option.iter (fun te -> line "rtempl te#%d" te) r.ro_templ;
+      if r.ro_acs <> "NA" then kv "racs" r.ro_acs;
+      ktyperef "rsig" r.ro_sig;
+      kv "rlink" r.ro_link;
+      kv "rstore" r.ro_store;
+      kv "rvirt" r.ro_virt;
+      if r.ro_kind <> "NA" then kv "rkind" r.ro_kind;
+      if r.ro_static then flag "rstatic";
+      if r.ro_inline then flag "rinline";
+      Option.iter (fun te -> kid "rtempl te#" te) r.ro_templ;
       List.iter
         (fun c ->
-          line "rcall ro#%d %s %s" c.c_callee
-            (if c.c_virt then "virt" else "no")
-            (loc_str c.c_loc))
+          str "rcall ro#";
+          add_int b c.c_callee;
+          str (if c.c_virt then " virt " else " no ");
+          add_loc b c.c_loc;
+          nl ())
         r.ro_calls;
-      if r.ro_defined then line "rdef";
-      if r.ro_pos <> null_extent then line "rpos %s" (extent_str r.ro_pos);
-      blank ())
+      if r.ro_defined then flag "rdef";
+      if r.ro_pos <> null_extent then kextent "rpos" r.ro_pos;
+      nl ())
     t.routines;
   (* classes *)
   List.iter
     (fun c ->
-      line "cl#%d %s" c.cl_id c.cl_name;
-      if c.cl_loc <> null_loc then line "cloc %s" (loc_str c.cl_loc);
-      line "ckind %s" c.cl_kind;
-      Option.iter (fun p -> line "cparent %s" p) (parent_str c.cl_parent);
-      if c.cl_acs <> "NA" then line "cacs %s" c.cl_acs;
-      Option.iter (fun te -> line "ctempl te#%d" te) c.cl_templ;
-      Option.iter (fun te -> line "cstempl te#%d" te) c.cl_stempl;
+      header "cl#" c.cl_id c.cl_name;
+      if c.cl_loc <> null_loc then kloc "cloc" c.cl_loc;
+      kv "ckind" c.cl_kind;
+      parent "cparent" c.cl_parent;
+      if c.cl_acs <> "NA" then kv "cacs" c.cl_acs;
+      Option.iter (fun te -> kid "ctempl te#" te) c.cl_templ;
+      Option.iter (fun te -> kid "cstempl te#" te) c.cl_stempl;
       List.iter
         (fun (acs, virt, base) ->
-          line "cbase %s %s cl#%d" acs (if virt then "virt" else "no") base)
+          str "cbase ";
+          str acs;
+          str (if virt then " virt cl#" else " no cl#");
+          add_int b base;
+          nl ())
         c.cl_bases;
       List.iter
         (function
-          | `Cl id -> line "cfriend cl#%d" id
-          | `Ro id -> line "cfriend ro#%d" id)
+          | `Cl id -> kid "cfriend cl#" id
+          | `Ro id -> kid "cfriend ro#" id)
         c.cl_friends;
-      List.iter (fun (ro, l) -> line "cfunc ro#%d %s" ro (loc_str l)) c.cl_funcs;
+      List.iter
+        (fun (ro, l) ->
+          str "cfunc ro#";
+          add_int b ro;
+          ch ' ';
+          add_loc b l;
+          nl ())
+        c.cl_funcs;
       List.iter
         (fun m ->
-          line "cmem %s" m.m_name;
-          line "cmloc %s" (loc_str m.m_loc);
-          line "cmacs %s" m.m_acs;
-          line "cmkind %s" m.m_kind;
-          line "cmtype %s" (typeref_str m.m_type);
-          if m.m_static then line "cmstatic";
-          if m.m_mutable then line "cmmutable")
+          kv "cmem" m.m_name;
+          kloc "cmloc" m.m_loc;
+          kv "cmacs" m.m_acs;
+          kv "cmkind" m.m_kind;
+          ktyperef "cmtype" m.m_type;
+          if m.m_static then flag "cmstatic";
+          if m.m_mutable then flag "cmmutable")
         c.cl_members;
-      if c.cl_pos <> null_extent then line "cpos %s" (extent_str c.cl_pos);
-      blank ())
+      if c.cl_pos <> null_extent then kextent "cpos" c.cl_pos;
+      nl ())
     t.classes;
   (* types *)
   List.iter
     (fun ty ->
-      line "ty#%d %s" ty.ty_id ty.ty_name;
-      if ty.ty_loc <> null_loc then line "yloc %s" (loc_str ty.ty_loc);
-      Option.iter (fun p -> line "yparent %s" p) (parent_str ty.ty_parent);
-      if ty.ty_acs <> "NA" then line "yacs %s" ty.ty_acs;
+      header "ty#" ty.ty_id ty.ty_name;
+      if ty.ty_loc <> null_loc then kloc "yloc" ty.ty_loc;
+      parent "yparent" ty.ty_parent;
+      if ty.ty_acs <> "NA" then kv "yacs" ty.ty_acs;
       (match ty.ty_info with
        | Ybuiltin { yikind } ->
-           line "ykind %s" ty.ty_name;
-           line "yikind %s" yikind
+           kv "ykind" ty.ty_name;
+           kv "yikind" yikind
        | Yptr r ->
-           line "ykind ptr";
-           line "yptr %s" (typeref_str r)
+           flag "ykind ptr";
+           ktyperef "yptr" r
        | Yref r ->
-           line "ykind ref";
-           line "yref %s" (typeref_str r)
+           flag "ykind ref";
+           ktyperef "yref" r
        | Ytref { target; yconst; yvolatile } ->
-           line "ykind tref";
-           line "ytref %s" (typeref_str target);
-           if yconst then line "yqual const";
-           if yvolatile then line "yqual volatile"
+           flag "ykind tref";
+           ktyperef "ytref" target;
+           if yconst then flag "yqual const";
+           if yvolatile then flag "yqual volatile"
        | Yarray { elem; size } ->
-           line "ykind array";
-           line "yelem %s" (typeref_str elem);
-           Option.iter (fun n -> line "ysize %d" n) size
+           flag "ykind array";
+           ktyperef "yelem" elem;
+           Option.iter (fun n -> str "ysize "; add_int b n; nl ()) size
        | Yfunc { rett; args; ellipsis; cqual; exceptions } ->
-           line "ykind func";
-           line "yrett %s" (typeref_str rett);
+           flag "ykind func";
+           ktyperef "yrett" rett;
            List.iter
-             (fun (r, d) -> line "yargt %s %s" (typeref_str r) (if d then "T" else "F"))
+             (fun (r, d) ->
+               str "yargt ";
+               add_typeref b r;
+               str (if d then " T" else " F");
+               nl ())
              args;
-           if ellipsis then line "yellip";
-           if cqual then line "yqual const";
+           if ellipsis then flag "yellip";
+           if cqual then flag "yqual const";
            Option.iter
              (fun refs ->
-               line "yexcep %s" (String.concat " " (List.map typeref_str refs)))
+               str "yexcep ";
+               List.iteri
+                 (fun i r ->
+                   if i > 0 then ch ' ';
+                   add_typeref b r)
+                 refs;
+               nl ())
              exceptions
        | Yenum { constants } ->
-           line "ykind enum";
-           List.iter (fun (n, v) -> line "ycon %s %Ld" n v) constants
-       | Ytparam -> line "ykind tparam"
-       | Yerror -> line "ykind error");
-      List.iter (fun n -> line "yname %s" n) ty.ty_names;
-      blank ())
+           flag "ykind enum";
+           List.iter
+             (fun (n, v) ->
+               str "ycon ";
+               str n;
+               ch ' ';
+               str (Int64.to_string v);
+               nl ())
+             constants
+       | Ytparam -> flag "ykind tparam"
+       | Yerror -> flag "ykind error");
+      List.iter (fun n -> kv "yname" n) ty.ty_names;
+      nl ())
     t.types;
   (* macros *)
   List.iter
     (fun m ->
-      line "ma#%d %s" m.ma_id m.ma_name;
-      line "makind %s" m.ma_kind;
-      if m.ma_text <> "" then line "matext %s" (escape_text m.ma_text);
-      if m.ma_loc <> null_loc then line "maloc %s" (loc_str m.ma_loc);
-      blank ())
+      header "ma#" m.ma_id m.ma_name;
+      kv "makind" m.ma_kind;
+      if m.ma_text <> "" then kv "matext" (escape_text m.ma_text);
+      if m.ma_loc <> null_loc then kloc "maloc" m.ma_loc;
+      nl ())
     t.pdb_macros
 
 let to_string (t : t) : string =
+  Pdt_util.Perf.time "pdb.write" @@ fun () ->
   let b = Buffer.create 65536 in
   write_to_buffer t b;
   Buffer.contents b

@@ -110,6 +110,95 @@ let test_merge_idempotent_normalized () =
     (pdb_string normalized)
     (pdb_string (D.merge [ normalized ]))
 
+(* ---------------- parallel tree merge ---------------- *)
+
+module MP = Pdt_build.Merge_par
+
+(* The tree merge is only correct because D.merge is canonical, i.e. its
+   output does not depend on how the inputs were grouped into partial
+   merges.  Pin that property directly with hand-built trees. *)
+let test_merge_grouping_independent () =
+  let pdbs = project_pdbs () in
+  let reference = pdb_string (D.merge pdbs) in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let drop n l = List.filteri (fun i _ -> i >= n) l in
+  let balanced = D.merge [ D.merge (take 3 pdbs); D.merge (drop 3 pdbs) ] in
+  Alcotest.(check string) "balanced tree = flat merge" reference
+    (pdb_string balanced);
+  let skewed =
+    List.fold_left
+      (fun acc p -> D.merge [ acc; p ])
+      (List.hd pdbs) (List.tl pdbs)
+  in
+  Alcotest.(check string) "left-skewed tree = flat merge" reference
+    (pdb_string skewed)
+
+let test_parallel_merge_byte_identical () =
+  let pdbs = project_pdbs () in
+  let reference = pdb_string (D.merge pdbs) in
+  List.iter
+    (fun d ->
+      Alcotest.(check string)
+        (Printf.sprintf "tree merge with %d domains" d)
+        reference
+        (pdb_string (MP.merge ~domains:d pdbs)))
+    [ 1; 2; 8 ]
+
+let test_parallel_merge_order_independent () =
+  let pdbs = project_pdbs () in
+  let reference = pdb_string (D.merge pdbs) in
+  let permutations =
+    [ List.rev pdbs;
+      (match pdbs with [] -> [] | x :: rest -> rest @ [ x ]) ]
+  in
+  List.iteri
+    (fun i perm ->
+      Alcotest.(check string)
+        (Printf.sprintf "tree merge of permutation %d" i)
+        reference
+        (pdb_string (MP.merge ~domains:2 perm)))
+    permutations
+
+(* A declaration in one PDB and the definition in another must merge to
+   the same bytes whichever input, chunk, or tree level sees them first —
+   and the definition must survive. *)
+let test_parallel_merge_decl_def () =
+  let mini ~defined =
+    let p = P.create () in
+    p.P.files <- [ { P.so_id = 1; so_name = "a.h"; so_includes = [] } ];
+    p.P.types <-
+      [ { P.ty_id = 2; ty_name = "int"; ty_loc = P.null_loc;
+          ty_parent = P.Pnone; ty_acs = "NA";
+          ty_info = P.Ybuiltin { yikind = "int" }; ty_names = [] };
+        { P.ty_id = 3; ty_name = ""; ty_loc = P.null_loc;
+          ty_parent = P.Pnone; ty_acs = "NA";
+          ty_info =
+            P.Yfunc
+              { rett = P.Tyref 2; args = []; ellipsis = false;
+                cqual = false; exceptions = None };
+          ty_names = [] } ];
+    p.P.routines <-
+      [ { P.ro_id = 4; ro_name = "f";
+          ro_loc = { P.lfile = 1; lline = 3; lcol = 1 };
+          ro_parent = P.Pnone; ro_acs = "NA"; ro_sig = P.Tyref 3;
+          ro_link = "C++"; ro_store = "NA"; ro_virt = "no"; ro_kind = "NA";
+          ro_static = false; ro_inline = false; ro_templ = None;
+          ro_calls = []; ro_pos = P.null_extent; ro_defined = defined } ];
+    p
+  in
+  let decl = mini ~defined:false and def = mini ~defined:true in
+  let a = pdb_string (D.merge [ decl; def ]) in
+  let b = pdb_string (D.merge [ def; decl ]) in
+  Alcotest.(check string) "decl/def order irrelevant" a b;
+  let grouped = pdb_string (D.merge [ D.merge [ decl ]; D.merge [ def ] ]) in
+  Alcotest.(check string) "decl/def grouping irrelevant" a grouped;
+  let merged = D.merge [ decl; def ] in
+  match merged.P.routines with
+  | [ r ] -> Alcotest.(check bool) "definition survives" true r.P.ro_defined
+  | rs ->
+      Alcotest.fail
+        (Printf.sprintf "expected 1 merged routine, got %d" (List.length rs))
+
 (* ---------------- the incremental cache ---------------- *)
 
 let test_warm_cache_recompiles_nothing () =
@@ -251,6 +340,14 @@ let suite =
       test_merge_order_independent;
     Alcotest.test_case "merge is idempotent (normalized)" `Quick
       test_merge_idempotent_normalized;
+    Alcotest.test_case "merge is grouping independent" `Quick
+      test_merge_grouping_independent;
+    Alcotest.test_case "tree merge byte-identical (1/2/8 domains)" `Quick
+      test_parallel_merge_byte_identical;
+    Alcotest.test_case "tree merge input-order independent" `Quick
+      test_parallel_merge_order_independent;
+    Alcotest.test_case "tree merge decl/def pairs" `Quick
+      test_parallel_merge_decl_def;
     Alcotest.test_case "warm cache recompiles nothing" `Quick
       test_warm_cache_recompiles_nothing;
     Alcotest.test_case "edit invalidates exactly one entry" `Quick

@@ -1,8 +1,12 @@
-(* PDB format tests: writer/parser roundtrip, escaping, property tests. *)
+(* PDB format tests: writer/parser roundtrip, escaping, property tests,
+   and cross-checks of the single-pass cursor parser against the seed
+   reference parser (same structure on valid input, same Parse_error line
+   numbers and messages on malformed input). *)
 
 module P = Pdt_pdb.Pdb
 module W = Pdt_pdb.Pdb_write
 module R = Pdt_pdb.Pdb_parse
+module Ref = Pdt_pdb.Pdb_parse_ref
 
 let roundtrip pdb =
   let s = W.to_string pdb in
@@ -138,6 +142,82 @@ let gen_pdb : P.t QCheck.Gen.t =
     pdb.P.routines <- routines;
     return pdb)
 
+(* ------------------------------------------------------------------ *)
+(* Cursor parser vs the seed reference parser                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Each parser raises its own [Parse_error]; fold both (plus the raw
+   [Failure] that ycon's Int64.of_string produces) into one comparable,
+   printable outcome. *)
+let outcome (parse : string -> P.t) (src : string) : string =
+  match parse src with
+  | _ -> "parsed"
+  | exception R.Parse_error (l, m) -> Printf.sprintf "Parse_error line %d: %s" l m
+  | exception Ref.Parse_error (l, m) -> Printf.sprintf "Parse_error line %d: %s" l m
+  | exception Failure m -> "Failure: " ^ m
+
+(* Malformed (and deliberately odd but accepted) inputs.  The interesting
+   rows pin the reference parser's two-pass error ordering: structural
+   errors (bad header ids, attributes outside a block) win over semantic
+   errors on earlier lines. *)
+let malformed_cases =
+  [ "rloc so#1 1 1\n";                      (* attribute before any block *)
+    "xx#zz name\n";                         (* unparseable header id *)
+    "qq#1 x\n";                             (* unknown item prefix *)
+    "ro#1 f\nrloc so#1 2\n";                (* truncated location *)
+    "ro#1 f\nrloc NULL 0\n";                (* truncated NULL location *)
+    "ro#1 f\nrloc so#1 x 3\n";              (* non-numeric line number *)
+    "ro#1 f\nrloc na#1 2 3\n";              (* location on a non-file *)
+    "ro#1 f\nrsig banana\n";                (* typeref without an id *)
+    "ro#1 f\nrcall ro#2\n";                 (* rcall missing virt + loc *)
+    "ro#1 f\nrcall xx#2 virt so#1 1 1\n";   (* rcall on a non-routine *)
+    "ro#1 f\nbogus value\n";                (* unknown ro attribute *)
+    "so#1 a.h\nbogus attr\n";               (* unknown so attribute *)
+    "so#1 a.h\nsinc ty#2\n";                (* include of a non-file *)
+    "cl#1 C\ncbase pub  no cl#2\n";         (* empty field: 4 cbase fields *)
+    "cl#1 C\ncmloc so#1 1 1\n";             (* member attr without cmem *)
+    "te#1 T\ntpos so#1 1 1 so#1 1 1 so#1 1\n"; (* truncated extent *)
+    "ty#1 E\nykind enum\nycon a xyz\n";     (* Int64.of_string failure *)
+    "ro#1 f\nrsig banana\nxx#zz nm\n";      (* late structural error wins *)
+    "ro#1 f\nrsig banana\n\nrloc so#1 1 1\n"; (* ...so does late placement *)
+    "ro#1 f\nrloc so#1 -2 0x10\n";          (* exotic ints: accepted *)
+    "ty#1 X\nyqual weird\n";                (* unknown qualifier: ignored *)
+    "ro#1 f\nrloc so#1 1 1 trailing junk\n" (* extra loc fields: ignored *)
+  ]
+
+let test_malformed_matches_reference () =
+  List.iter
+    (fun src ->
+      Alcotest.(check string)
+        (String.concat "; " (String.split_on_char '\n' src))
+        (outcome Ref.of_string src) (outcome R.of_string src))
+    malformed_cases
+
+let test_cursor_matches_reference_stack () =
+  let vfs = Pdt_workloads.Stack.vfs () in
+  let c = Pdt.compile ~vfs Pdt_workloads.Stack.main_file in
+  let s = W.to_string (Pdt_analyzer.Analyzer.run c.Pdt.program) in
+  Alcotest.(check bool) "structurally equal parse" true
+    (R.of_string s = Ref.of_string s)
+
+let test_interning_shares_names () =
+  let vfs = Pdt_workloads.Stack.vfs () in
+  let c = Pdt.compile ~vfs Pdt_workloads.Stack.main_file in
+  let s = W.to_string (Pdt_analyzer.Analyzer.run c.Pdt.program) in
+  let p1 = R.of_string s and p2 = R.of_string s in
+  match (p1.P.routines, p2.P.routines) with
+  | r1 :: _, r2 :: _ ->
+      Alcotest.(check bool) "equal names" true (r1.P.ro_name = r2.P.ro_name);
+      Alcotest.(check bool) "physically shared names" true
+        (r1.P.ro_name == r2.P.ro_name)
+  | _ -> Alcotest.fail "stack PDB has routines"
+
+let prop_matches_reference =
+  QCheck.Test.make ~count:100 ~name:"cursor parser = reference parser"
+    (QCheck.make gen_pdb) (fun pdb ->
+      let s = W.to_string pdb in
+      R.of_string s = Ref.of_string s)
+
 let prop_roundtrip =
   QCheck.Test.make ~count:100 ~name:"random PDB write/parse/write stable"
     (QCheck.make gen_pdb) (fun pdb ->
@@ -158,5 +238,12 @@ let suite =
     Alcotest.test_case "parse error reporting" `Quick test_parse_error_reporting;
     Alcotest.test_case "null locations" `Quick test_null_locations;
     Alcotest.test_case "typeref names" `Quick test_typeref_names;
+    Alcotest.test_case "malformed input matches reference parser" `Quick
+      test_malformed_matches_reference;
+    Alcotest.test_case "cursor parser matches reference on stack" `Quick
+      test_cursor_matches_reference_stack;
+    Alcotest.test_case "interning shares parsed names" `Quick
+      test_interning_shares_names;
+    QCheck_alcotest.to_alcotest prop_matches_reference;
     QCheck_alcotest.to_alcotest prop_roundtrip;
     QCheck_alcotest.to_alcotest prop_item_count ]
