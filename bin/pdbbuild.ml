@@ -10,13 +10,16 @@
 
 open Cmdliner
 
-let run sources includes output jobs cache_dir no_cache verbose stats =
+let run sources includes output jobs cache_dir no_cache retries fail_fast
+    verbose stats =
   let vfs = Pdt_util.Vfs.create ~include_paths:includes () in
   Pdt_util.Vfs.set_disk_fallback vfs true;
   let options =
     { Pdt_build.Build.default_options with
       domains = jobs;
-      cache_dir = (if no_cache then None else Some cache_dir) }
+      cache_dir = (if no_cache then None else Some cache_dir);
+      retries;
+      fail_fast }
   in
   let r = Pdt_build.Build.build ~options ~vfs sources in
   List.iter
@@ -27,7 +30,8 @@ let run sources includes output jobs cache_dir no_cache verbose stats =
       (fun (u : Pdt_build.Build.unit_result) ->
         Printf.printf "  %-30s %-8s %.3fs\n" u.source
           (match u.status with
-           | Compiled -> "compiled" | Cached -> "cached" | Failed _ -> "FAILED")
+           | Compiled -> "compiled" | Cached -> "cached"
+           | Failed _ -> "FAILED" | Skipped -> "skipped")
           u.seconds)
       r.units;
   (* serialize the merged PDB once; the file and the digest share the bytes *)
@@ -47,9 +51,16 @@ let run sources includes output jobs cache_dir no_cache verbose stats =
       s.Pdt_util.Intern.entries s.Pdt_util.Intern.hits s.Pdt_util.Intern.misses
       (100.0 *. Pdt_util.Intern.hit_rate ())
   end;
-  (* failures don't sink the build, but they must not go unnoticed either:
-     0 = clean, 2 = partial (merged PDB written), 1 = nothing compiled *)
-  if r.failed = 0 then 0 else if r.failed < List.length r.units then 2 else 1
+  (* structured exit codes — failures don't sink the build (under
+     --keep-going), but they must not go unnoticed either:
+       0 = clean
+       1 = total failure: no unit produced a PDB
+       2 = partial: some units failed, merged PDB of the rest written
+       3 = aborted: --fail-fast stopped the build, units were skipped *)
+  if r.skipped > 0 then 3
+  else if r.failed = 0 then 0
+  else if r.compiled + r.cached > 0 then 2
+  else 1
 
 let sources =
   Arg.(non_empty & pos_all file []
@@ -72,6 +83,22 @@ let cache_dir =
 let no_cache =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the incremental cache")
 
+let retries =
+  Arg.(value & opt int Pdt_build.Build.default_options.retries
+       & info [ "retries" ] ~docv:"N"
+           ~doc:"Extra attempts per unit on transient failures (I/O errors, \
+                 flaky workers).  Deterministic compile errors never retry.")
+
+let fail_fast =
+  let fail = Arg.info [ "fail-fast" ]
+      ~doc:"Stop scheduling new units after the first failure (exit code 3); \
+            units already running finish."
+  and keep = Arg.info [ "keep-going" ]
+      ~doc:"Compile every unit despite failures and merge the survivors \
+            (default; exit code 2 on partial failure)."
+  in
+  Arg.(value & vflag false [ (true, fail); (false, keep) ])
+
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print per-unit status and timing")
 
@@ -85,6 +112,6 @@ let cmd =
   let doc = "compile a project to one merged program database, in parallel and incrementally" in
   Cmd.v (Cmd.info "pdbbuild" ~doc)
     Term.(const run $ sources $ includes $ output $ jobs $ cache_dir $ no_cache
-          $ verbose $ stats)
+          $ retries $ fail_fast $ verbose $ stats)
 
 let () = exit (Cmd.eval' cmd)

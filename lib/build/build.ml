@@ -34,6 +34,11 @@ let language_of_source path =
 type options = {
   domains : int;             (** worker domains; 1 = sequential *)
   cache_dir : string option; (** [None] disables the incremental cache *)
+  retries : int;             (** extra attempts per unit on transient
+                                 failures (injected faults, [Sys_error]);
+                                 deterministic diagnostics never retry *)
+  fail_fast : bool;          (** stop scheduling new units after the first
+                                 failure; unscheduled units are [Skipped] *)
   sema : Pdt_sema.Sema.options;
   mapping : Pdt_analyzer.Analyzer.mapping;
 }
@@ -41,6 +46,8 @@ type options = {
 let default_options =
   { domains = 1;
     cache_dir = Some Cache.default_dir;
+    retries = 2;
+    fail_fast = false;
     sema = Pdt_sema.Sema.default_options;
     mapping = Pdt_analyzer.Analyzer.Location_based }
 
@@ -61,11 +68,12 @@ type status =
   | Compiled            (** compiled this run (cache miss or no cache) *)
   | Cached              (** loaded from the incremental cache *)
   | Failed of string    (** diagnostics / exception text; unit excluded *)
+  | Skipped             (** never scheduled: fail-fast stopped the build *)
 
 type unit_result = {
   source : string;
   status : status;
-  pdb : Pdt_pdb.Pdb.t option;  (** [None] iff [Failed] *)
+  pdb : Pdt_pdb.Pdb.t option;  (** [None] iff [Failed] or [Skipped] *)
   seconds : float;
 }
 
@@ -75,6 +83,7 @@ type result = {
   compiled : int;
   cached : int;
   failed : int;
+  skipped : int;               (** only nonzero under [fail_fast] *)
   wall_seconds : float;
   cpu_seconds : float;         (** sum of per-unit times across workers *)
 }
@@ -109,13 +118,25 @@ let compile_unit (o : options) ~vfs source : Pdt_pdb.Pdb.t =
       Pdt_analyzer.Analyzer.run ~opts:aopts c.Pdt.program
 
 (* One scheduler task: cache lookup, else compile and fill the cache.
-   Never raises — failure is data here, not control flow. *)
+   Never raises — failure is data here, not control flow.
+
+   The retry policy lives here: a transient failure (an injected fault or
+   a [Sys_error] — vanished file, flaky I/O) gets up to [o.retries] extra
+   attempts, each counted under the [build.retry] Perf counter; a
+   deterministic front-end diagnostic fails fast, because re-running the
+   same compile would only reproduce it. *)
 let build_unit (o : options) (cache : Cache.t option) ~vfs source : unit_result =
   let t0 = Unix.gettimeofday () in
   let finish status pdb =
     { source; status; pdb; seconds = Unix.gettimeofday () -. t0 }
   in
-  try
+  (* a failed store never sinks the unit — the PDB is in hand and the next
+     build simply misses; count the loss so --stats surfaces it *)
+  let store_entry c k body =
+    try Perf.time "cache.store" (fun () -> Cache.store_serialized c k body)
+    with e when Fault.is_transient e -> Perf.record "cache.store_failed" 0
+  in
+  let attempt () =
     let key =
       Option.map
         (fun _ -> Cache.key ~vfs ~options:(options_fingerprint o source) source)
@@ -129,15 +150,28 @@ let build_unit (o : options) (cache : Cache.t option) ~vfs source : unit_result 
             let pdb = Perf.time "compile" (fun () -> compile_unit o ~vfs source) in
             (* serialize once; the entry body reuses the bytes *)
             let body = Pdt_pdb.Pdb_write.to_string pdb in
-            Perf.time "cache.store" (fun () -> Cache.store_serialized c k body);
+            store_entry c k body;
             finish Compiled (Some pdb))
     | _ ->
         let pdb = Perf.time "compile" (fun () -> compile_unit o ~vfs source) in
         finish Compiled (Some pdb)
-  with
-  | Unit_error msg -> finish (Failed msg) None
-  | Diag.Error d -> finish (Failed (Fmt.str "%a" Diag.pp_diagnostic d)) None
-  | e -> finish (Failed (Printexc.to_string e)) None
+  in
+  let rec go attempts_left =
+    try attempt () with
+    | Unit_error msg -> finish (Failed msg) None
+    | Diag.Error d -> finish (Failed (Fmt.str "%a" Diag.pp_diagnostic d)) None
+    | e when Fault.is_transient e && attempts_left > 0 ->
+        Perf.record "build.retry" 0;
+        go (attempts_left - 1)
+    | e when Fault.is_transient e ->
+        finish
+          (Failed
+             (Printf.sprintf "transient failure persisted after %d attempts: %s"
+                (max 0 o.retries + 1) (Printexc.to_string e)))
+          None
+    | e -> finish (Failed (Printexc.to_string e)) None
+  in
+  go (max 0 o.retries)
 
 (** Build a project: compile every source to a PDB (in parallel, through
     the cache) and merge the survivors.  Sources are deduplicated nowhere —
@@ -146,16 +180,33 @@ let build ?(options = default_options) ~vfs (sources : string list) : result =
   let t0 = Unix.gettimeofday () in
   let cache = Option.map (fun dir -> Cache.create ~dir ()) options.cache_dir in
   let tasks = Array.of_list sources in
+  let aborted = Atomic.make false in
+  let task source =
+    let u = build_unit options cache ~vfs source in
+    (match u.status with
+     | Failed _ when options.fail_fast -> Atomic.set aborted true
+     | _ -> ());
+    u
+  in
   let results =
     Scheduler.parallel_map ~domains:options.domains
-      (build_unit options cache ~vfs)
-      tasks
+      ~should_stop:(fun () -> Atomic.get aborted)
+      task tasks
   in
   let units =
     Array.to_list
       (Array.mapi
          (fun i -> function
            | Ok u -> u
+           | Error Scheduler.Cancelled ->
+               { source = tasks.(i); status = Skipped; pdb = None;
+                 seconds = 0.0 }
+           | Error e when Fault.is_transient e && options.retries > 0 ->
+               (* the worker faulted before the task ran (flaky-worker
+                  injection, lost job): one sequential redo, which brings
+                  build_unit's own retry budget with it *)
+               Perf.record "build.retry" 0;
+               task tasks.(i)
            | Error e ->
                { source = tasks.(i); status = Failed (Printexc.to_string e);
                  pdb = None; seconds = 0.0 })
@@ -174,15 +225,19 @@ let build ?(options = default_options) ~vfs (sources : string list) : result =
     compiled = count (fun u -> u.status = Compiled);
     cached = count (fun u -> u.status = Cached);
     failed = count (fun u -> match u.status with Failed _ -> true | _ -> false);
+    skipped = count (fun u -> u.status = Skipped);
     wall_seconds = Unix.gettimeofday () -. t0;
     cpu_seconds = List.fold_left (fun a u -> a +. u.seconds) 0.0 units }
 
 (** The one-line build report: [N compiled, M cached, K failed, wall time,
     speedup] — speedup is summed per-unit time over wall time, i.e. the
-    effective parallelism (1.0x when sequential and cold). *)
+    effective parallelism (1.0x when sequential and cold).  Skipped units
+    (fail-fast) are reported only when present. *)
 let summary (r : result) : string =
-  Printf.sprintf "%d compiled, %d cached, %d failed | %.3fs wall, %.3fs cpu, %.2fx speedup"
-    r.compiled r.cached r.failed r.wall_seconds r.cpu_seconds
+  Printf.sprintf "%d compiled, %d cached, %d failed%s | %.3fs wall, %.3fs cpu, %.2fx speedup"
+    r.compiled r.cached r.failed
+    (if r.skipped > 0 then Printf.sprintf ", %d skipped" r.skipped else "")
+    r.wall_seconds r.cpu_seconds
     (if r.wall_seconds > 0.0 then r.cpu_seconds /. r.wall_seconds else 1.0)
 
 (** Failure details for the units that failed, in input order. *)

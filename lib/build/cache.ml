@@ -14,15 +14,28 @@
     conditionally included header conservatively invalidates the entry.
 
     Entries are self-describing — the first line is a magic header carrying
-    the format version and the key — so [load] can reject stale-version and
-    misfiled entries explicitly, and any parse failure of the body (a
-    truncated or corrupt file) is a cache miss, never a crash.  Writes go
-    through a per-domain temp file and [Sys.rename] so concurrent workers
-    never expose a half-written entry. *)
+    the format version, the key, and an MD5 digest of the body — so [load]
+    verifies every byte it is about to trust: a stale version, a misfiled
+    key, a truncated or bit-flipped body all fail the single header/digest
+    comparison.  The cache is {e self-healing}: an entry that fails
+    verification is quarantined (moved to [quarantine/] inside the cache
+    dir, counted under the [cache.corrupt] Perf counter) rather than
+    silently ignored, so corrupt files cannot be re-probed on every build
+    and an operator can inspect what went bad; the unit then recompiles
+    and the fresh store replaces the entry.  Writes go through a
+    per-process, per-domain temp file and [Sys.rename] so concurrent
+    workers and concurrent [pdbbuild] processes never expose a
+    half-written entry, and the temp file is removed if the write dies.
+
+    Fault-injection sites ({!Pdt_util.Fault}): ["cache.read"] (transient
+    load I/O error), ["cache.load.corrupt"] (entry treated as bit-rotten),
+    ["cache.write.crash"] (writer dies mid-write; temp file must not
+    leak), ["cache.write.torn"] (a truncated entry reaches the final
+    path; [load] must quarantine it). *)
 
 open Pdt_util
 
-let format_version = 1
+let format_version = 2
 
 let magic = Printf.sprintf "PDT-CACHE v%d" format_version
 
@@ -113,56 +126,118 @@ let key ~vfs ~(options : string) (source : string) : string =
 
 let entry_path t key = Filename.concat t.dir (key ^ ".pdb")
 
-let header key = Printf.sprintf "%s key=%s" magic key
+(* The header binds version, key and body together: one string comparison
+   on load rejects stale versions, misfiled entries and corrupt bodies
+   alike (any body damage changes the digest). *)
+let header key digest = Printf.sprintf "%s key=%s digest=%s" magic key digest
 
 let read_file path =
+  Fault.check "cache.read";
   match open_in_bin path with
   | exception Sys_error _ -> None
   | ic ->
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      Some s
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try Some (really_input_string ic (in_channel_length ic))
+          with End_of_file | Sys_error _ -> None)
 
-(** Look a key up.  [None] on: no entry, version mismatch, key mismatch
-    (misfiled entry), or a body that fails to parse as a PDB. *)
+let quarantine_dir t = Filename.concat t.dir "quarantine"
+
+let rec mkdir_p dirname =
+  if dirname <> "" && not (Sys.file_exists dirname) then begin
+    let parent = Filename.dirname dirname in
+    if parent <> dirname then mkdir_p parent;
+    try Sys.mkdir dirname 0o755 with Sys_error _ -> ()
+  end
+
+(* Move a failed-verification entry aside.  Best-effort: a concurrent
+   process may have quarantined or already replaced the entry; either way
+   the corrupt bytes are no longer at the live path, which is the
+   invariant load depends on. *)
+let quarantine t key =
+  Perf.record "cache.corrupt" 0;
+  mkdir_p (quarantine_dir t);
+  let path = entry_path t key in
+  let dest = Filename.concat (quarantine_dir t) (Filename.basename path) in
+  try Sys.rename path dest with Sys_error _ -> ()
+
+(** Look a key up.  [None] on: no entry, or an entry that fails
+    verification — version mismatch, key mismatch (misfiled), digest
+    mismatch (truncated / bit-flipped), unparseable body.  Every
+    verification failure quarantines the entry so the next build stores a
+    fresh one instead of re-probing the same corrupt file. *)
 let load t key : Pdt_pdb.Pdb.t option =
   match read_file (entry_path t key) with
   | None -> None
   | Some content -> (
-      match String.index_opt content '\n' with
-      | None -> None
-      | Some i ->
-          let hdr = String.sub content 0 i in
-          if hdr <> header key then None
-          else
-            let body = String.sub content (i + 1) (String.length content - i - 1) in
-            (try Some (Pdt_pdb.Pdb_parse.of_string body) with _ -> None))
-
-let mkdir_p dirname =
-  if not (Sys.file_exists dirname) then begin
-    let parent = Filename.dirname dirname in
-    if parent <> dirname && not (Sys.file_exists parent) then begin
-      try Sys.mkdir parent 0o755 with Sys_error _ -> ()
-    end;
-    try Sys.mkdir dirname 0o755 with Sys_error _ -> ()
-  end
+      let verified =
+        match String.index_opt content '\n' with
+        | None -> None
+        | Some i ->
+            let hdr = String.sub content 0 i in
+            let body =
+              String.sub content (i + 1) (String.length content - i - 1)
+            in
+            if
+              hdr = header key (Hashutil.string body)
+              && not (Fault.should "cache.load.corrupt")
+            then Some body
+            else None
+      in
+      match verified with
+      | None ->
+          quarantine t key;
+          None
+      | Some body -> (
+          (* digest-verified bytes should always parse; if they somehow
+             don't, that's corruption too — quarantine, never crash.
+             Transient injections from the parser's own site propagate so
+             the driver's retry policy sees them. *)
+          try Some (Pdt_pdb.Pdb_parse.of_string body)
+          with
+          | Fault.Injected _ as e -> raise e
+          | _ ->
+              quarantine t key;
+              None))
 
 (** Store an already-serialized PDB body.  Callers that hold the bytes
     anyway (the build driver serializes each unit's PDB exactly once and
-    reuses the string for the entry and its digest) avoid re-serializing. *)
+    reuses the string for the entry and its digest) avoid re-serializing.
+    The temp name carries the PID and the domain id, so concurrent domains
+    {e and} concurrent pdbbuild processes sharing a cache dir never write
+    the same temp path; the temp file is removed if the write fails. *)
 let store_serialized t key (body : string) : unit =
   mkdir_p t.dir;
   let final = entry_path t key in
   let tmp =
-    Printf.sprintf "%s.tmp.%d" final (Domain.self () :> int)
+    Printf.sprintf "%s.tmp.%d.%d" final (Unix.getpid ())
+      (Domain.self () :> int)
   in
-  let oc = open_out_bin tmp in
-  output_string oc (header key);
-  output_char oc '\n';
-  output_string oc body;
-  close_out oc;
-  Sys.rename tmp final
+  let write () =
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        let hdr = header key (Hashutil.string body) in
+        if Fault.should "cache.write.torn" then begin
+          (* a torn write that still reached the final path: half the
+             entry, then rename.  load must catch it by digest. *)
+          let half = hdr ^ "\n" ^ body in
+          output_string oc (String.sub half 0 (String.length half / 2))
+        end
+        else begin
+          output_string oc hdr;
+          output_char oc '\n';
+          Fault.check "cache.write.crash";
+          output_string oc body
+        end);
+    Sys.rename tmp final
+  in
+  try write ()
+  with e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e
 
 let store t key (pdb : Pdt_pdb.Pdb.t) : unit =
   store_serialized t key (Pdt_pdb.Pdb_write.to_string pdb)

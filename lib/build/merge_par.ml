@@ -53,5 +53,12 @@ let merge ?domains (pdbs : P.t list) : P.t =
     in
     D.merge
       (Array.to_list partials
-      |> List.map (function Ok p -> p | Error e -> raise e))
+      |> List.mapi (fun i -> function
+           | Ok p -> p
+           | Error e when Pdt_util.Fault.is_transient e ->
+               (* a flaky worker lost this chunk; the flat merge is
+                  deterministic, so redoing it inline changes nothing *)
+               Pdt_util.Perf.record "build.retry" 0;
+               D.merge (chunk i)
+           | Error e -> raise e))
   end

@@ -4,7 +4,19 @@
     queue is guarded by a [Mutex.t]/[Condition.t] pair (no domainslib
     dependency).  Results land in per-index slots so callers see them in
     submission order, never completion order — determinism downstream
-    (merge order, summary order) does not depend on scheduling. *)
+    (merge order, summary order) does not depend on scheduling.
+
+    Robustness: an exception escaping the task function is captured as
+    that slot's [Error], a worker domain dying outside the task (the
+    ["scheduler.worker"] fault-injection site models this) marks only its
+    own slot, and a caller-supplied [should_stop] predicate lets the
+    build's fail-fast mode drain the remaining queue as {!Cancelled}
+    slots instead of running them. *)
+
+open Pdt_util
+
+exception Cancelled
+(** The slot's job was never run: [should_stop] turned true first. *)
 
 type 'a queue = {
   jobs : 'a Queue.t;
@@ -56,16 +68,26 @@ let default_domains () =
     of [domains] workers.  Slot [i] of the result corresponds to item [i];
     an exception escaping [f] is captured as [Error] for that slot only.
     [domains <= 1] (or a single item) degrades to a plain sequential map,
-    which keeps the zero-parallelism path trivially deterministic. *)
-let parallel_map ?domains (f : 'a -> 'b) (items : 'a array) :
-    ('b, exn) result array =
+    which keeps the zero-parallelism path trivially deterministic.
+    [should_stop] is polled before each job: once it turns true, jobs not
+    yet started resolve to [Error Cancelled] (jobs already running finish
+    normally — tasks are never killed mid-flight). *)
+let parallel_map ?domains ?(should_stop = fun () -> false) (f : 'a -> 'b)
+    (items : 'a array) : ('b, exn) result array =
   let n = Array.length items in
   let domains =
     match domains with
     | Some d -> max 1 (min d n)
     | None -> max 1 (min (default_domains ()) n)
   in
-  let run1 x = try Ok (f x) with e -> Error e in
+  let run1 x =
+    if should_stop () then Error Cancelled
+    else
+      try
+        Fault.check "scheduler.worker";
+        Ok (f x)
+      with e -> Error e
+  in
   if n = 0 then [||]
   else if domains <= 1 then Array.map run1 items
   else begin
@@ -81,10 +103,13 @@ let parallel_map ?domains (f : 'a -> 'b) (items : 'a array) :
             results.(i) <- Some (run1 items.(i));
             loop ()
       in
-      loop ()
+      (* a dying worker must not take the whole pool down: swallow and
+         exit; jobs it popped but never finished surface as "lost job"
+         Error slots below, jobs still queued drain on its siblings *)
+      try loop () with _ -> ()
     in
     let ds = List.init domains (fun _ -> Domain.spawn worker) in
-    List.iter Domain.join ds;
+    List.iter (fun d -> try Domain.join d with _ -> ()) ds;
     Array.map
       (function Some r -> r | None -> Error (Failure "scheduler: lost job"))
       results

@@ -256,6 +256,10 @@ type building =
   | Bma of macro_item
 
 let of_string (src : string) : t =
+  (* injection site for parse-time corruption drills: raising (rather than
+     mangling [src], which could yield a silently-wrong parse) keeps the
+     fault visible as a transient the cache/build layers must absorb *)
+  Pdt_util.Fault.check "pdb.parse";
   Pdt_util.Perf.time "pdb.parse" @@ fun () ->
   (* canonical copy of src[s,e); allocation-free when already pooled *)
   let intern_sub s e = Pdt_util.Intern.intern_sub src s (e - s) in

@@ -1,0 +1,143 @@
+(** Deterministic fault injection for robustness testing.
+
+    The build pipeline claims to survive torn cache writes, vanished
+    files, flaky workers and corrupt entries.  Claims like that rot unless
+    something exercises them, so the pipeline's I/O layers each declare a
+    named {e injection site} ([Vfs.read_raw] → ["vfs.read"], the cache
+    writer → ["cache.write.torn"] / ["cache.write.crash"], the scheduler's
+    worker loop → ["scheduler.worker"], …) and ask this module, on every
+    occurrence, whether that occurrence should fail.
+
+    The decision is {e seeded and counter-based}: site [s]'s [n]-th
+    occurrence faults iff [digest (seed, s, n)] falls under the configured
+    rate, so a given [(seed, rate, sites)] triple names one reproducible
+    injection schedule — the robustness matrix in [test_faults.ml] sweeps
+    hundreds of them and a failing one can be replayed by number.  (With
+    several worker domains the interleaving of occurrences on a shared
+    site varies across runs; the {e set} of decisions per occurrence index
+    is still fixed, which is what the matrix invariants need.)
+
+    Injection is process-global and off by default; the disabled fast
+    path is a single [Atomic.get] and a branch, so production builds pay
+    nothing measurable ([pdbbuild --stats] under bench B7 pins this). *)
+
+exception Injected of string
+(** Raised by {!check} at a scheduled occurrence.  The payload is
+    ["site#occurrence"], which names the exact injection for diagnostics.
+    The build driver treats this (like [Sys_error]) as a {e transient}
+    failure: retried up to the per-unit budget, unlike deterministic
+    front-end errors which fail fast. *)
+
+type config = {
+  seed : int;           (** schedule selector; same seed → same schedule *)
+  rate_ppm : int;       (** per-occurrence fault probability, parts/million *)
+  sites : string list option;  (** [None] = every site may fault *)
+  max_faults : int;     (** total injection budget; [max_int] = unbounded *)
+}
+
+let enabled = Atomic.make false
+
+let mutex = Mutex.create ()
+let current : config option ref = ref None
+let counters : (string, int ref) Hashtbl.t = Hashtbl.create 8
+let injected = ref 0
+
+(** Turn injection on.  [rate] is the per-occurrence fault probability in
+    [0, 1]; [sites] restricts injection to the named sites; [max_faults]
+    bounds the total number of injections (handy to fault exactly the
+    first occurrence: [~rate:1.0 ~max_faults:1]). *)
+let arm ?sites ?(max_faults = max_int) ~seed ~rate () =
+  Mutex.lock mutex;
+  current :=
+    Some { seed; rate_ppm = int_of_float (rate *. 1e6); sites; max_faults };
+  Hashtbl.reset counters;
+  injected := 0;
+  Atomic.set enabled true;
+  Mutex.unlock mutex
+
+(** Turn injection off and forget the schedule (counters included). *)
+let disarm () =
+  Atomic.set enabled false;
+  Mutex.lock mutex;
+  current := None;
+  Hashtbl.reset counters;
+  injected := 0;
+  Mutex.unlock mutex
+
+let armed () = Atomic.get enabled
+
+(** Faults injected since the last {!arm}. *)
+let injected_count () =
+  Mutex.lock mutex;
+  let n = !injected in
+  Mutex.unlock mutex;
+  n
+
+(* The per-occurrence decision must be stable across processes and OCaml
+   versions (schedules are replayed by seed), so it goes through Digest
+   (MD5) like the cache keys do, not Hashtbl.hash.  Armed-only cost. *)
+let decides c site n =
+  let d = Digest.string (Printf.sprintf "%d:%s:%d" c.seed site n) in
+  let v =
+    (Char.code d.[0] lsl 16) lor (Char.code d.[1] lsl 8) lor Char.code d.[2]
+  in
+  v mod 1_000_000 < c.rate_ppm
+
+(* Occurrence index and decision for one site hit; returns the payload to
+   raise/report when this occurrence is scheduled. *)
+let hit (site : string) : string option =
+  Mutex.lock mutex;
+  let r =
+    match !current with
+    | None -> None
+    | Some c ->
+        let site_armed =
+          match c.sites with None -> true | Some l -> List.mem site l
+        in
+        if not site_armed then None
+        else begin
+          let n =
+            match Hashtbl.find_opt counters site with
+            | Some r ->
+                incr r;
+                !r
+            | None ->
+                Hashtbl.replace counters site (ref 1);
+                1
+          in
+          if !injected < c.max_faults && decides c site n then begin
+            incr injected;
+            Some (Printf.sprintf "%s#%d" site n)
+          end
+          else None
+        end
+  in
+  Mutex.unlock mutex;
+  r
+
+(** [should site] — did the schedule pick this occurrence?  The
+    non-raising variant, for sites that act on the decision themselves
+    (e.g. the cache writer truncating its own output to simulate a torn
+    write).  Counts one occurrence of [site] when armed. *)
+let should (site : string) : bool =
+  if not (Atomic.get enabled) then false else hit site <> None
+
+(** [check site] — raise {!Injected} if the schedule picked this
+    occurrence, else return unit.  The raising variant, for sites where a
+    real fault would surface as an exception (a failed read, a dying
+    worker). *)
+let check (site : string) : unit =
+  if Atomic.get enabled then
+    match hit site with None -> () | Some payload -> raise (Injected payload)
+
+(** Transient-failure test for retry policies: faults this module injects
+    and the I/O errors it simulates, as opposed to deterministic
+    diagnostics that would recur on every attempt. *)
+let is_transient = function
+  | Injected _ | Sys_error _ -> true
+  | _ -> false
+
+(** Run [f] under an armed schedule and always disarm, even on raise. *)
+let with_faults ?sites ?max_faults ~seed ~rate (f : unit -> 'a) : 'a =
+  arm ?sites ?max_faults ~seed ~rate ();
+  Fun.protect ~finally:disarm f

@@ -38,18 +38,30 @@ let set_disk_fallback t b = t.disk_fallback <- b
 
 let mem t path = Hashtbl.mem t.files (normalize path)
 
+(* Read a file's bytes.  Injection site "vfs.read" models a transient read
+   error (NFS hiccup, EINTR storm): it raises [Fault.Injected], which the
+   build driver retries.  A file that vanishes or truncates between
+   [Sys.file_exists] and the read, by contrast, is a plain [None] — the
+   compile proper diagnoses the missing input; mid-build disk races must
+   never crash the pipeline. *)
 let read_raw t path =
+  Fault.check "vfs.read";
   match Hashtbl.find_opt t.files (normalize path) with
   | Some c -> Some c
   | None ->
-      if t.disk_fallback && Sys.file_exists path && not (Sys.is_directory path)
-      then begin
-        let ic = open_in_bin path in
-        let n = in_channel_length ic in
-        let c = really_input_string ic n in
-        close_in ic;
-        Some c
-      end
+      if
+        t.disk_fallback
+        && (try Sys.file_exists path && not (Sys.is_directory path)
+            with Sys_error _ -> false)
+      then
+        match open_in_bin path with
+        | exception Sys_error _ -> None
+        | ic ->
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                try Some (really_input_string ic (in_channel_length ic))
+                with End_of_file | Sys_error _ -> None)
       else None
 
 let dirname path =

@@ -20,5 +20,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("il", Test_il.suite);
       ("build", Test_build.suite);
+      ("faults", Test_faults.suite);
       ("integration", Test_integration.suite);
       ("java", Test_java.suite) ]
