@@ -10,8 +10,24 @@
 
 open Cmdliner
 
+let resolve_budgets max_errors limit_specs =
+  let b = Pdt_util.Limits.default_budgets in
+  let b =
+    match max_errors with
+    | Some n -> { b with Pdt_util.Limits.max_errors = n }
+    | None -> b
+  in
+  List.fold_left
+    (fun b spec ->
+      match Pdt_util.Limits.set_budget b spec with
+      | Ok b -> b
+      | Error msg ->
+          Printf.eprintf "pdbbuild: %s\n" msg;
+          exit 124)
+    b limit_specs
+
 let run sources includes output jobs cache_dir no_cache retries fail_fast
-    verbose stats =
+    verbose stats max_errors limit_specs =
   let vfs = Pdt_util.Vfs.create ~include_paths:includes () in
   Pdt_util.Vfs.set_disk_fallback vfs true;
   let options =
@@ -19,18 +35,23 @@ let run sources includes output jobs cache_dir no_cache retries fail_fast
       domains = jobs;
       cache_dir = (if no_cache then None else Some cache_dir);
       retries;
-      fail_fast }
+      fail_fast;
+      limits = resolve_budgets max_errors limit_specs }
   in
   let r = Pdt_build.Build.build ~options ~vfs sources in
   List.iter
     (fun (source, msg) -> Printf.eprintf "pdbbuild: %s failed:\n%s\n" source msg)
     (Pdt_build.Build.failures r);
+  List.iter
+    (fun (source, msg) -> Printf.eprintf "pdbbuild: %s degraded:\n%s\n" source msg)
+    (Pdt_build.Build.degraded_units r);
   if verbose then
     List.iter
       (fun (u : Pdt_build.Build.unit_result) ->
         Printf.printf "  %-30s %-8s %.3fs\n" u.source
           (match u.status with
            | Compiled -> "compiled" | Cached -> "cached"
+           | Degraded _ -> "DEGRADED"
            | Failed _ -> "FAILED" | Skipped -> "skipped")
           u.seconds)
       r.units;
@@ -55,11 +76,12 @@ let run sources includes output jobs cache_dir no_cache retries fail_fast
      --keep-going), but they must not go unnoticed either:
        0 = clean
        1 = total failure: no unit produced a PDB
-       2 = partial: some units failed, merged PDB of the rest written
+       2 = partial: some units failed or compiled degraded; the merged
+           PDB of everything that produced output was written
        3 = aborted: --fail-fast stopped the build, units were skipped *)
   if r.skipped > 0 then 3
-  else if r.failed = 0 then 0
-  else if r.compiled + r.cached > 0 then 2
+  else if r.failed = 0 && r.degraded = 0 then 0
+  else if r.compiled + r.cached + r.degraded > 0 then 2
   else 1
 
 let sources =
@@ -108,10 +130,23 @@ let stats =
            ~doc:"Print per-phase wall-time counters (parse, compile, merge, \
                  cache I/O) and string-interning statistics after the build")
 
+let max_errors =
+  Arg.(value & opt (some int) None
+       & info [ "max-errors" ] ~docv:"N"
+           ~doc:"Stop error recovery after N syntax errors per translation \
+                 unit (shorthand for $(b,--limit errors=N))")
+
+let limit_specs =
+  Arg.(value & opt_all string []
+       & info [ "limit" ] ~docv:"NAME=N"
+           ~doc:"Override a front-end resource budget; repeatable.  Known \
+                 limits: include-depth, macro-depth, tokens, parse-depth, \
+                 instantiation-depth, errors.")
+
 let cmd =
   let doc = "compile a project to one merged program database, in parallel and incrementally" in
   Cmd.v (Cmd.info "pdbbuild" ~doc)
     Term.(const run $ sources $ includes $ output $ jobs $ cache_dir $ no_cache
-          $ retries $ fail_fast $ verbose $ stats)
+          $ retries $ fail_fast $ verbose $ stats $ max_errors $ limit_specs)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,6 +8,9 @@ let run pdb_file check =
   | exception Pdt_pdb.Pdb_parse.Parse_error (line, msg) ->
       Printf.eprintf "%s:%d: not a valid PDB file: %s\n" pdb_file line msg;
       1
+  | exception Sys_error msg ->
+      Printf.eprintf "pdbconv: %s\n" msg;
+      1
   | d ->
   if check then begin
     match Pdt_tools.Pdbconv.check d with

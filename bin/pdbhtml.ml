@@ -8,10 +8,17 @@ let run pdb_file outdir =
   | exception Pdt_pdb.Pdb_parse.Parse_error (line, msg) ->
       Printf.eprintf "%s:%d: not a valid PDB file: %s\n" pdb_file line msg;
       1
-  | d ->
-  let n = Pdt_tools.Pdbhtml.generate_to_dir d outdir in
-  Printf.printf "wrote %d pages to %s/\n" n outdir;
-  0
+  | exception Sys_error msg ->
+      Printf.eprintf "pdbhtml: %s\n" msg;
+      1
+  | d -> (
+      match Pdt_tools.Pdbhtml.generate_to_dir d outdir with
+      | n ->
+          Printf.printf "wrote %d pages to %s/\n" n outdir;
+          0
+      | exception Sys_error msg ->
+          Printf.eprintf "pdbhtml: %s\n" msg;
+          1)
 
 let pdb_file =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"PDB" ~doc:"Program database file")

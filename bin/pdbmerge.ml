@@ -4,16 +4,30 @@
 open Cmdliner
 
 let run pdb_files output =
-  match List.map Pdt_pdb.Pdb_parse.of_file pdb_files with
-  | exception Pdt_pdb.Pdb_parse.Parse_error (line, msg) ->
-      Printf.eprintf "line %d: not a valid PDB file: %s\n" line msg;
+  match
+    List.map
+      (fun f ->
+        (* parse one at a time so errors name the offending file *)
+        match Pdt_pdb.Pdb_parse.of_file f with
+        | pdb -> pdb
+        | exception Pdt_pdb.Pdb_parse.Parse_error (line, msg) ->
+            Printf.eprintf "%s:%d: not a valid PDB file: %s\n" f line msg;
+            exit 1)
+      pdb_files
+  with
+  | exception Sys_error msg ->
+      Printf.eprintf "pdbmerge: %s\n" msg;
       1
-  | pdbs ->
-  let merged, stats = Pdt_tools.Pdbmerge.merge pdbs in
-  Pdt_pdb.Pdb_write.to_file merged output;
-  print_endline (Pdt_tools.Pdbmerge.stats_to_string stats);
-  Printf.printf "wrote %s\n" output;
-  0
+  | pdbs -> (
+      let merged, stats = Pdt_tools.Pdbmerge.merge pdbs in
+      match Pdt_pdb.Pdb_write.to_file merged output with
+      | () ->
+          print_endline (Pdt_tools.Pdbmerge.stats_to_string stats);
+          Printf.printf "wrote %s\n" output;
+          0
+      | exception Sys_error msg ->
+          Printf.eprintf "pdbmerge: %s\n" msg;
+          1)
 
 let pdb_files =
   Arg.(non_empty & pos_all file [] & info [] ~docv:"PDB" ~doc:"Program database files")

@@ -9,9 +9,27 @@ let language_of source =
   | ".java" -> `Java
   | _ -> `Cpp
 
+(* Fold --max-errors and every --limit name=value override into the
+   front-end budget record; usage errors exit like other CLI mistakes. *)
+let resolve_budgets ~tool max_errors limit_specs =
+  let b = Pdt_util.Limits.default_budgets in
+  let b =
+    match max_errors with
+    | Some n -> { b with Pdt_util.Limits.max_errors = n }
+    | None -> b
+  in
+  List.fold_left
+    (fun b spec ->
+      match Pdt_util.Limits.set_budget b spec with
+      | Ok b -> b
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" tool msg;
+          exit 124)
+    b limit_specs
+
 (* --project: hand the source list to the parallel incremental build driver
    (the pdbbuild engine) and write one merged PDB. *)
-let run_project sources includes output jobs no_used fixed_spec mapping =
+let run_project sources includes output jobs no_used fixed_spec mapping budgets =
   let vfs = Pdt_util.Vfs.create ~include_paths:includes () in
   Pdt_util.Vfs.set_disk_fallback vfs true;
   let options =
@@ -22,26 +40,39 @@ let run_project sources includes output jobs no_used fixed_spec mapping =
           map_specializations = fixed_spec };
       mapping =
         (if mapping = "ids" then Pdt_analyzer.Analyzer.Il_ids
-         else Pdt_analyzer.Analyzer.Location_based) }
+         else Pdt_analyzer.Analyzer.Location_based);
+      limits = budgets }
   in
   let r = Pdt_build.Build.build ~options ~vfs sources in
   List.iter
     (fun (source, msg) -> Printf.eprintf "pdtc: %s failed:\n%s\n" source msg)
     (Pdt_build.Build.failures r);
+  List.iter
+    (fun (source, msg) -> Printf.eprintf "pdtc: %s degraded:\n%s\n" source msg)
+    (Pdt_build.Build.degraded_units r);
   let out = Option.value ~default:"merged.pdb" output in
   Pdt_pdb.Pdb_write.to_file r.merged out;
   print_endline (Pdt_build.Build.summary r);
   Printf.printf "wrote %s (%d items)\n" out (Pdt_pdb.Pdb.item_count r.merged);
-  if r.failed = 0 then 0 else if r.failed < List.length r.units then 2 else 1
+  if r.failed = 0 && r.degraded = 0 then 0
+  else if r.compiled + r.cached + r.degraded > 0 then 2
+  else 1
 
-let run_single source includes output mapping no_used fixed_spec =
+let run_single source includes output mapping no_used fixed_spec budgets =
   match language_of source with
   | (`Fortran | `Java) as lang -> begin
     (* the Fortran 90 / Java IL Analyzers (paper §6) feed the same PDB *)
+    match
+      let ic = open_in_bin source in
+      let src = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      src
+    with
+    | exception Sys_error msg ->
+        Printf.eprintf "pdtc: %s\n" msg;
+        1
+    | src ->
     let diags = Pdt_util.Diag.create () in
-    let ic = open_in_bin source in
-    let src = really_input_string ic (in_channel_length ic) in
-    close_in ic;
     let prog =
       match lang with
       | `Fortran -> Pdt_f90.F90_sema.compile_string ~file:source ~diags src
@@ -69,11 +100,18 @@ let run_single source includes output mapping no_used fixed_spec =
     { Pdt_sema.Sema.instantiate_used = not no_used;
       map_specializations = fixed_spec }
   in
-  let c = Pdt.compile ~opts ~vfs source in
-  let diag_text = Pdt_util.Diag.to_string c.Pdt.diags in
-  if diag_text <> "" then prerr_endline diag_text;
-  if Pdt_util.Diag.has_errors c.Pdt.diags then 1
-  else begin
+  let limits = Pdt_util.Limits.create ~budgets () in
+  match Pdt.compile ~opts ~limits ~vfs source with
+  | exception Pdt_util.Diag.Error d ->
+      Printf.eprintf "pdtc: %s\n"
+        (Format.asprintf "%a" Pdt_util.Diag.pp_diagnostic d);
+      1
+  | exception Sys_error msg ->
+      Printf.eprintf "pdtc: %s\n" msg;
+      1
+  | c ->
+    let diag_text = Pdt_util.Diag.to_string c.Pdt.diags in
+    if diag_text <> "" then prerr_endline diag_text;
     let aopts =
       { Pdt_analyzer.Analyzer.default_options with
         mapping =
@@ -81,21 +119,32 @@ let run_single source includes output mapping no_used fixed_spec =
            else Pdt_analyzer.Analyzer.Location_based) }
     in
     let pdb = Pdt_analyzer.Analyzer.run ~opts:aopts c.Pdt.program in
+    let degraded = Pdt_util.Diag.has_errors c.Pdt.diags in
+    if degraded then begin
+      (* degraded compilation: the partial PDB is still written, marked
+         incomplete so downstream tools and merges can tell *)
+      pdb.Pdt_pdb.Pdb.incomplete <- true;
+      pdb.Pdt_pdb.Pdb.diag_count <- Pdt_util.Diag.error_count c.Pdt.diags
+    end;
     let out =
       match output with
       | Some o -> o
       | None -> Filename.remove_extension (Filename.basename source) ^ ".pdb"
     in
     Pdt_pdb.Pdb_write.to_file pdb out;
-    Printf.printf "wrote %s (%d items)\n" out (Pdt_pdb.Pdb.item_count pdb);
-    0
-  end
+    Printf.printf "wrote %s (%d items%s)\n" out (Pdt_pdb.Pdb.item_count pdb)
+      (if degraded then ", incomplete" else "");
+    if degraded then 1 else 0
   end
 
-let run sources includes output mapping no_used fixed_spec project jobs =
+let run sources includes output mapping no_used fixed_spec project jobs
+    max_errors limit_specs =
+  let budgets = resolve_budgets ~tool:"pdtc" max_errors limit_specs in
   match (project, sources) with
-  | true, _ -> run_project sources includes output jobs no_used fixed_spec mapping
-  | false, [ source ] -> run_single source includes output mapping no_used fixed_spec
+  | true, _ ->
+      run_project sources includes output jobs no_used fixed_spec mapping budgets
+  | false, [ source ] ->
+      run_single source includes output mapping no_used fixed_spec budgets
   | false, [] -> prerr_endline "pdtc: missing SOURCE argument"; 124
   | false, _ :: _ :: _ ->
       prerr_endline "pdtc: several sources given; use --project to build them into one merged PDB";
@@ -137,10 +186,23 @@ let jobs =
   Arg.(value & opt int (Pdt_build.Scheduler.default_domains ())
        & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains for --project builds")
 
+let max_errors =
+  Arg.(value & opt (some int) None
+       & info [ "max-errors" ] ~docv:"N"
+           ~doc:"Stop error recovery after N syntax errors per translation \
+                 unit (shorthand for $(b,--limit errors=N))")
+
+let limit_specs =
+  Arg.(value & opt_all string []
+       & info [ "limit" ] ~docv:"NAME=N"
+           ~doc:"Override a front-end resource budget; repeatable.  Known \
+                 limits: include-depth, macro-depth, tokens, parse-depth, \
+                 instantiation-depth, errors.")
+
 let cmd =
   let doc = "compile C++ source into a program database (PDB)" in
   Cmd.v (Cmd.info "pdtc" ~doc)
     Term.(const run $ sources $ includes $ output $ mapping $ no_used $ fixed_spec
-          $ project $ jobs)
+          $ project $ jobs $ max_errors $ limit_specs)
 
 let () = exit (Cmd.eval' cmd)

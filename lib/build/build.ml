@@ -38,9 +38,12 @@ type options = {
                                  failures (injected faults, [Sys_error]);
                                  deterministic diagnostics never retry *)
   fail_fast : bool;          (** stop scheduling new units after the first
-                                 failure; unscheduled units are [Skipped] *)
+                                 failure; unscheduled units are [Skipped].
+                                 Also strict mode: recoverable front-end
+                                 errors fail the unit instead of degrading *)
   sema : Pdt_sema.Sema.options;
   mapping : Pdt_analyzer.Analyzer.mapping;
+  limits : Limits.budgets;   (** front-end resource budgets per unit *)
 }
 
 let default_options =
@@ -49,7 +52,8 @@ let default_options =
     retries = 2;
     fail_fast = false;
     sema = Pdt_sema.Sema.default_options;
-    mapping = Pdt_analyzer.Analyzer.Location_based }
+    mapping = Pdt_analyzer.Analyzer.Location_based;
+    limits = Limits.default_budgets }
 
 (* Everything that can change a unit's PDB besides its input content; part
    of the cache key.  Bump Cache.format_version instead when the PDB format
@@ -67,6 +71,9 @@ let options_fingerprint (o : options) (source : string) =
 type status =
   | Compiled            (** compiled this run (cache miss or no cache) *)
   | Cached              (** loaded from the incremental cache *)
+  | Degraded of string  (** compiled with recoverable errors: the partial
+                            PDB (marked [incomplete]) still merges, but the
+                            unit is reported and never cached *)
   | Failed of string    (** diagnostics / exception text; unit excluded *)
   | Skipped             (** never scheduled: fail-fast stopped the build *)
 
@@ -82,6 +89,7 @@ type result = {
   units : unit_result list;    (** in input order, not completion order *)
   compiled : int;
   cached : int;
+  degraded : int;              (** partial PDBs merged despite errors *)
   failed : int;
   skipped : int;               (** only nonzero under [fail_fast] *)
   wall_seconds : float;
@@ -92,8 +100,11 @@ exception Unit_error of string
 (** A translation unit's front end reported errors. *)
 
 (* Compile one unit against a private VFS copy (domains must not share the
-   mutable Hashtbl inside Vfs.t) and run the IL Analyzer. *)
-let compile_unit (o : options) ~vfs source : Pdt_pdb.Pdb.t =
+   mutable Hashtbl inside Vfs.t) and run the IL Analyzer.  The second
+   component is the degradation report: [Some diags_text] when the C++
+   front end recovered from errors and the PDB is partial (keep-going
+   mode only — under [fail_fast] recoverable errors raise [Unit_error]). *)
+let compile_unit (o : options) ~vfs source : Pdt_pdb.Pdb.t * string option =
   let vfs = Vfs.copy vfs in
   match language_of_source source with
   | Fortran | Java -> (
@@ -107,15 +118,22 @@ let compile_unit (o : options) ~vfs source : Pdt_pdb.Pdb.t =
             | _ -> Pdt_java.Java_sema.compile_string ~file:source ~diags src
           in
           if Diag.has_errors diags then raise (Unit_error (Diag.to_string diags));
-          Pdt_analyzer.Analyzer.run prog)
+          (Pdt_analyzer.Analyzer.run prog, None))
   | Cpp ->
-      let c = Pdt.compile ~opts:o.sema ~vfs source in
-      if Diag.has_errors c.Pdt.diags then
+      let limits = Limits.create ~budgets:o.limits () in
+      let c = Pdt.compile ~opts:o.sema ~limits ~vfs source in
+      if o.fail_fast && Diag.has_errors c.Pdt.diags then
         raise (Unit_error (Diag.to_string c.Pdt.diags));
       let aopts =
         { Pdt_analyzer.Analyzer.default_options with mapping = o.mapping }
       in
-      Pdt_analyzer.Analyzer.run ~opts:aopts c.Pdt.program
+      let pdb = Pdt_analyzer.Analyzer.run ~opts:aopts c.Pdt.program in
+      if Diag.has_errors c.Pdt.diags then begin
+        pdb.Pdt_pdb.Pdb.incomplete <- true;
+        pdb.Pdt_pdb.Pdb.diag_count <- Diag.error_count c.Pdt.diags;
+        (pdb, Some (Diag.to_string c.Pdt.diags))
+      end
+      else (pdb, None)
 
 (* One scheduler task: cache lookup, else compile and fill the cache.
    Never raises — failure is data here, not control flow.
@@ -146,15 +164,21 @@ let build_unit (o : options) (cache : Cache.t option) ~vfs source : unit_result 
     | Some c, Some k -> (
         match Perf.time "cache.load" (fun () -> Cache.load c k) with
         | Some pdb -> finish Cached (Some pdb)
-        | None ->
-            let pdb = Perf.time "compile" (fun () -> compile_unit o ~vfs source) in
-            (* serialize once; the entry body reuses the bytes *)
-            let body = Pdt_pdb.Pdb_write.to_string pdb in
-            store_entry c k body;
-            finish Compiled (Some pdb))
-    | _ ->
-        let pdb = Perf.time "compile" (fun () -> compile_unit o ~vfs source) in
-        finish Compiled (Some pdb)
+        | None -> (
+            match Perf.time "compile" (fun () -> compile_unit o ~vfs source) with
+            | pdb, None ->
+                (* serialize once; the entry body reuses the bytes *)
+                let body = Pdt_pdb.Pdb_write.to_string pdb in
+                store_entry c k body;
+                finish Compiled (Some pdb)
+            | pdb, Some msg ->
+                (* a partial PDB never enters the cache: fixing the source
+                   must recompile, not replay the degraded artifact *)
+                finish (Degraded msg) (Some pdb)))
+    | _ -> (
+        match Perf.time "compile" (fun () -> compile_unit o ~vfs source) with
+        | pdb, None -> finish Compiled (Some pdb)
+        | pdb, Some msg -> finish (Degraded msg) (Some pdb))
   in
   let rec go attempts_left =
     try attempt () with
@@ -224,6 +248,7 @@ let build ?(options = default_options) ~vfs (sources : string list) : result =
     units;
     compiled = count (fun u -> u.status = Compiled);
     cached = count (fun u -> u.status = Cached);
+    degraded = count (fun u -> match u.status with Degraded _ -> true | _ -> false);
     failed = count (fun u -> match u.status with Failed _ -> true | _ -> false);
     skipped = count (fun u -> u.status = Skipped);
     wall_seconds = Unix.gettimeofday () -. t0;
@@ -234,8 +259,9 @@ let build ?(options = default_options) ~vfs (sources : string list) : result =
     effective parallelism (1.0x when sequential and cold).  Skipped units
     (fail-fast) are reported only when present. *)
 let summary (r : result) : string =
-  Printf.sprintf "%d compiled, %d cached, %d failed%s | %.3fs wall, %.3fs cpu, %.2fx speedup"
+  Printf.sprintf "%d compiled, %d cached, %d failed%s%s | %.3fs wall, %.3fs cpu, %.2fx speedup"
     r.compiled r.cached r.failed
+    (if r.degraded > 0 then Printf.sprintf ", %d degraded" r.degraded else "")
     (if r.skipped > 0 then Printf.sprintf ", %d skipped" r.skipped else "")
     r.wall_seconds r.cpu_seconds
     (if r.wall_seconds > 0.0 then r.cpu_seconds /. r.wall_seconds else 1.0)
@@ -244,4 +270,10 @@ let summary (r : result) : string =
 let failures (r : result) : (string * string) list =
   List.filter_map
     (fun u -> match u.status with Failed m -> Some (u.source, m) | _ -> None)
+    r.units
+
+(** Diagnostics for the units that compiled degraded, in input order. *)
+let degraded_units (r : result) : (string * string) list =
+  List.filter_map
+    (fun u -> match u.status with Degraded m -> Some (u.source, m) | _ -> None)
     r.units

@@ -21,13 +21,22 @@ exception Compile_error of string
 (** Compile [main] from [vfs].
 
     @param opts semantic-analysis options (instantiation mode etc.)
-    @param predefined additional predefined macros *)
-let compile ?opts ?(predefined = []) ~vfs main : compilation =
+    @param predefined additional predefined macros
+    @param limits resource budgets; defaults to {!Limits.default_budgets}.
+      A shared {!Limits.t} governor is threaded through every stage, so
+      pathological inputs degrade into recorded [Fatal] diagnostics and a
+      partial result instead of crashing the process. *)
+let compile ?opts ?(predefined = []) ?limits ~vfs main : compilation =
+  let limits =
+    match limits with Some l -> l | None -> Limits.default ()
+  in
   let diags = Diag.create () in
   let predefined = ("__PDT__", "1") :: predefined in
-  let pp = Pdt_pp.Preproc.run ~predefined ~vfs ~diags main in
-  let tu = Pdt_parse.Parser.parse_translation_unit ~diags ~file:main pp.tokens in
-  let program = Pdt_sema.Sema.analyze ?opts ~diags pp tu in
+  let pp = Pdt_pp.Preproc.run ~predefined ~limits ~vfs ~diags main in
+  let tu =
+    Pdt_parse.Parser.parse_translation_unit ~limits ~diags ~file:main pp.tokens
+  in
+  let program = Pdt_sema.Sema.analyze ?opts ~limits ~diags pp tu in
   { program; tu; pp; diags }
 
 (** Like {!compile} but raises {!Compile_error} if any error was reported. *)

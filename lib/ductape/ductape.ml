@@ -373,6 +373,16 @@ let merge (pdbs : P.t list) : P.t =
     |> List.map snd
   in
   let out = P.create () in
+  (* degraded-compilation markers: the merge is incomplete iff any input
+     is, and the diagnostic counts add up.  OR and sum are associative and
+     commutative, so the parallel tree merge still matches a flat merge. *)
+  List.iter
+    (fun (p : P.t) ->
+      if p.P.incomplete then begin
+        out.P.incomplete <- true;
+        out.P.diag_count <- out.P.diag_count + p.P.diag_count
+      end)
+    pdbs;
   (* key -> new id, per kind *)
   let fkeys = Hashtbl.create 64 and ckeys = Hashtbl.create 64 in
   let rkeys = Hashtbl.create 256 and tekeys = Hashtbl.create 64 in

@@ -72,7 +72,9 @@ let rec skip_trivia st =
         ignore (advance st);
         ignore (advance st);
         let rec finish () =
-          if at_end st then Diag.fatal st.diags start "unterminated comment"
+          (* unterminated comment: record and stop — the rest of the file
+             is inside the comment, so there is nothing left to lex *)
+          if at_end st then Diag.error st.diags start "unterminated comment"
           else if peek st = '*' && peek2 st = '/' then begin
             ignore (advance st);
             ignore (advance st)
@@ -186,16 +188,20 @@ let lex_char_or_string st quote =
   let cooked = Buffer.create 8 in
   let rec go () =
     if at_end st || peek st = '\n' then
-      Diag.fatal st.diags at "unterminated %s literal"
+      (* unterminated literal: record and close it at the line break so
+         lexing resumes on the next line *)
+      Diag.error st.diags at "unterminated %s literal"
         (if quote = '"' then "string" else "character")
     else
       let c = advance st in
       if c = quote then ()
       else if c = '\\' then begin
-        if at_end st then Diag.fatal st.diags at "unterminated escape";
-        let e = advance st in
-        Buffer.add_char cooked (Char.chr (escape_value st at e land 0xff));
-        go ()
+        if at_end st then Diag.error st.diags at "unterminated escape"
+        else begin
+          let e = advance st in
+          Buffer.add_char cooked (Char.chr (escape_value st at e land 0xff));
+          go ()
+        end
       end
       else begin
         Buffer.add_char cooked c;

@@ -24,6 +24,10 @@ open Pdt_ast.Ast
 
 exception Parse_error of Srcloc.t * string
 
+exception Bail
+(* internal: the per-TU error budget is exhausted; unwind to the entry
+   point, which returns the partial AST accumulated so far *)
+
 type t = {
   toks : Token.tok array;
   mutable pos : int;
@@ -31,6 +35,9 @@ type t = {
   mutable undo_len : int;
   mutable no_gt : bool;  (* inside a template argument: '>' is not an operator *)
   diags : Diag.engine;
+  limits : Limits.t;
+  mutable speculative : int;  (* > 0 inside a tentative parse: recovery off *)
+  mutable recovered : int;    (* syntax errors recovered so far (vs max_errors) *)
   (* registries for disambiguation; values are reference counts so scoped
      registration can push/pop *)
   type_names : (string, int) Hashtbl.t;
@@ -40,10 +47,10 @@ type t = {
 let eof_tok : Token.tok =
   { tok = Token.Eof; loc = Srcloc.dummy; bol = false; space = false }
 
-let create ~diags toks =
+let create ?(limits = Limits.default ()) ~diags toks =
   let t =
     { toks = Array.of_list toks; pos = 0; undo = []; undo_len = 0; no_gt = false;
-      diags;
+      diags; limits; speculative = 0; recovered = 0;
       type_names = Hashtbl.create 64; template_names = Hashtbl.create 64 }
   in
   (* built-in library type names that behave like types even without a
@@ -97,6 +104,54 @@ let restore t m =
 let loc t = (cur t).loc
 
 let err t fmt = Fmt.kstr (fun m -> raise (Parse_error (loc t, m))) fmt
+
+(* Recursion governor: every self-recursive production passes through one of
+   the [with_depth]-wrapped entry points, so pathological nesting raises
+   {!Limits.Exceeded} (converted to a Fatal diagnostic at the TU entry)
+   instead of overflowing the stack. *)
+let with_depth t f =
+  Limits.enter_parse t.limits;
+  Fun.protect ~finally:(fun () -> Limits.exit_parse t.limits) f
+
+(* Tentative parses run under [speculating]: error recovery must not fire
+   (and must not record diagnostics) for a parse the caller intends to roll
+   back. *)
+let speculating t f =
+  t.speculative <- t.speculative + 1;
+  Fun.protect ~finally:(fun () -> t.speculative <- t.speculative - 1) f
+
+(* Record one recovered syntax error; once the per-TU budget is spent, note
+   the give-up as a Fatal diagnostic and unwind with {!Bail}. *)
+let record_recovery t l m =
+  t.recovered <- t.recovered + 1;
+  Diag.error t.diags l "%s" m;
+  if t.recovered >= t.limits.Limits.budgets.Limits.max_errors then begin
+    Diag.fatal_note t.diags l
+      "too many syntax errors (budget %d); giving up on this translation unit"
+      t.limits.Limits.budgets.Limits.max_errors;
+    raise Bail
+  end
+
+(* Panic-mode synchronization: skip to the next ';' at brace depth 0
+   (consumed) or to a '}' closing the current block (left for the caller's
+   loop), tracking nested braces on the way. *)
+let sync_to_boundary t =
+  let rec go depth =
+    match (cur t).tok with
+    | Token.Eof -> ()
+    | Token.Punct ";" when depth = 0 -> advance t
+    | Token.Punct "{" ->
+        advance t;
+        go (depth + 1)
+    | Token.Punct "}" when depth = 0 -> ()
+    | Token.Punct "}" ->
+        advance t;
+        go (depth - 1)
+    | _ ->
+        advance t;
+        go depth
+  in
+  go 0
 
 let check_punct t p = match (cur t).tok with Token.Punct q -> String.equal p q | _ -> false
 let check_kw t k = match (cur t).tok with Token.Kw q -> String.equal k q | _ -> false
@@ -228,21 +283,30 @@ and should_parse_template_args t ~in_expr ~id =
   if not in_expr then
     (* in type context, '<' after a name is always a template-id *)
     true
-  else if is_template_name t id then
+  else if is_template_name t id then begin
     (* still verify tentatively so 'a < b' with template-named a can't wedge *)
     let m = save t in
     advance t (* '<' *);
-    let ok =
-      try
-        ignore (parse_template_args t);
-        (* a template-id in an expression must be followed by '(' or '::' *)
-        (match (cur t).tok with
-         | Token.Punct ("(" | "::") -> true
-         | _ -> false)
-      with Parse_error _ -> false
-    in
-    restore t m;
-    ok
+    match
+      speculating t @@ fun () ->
+      ignore (parse_template_args t);
+      (* a template-id in an expression must be followed by '(' or '::' *)
+      match (cur t).tok with
+      | Token.Punct ("(" | "::") -> true
+      | _ -> false
+    with
+    | ok ->
+        restore t m;
+        ok
+    | exception Parse_error _ ->
+        restore t m;
+        false
+    | exception e ->
+        (* non-speculative failure (e.g. a budget breach): restore the mark
+           so diagnostics point at the true error location, then re-raise *)
+        restore t m;
+        raise e
+  end
   else false
 
 and parse_operator_name t : string =
@@ -309,9 +373,20 @@ and is_builtin_kw = function
 and parse_type_opt t ~allow_abstract : type_expr option =
   ignore allow_abstract;
   let m = save t in
-  try Some (parse_type t ~allow_abstract) with Parse_error _ -> restore t m; None
+  match speculating t (fun () -> parse_type t ~allow_abstract) with
+  | ty -> Some ty
+  | exception Parse_error _ ->
+      restore t m;
+      None
+  | exception e ->
+      (* restore before re-raising non-speculative failures *)
+      restore t m;
+      raise e
 
 and parse_type t ~allow_abstract : type_expr =
+  with_depth t @@ fun () -> parse_type_body t ~allow_abstract
+
+and parse_type_body t ~allow_abstract : type_expr =
   (* leading cv-qualifiers *)
   let const = ref false and volatile = ref false in
   let rec cv () =
@@ -462,7 +537,9 @@ and parse_binary t min_prec : expr =
   done;
   !lhs
 
-and parse_unary t : expr =
+and parse_unary t : expr = with_depth t @@ fun () -> parse_unary_body t
+
+and parse_unary_body t : expr =
   let lo = loc t in
   match (cur t).tok with
   | Token.Punct (("!" | "~" | "-" | "+" | "*" | "&" | "++" | "--") as op) ->
@@ -679,21 +756,29 @@ and parse_primary t : expr =
    shadowing: accepted limitation of the subset). *)
 and is_functional_cast_ahead t =
   let m = save t in
-  let result =
-    try
-      match parse_type_opt t ~allow_abstract:true with
-      | Some _ -> check_punct t "("
-      | None -> false
-    with Parse_error _ -> false
-  in
-  restore t m;
-  result
+  match
+    speculating t @@ fun () ->
+    match parse_type_opt t ~allow_abstract:true with
+    | Some _ -> check_punct t "("
+    | None -> false
+  with
+  | result ->
+      restore t m;
+      result
+  | exception Parse_error _ ->
+      restore t m;
+      false
+  | exception e ->
+      restore t m;
+      raise e
 
 (* ------------------------------------------------------------------ *)
 (* Statements                                                          *)
 (* ------------------------------------------------------------------ *)
 
-and parse_statement t : stmt =
+and parse_statement t : stmt = with_depth t @@ fun () -> parse_statement_body t
+
+and parse_statement_body t : stmt =
   let lo = loc t in
   let mk s0 = { s = s0; sloc = lo } in
   match (cur t).tok with
@@ -822,7 +907,18 @@ and parse_compound t : stmt =
   let lo = loc t in
   expect_punct t "{";
   let rec go acc =
-    if eat_punct t "}" then List.rev acc else go (parse_statement t :: acc)
+    if eat_punct t "}" then List.rev acc
+    else if (cur t).tok = Token.Eof then
+      err t "unexpected end of file in compound statement"
+    else
+      match parse_statement t with
+      | s -> go (s :: acc)
+      | exception Parse_error (l, m) when t.speculative = 0 ->
+          (* panic-mode recovery: report, skip to the next statement
+             boundary, and keep collecting statements *)
+          record_recovery t l m;
+          sync_to_boundary t;
+          go acc
   in
   { s = SCompound (go []); sloc = lo }
 
@@ -862,7 +958,9 @@ and try_parse_var_decls t : var_decl list option =
   in
   if not starts_like_type then None
   else begin
-    try
+    let m = save t in
+    match
+      speculating t @@ fun () ->
       let storage =
         let st = ref no_storage in
         let rec go () =
@@ -927,8 +1025,14 @@ and try_parse_var_decls t : var_decl list option =
         else if check_punct t ";" then List.rev (vd :: acc)
         else raise (Parse_error (loc t, "expected ',' or ';' after declarator"))
       in
-      Some (declarators [])
-    with Parse_error _ -> None
+      declarators []
+    with
+    | vds -> Some vds
+    | exception Parse_error _ -> None
+    | exception e ->
+        (* restore before re-raising non-speculative failures *)
+        restore t m;
+        raise e
   end
 
 (* ------------------------------------------------------------------ *)
@@ -1087,7 +1191,15 @@ and parse_class t key key_loc : class_def =
     let class_id = Option.map (fun (p : name_part) -> p.id) name in
     let rec members acc =
       if check_punct t "}" then List.rev acc
-      else members (parse_member t ?class_id () :: acc)
+      else if (cur t).tok = Token.Eof then
+        err t "unexpected end of file in class body"
+      else
+        match parse_member t ?class_id () with
+        | m -> members (m :: acc)
+        | exception Parse_error (l, msg) when t.speculative = 0 ->
+            record_recovery t l msg;
+            sync_to_boundary t;
+            members acc
     in
     let ms = members [] in
     let body_end = loc t in
@@ -1107,6 +1219,9 @@ and class_key_of_kw = function
 
 (* one member declaration inside a class body *)
 and parse_member t ?class_id () : decl =
+  with_depth t @@ fun () -> parse_member_body t ?class_id ()
+
+and parse_member_body t ?class_id () : decl =
   let lo = loc t in
   match (cur t).tok with
   | Token.Kw (("public" | "protected" | "private") as k)
@@ -1387,7 +1502,12 @@ and try_parse_qualified_ctor t ~quals lo : decl option =
   match (cur t).tok with
   | Token.Ident _ -> (
       let m = save t in
-      try
+      (* Speculate only through the qualified name and the Qual::Qual(
+         pattern check.  Once the pattern matched we commit: the parameter
+         list and body parse non-speculatively, so errors inside them are
+         reported and recovered in place instead of silently backtracking. *)
+      match
+        speculating t @@ fun () ->
         let q = parse_qual_name ~in_expr:false t in
         match List.rev q.parts with
         | last :: prev :: _
@@ -1396,43 +1516,50 @@ and try_parse_qualified_ctor t ~quals lo : decl option =
                    || (String.length last.id > 1
                        && last.id.[0] = '~'
                        && String.equal (String.sub last.id 1 (String.length last.id - 1)) prev.id)) ->
-            let kind = if last.id.[0] = '~' then Fk_dtor else Fk_ctor in
-            advance t;
-            let params, variadic = parse_params t in
-            let throw = parse_throw_spec t in
-            let header = Srcloc.range lo (prev_loc t) in
-            let inits = if kind = Fk_ctor then parse_ctor_inits t else [] in
-            let body, body_range =
-              if check_punct t "{" then begin
-                let bs = loc t in
-                let b = parse_compound t in
-                (Some b, Some (Srcloc.range bs (prev_loc t)))
-              end
-              else begin
-                expect_punct t ";";
-                (None, None)
-              end
-            in
-            Some
-              { d =
-                  DFunction
-                    { f_name = q; f_kind = kind; f_ret = None; f_params = params;
-                      f_variadic = variadic; f_quals = quals; f_inits = inits;
-                      f_throw = throw; f_body = body; f_header = header;
-                      f_body_range = body_range };
-                dloc = lo }
-        | _ ->
-            restore t m;
-            None
-      with Parse_error _ ->
-        restore t m;
-        None)
+            Some (q, last)
+        | _ -> None
+      with
+      | None | exception Parse_error _ ->
+          restore t m;
+          None
+      | exception e ->
+          restore t m;
+          raise e
+      | Some (q, last) ->
+          let kind = if last.id.[0] = '~' then Fk_dtor else Fk_ctor in
+          advance t;
+          let params, variadic = parse_params t in
+          let throw = parse_throw_spec t in
+          let header = Srcloc.range lo (prev_loc t) in
+          let inits = if kind = Fk_ctor then parse_ctor_inits t else [] in
+          let body, body_range =
+            if check_punct t "{" then begin
+              let bs = loc t in
+              let b = parse_compound t in
+              (Some b, Some (Srcloc.range bs (prev_loc t)))
+            end
+            else begin
+              expect_punct t ";";
+              (None, None)
+            end
+          in
+          Some
+            { d =
+                DFunction
+                  { f_name = q; f_kind = kind; f_ret = None; f_params = params;
+                    f_variadic = variadic; f_quals = quals; f_inits = inits;
+                    f_throw = throw; f_body = body; f_header = header;
+                    f_body_range = body_range };
+              dloc = lo })
   | _ -> None
 
 (* template declaration: 'template < params > decl', or explicit
    instantiation 'template decl;', or explicit specialization
    'template <> decl' *)
 and parse_template t ?class_id () : decl =
+  with_depth t @@ fun () -> parse_template_body t ?class_id ()
+
+and parse_template_body t ?class_id () : decl =
   let lo = loc t in
   let start_pos = t.pos in
   advance t (* template *);
@@ -1577,6 +1704,25 @@ and template_text t start_pos =
 
 (* namespace-scope declaration *)
 and parse_toplevel_decl t : decl =
+  with_depth t @@ fun () -> parse_toplevel_decl_body t
+
+(* recovering loop over namespace-scope declarations up to a closing '}' *)
+and toplevel_decls_until_brace t ~what =
+  let rec go acc =
+    if eat_punct t "}" then List.rev acc
+    else if (cur t).tok = Token.Eof then
+      err t "unexpected end of file in %s" what
+    else
+      match parse_toplevel_decl t with
+      | d -> go (d :: acc)
+      | exception Parse_error (l, m) when t.speculative = 0 ->
+          record_recovery t l m;
+          sync_to_boundary t;
+          go acc
+  in
+  go []
+
+and parse_toplevel_decl_body t : decl =
   let lo = loc t in
   match (cur t).tok with
   | Token.Kw "namespace" -> (
@@ -1594,20 +1740,13 @@ and parse_toplevel_decl t : decl =
           else begin
             let body_start = loc t in
             expect_punct t "{";
-            let rec go acc =
-              if eat_punct t "}" then List.rev acc
-              else go (parse_toplevel_decl t :: acc)
-            in
-            let ds = go [] in
+            let ds = toplevel_decls_until_brace t ~what:"namespace body" in
             { d = DNamespace (Some id, ds, Srcloc.range body_start (prev_loc t)); dloc = lo }
           end
       | Token.Punct "{" ->
           let body_start = loc t in
           advance t;
-          let rec go acc =
-            if eat_punct t "}" then List.rev acc else go (parse_toplevel_decl t :: acc)
-          in
-          let ds = go [] in
+          let ds = toplevel_decls_until_brace t ~what:"namespace body" in
           { d = DNamespace (None, ds, Srcloc.range body_start (prev_loc t)); dloc = lo }
       | tok -> err t "expected namespace name or '{', found %s" (Token.describe tok))
   | Token.Kw "using" ->
@@ -1641,11 +1780,8 @@ and parse_toplevel_decl t : decl =
       advance t;
       advance t;
       if check_punct t "{" then begin
-        let rec go acc =
-          if eat_punct t "}" then List.rev acc else go (parse_toplevel_decl t :: acc)
-        in
         advance t;
-        let ds = go [] in
+        let ds = toplevel_decls_until_brace t ~what:"extern \"C\" block" in
         { d = DNamespace (None, ds, Srcloc.range lo (prev_loc t)); dloc = lo }
       end
       else parse_toplevel_decl t
@@ -1655,27 +1791,29 @@ and parse_toplevel_decl t : decl =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let parse_translation_unit ~diags ~file toks : translation_unit =
-  let t = create ~diags toks in
+let parse_translation_unit ?limits ~diags ~file toks : translation_unit =
+  let t = create ?limits ~diags toks in
   let rec go acc =
     match (cur t).tok with
     | Token.Eof -> List.rev acc
     | _ -> (
         match parse_toplevel_decl t with
         | d -> go (d :: acc)
-        | exception Parse_error (l, m) ->
-            Diag.error diags l "%s" m;
-            (* recovery: skip to next ';' or '}' at depth 0 *)
-            let rec skip () =
-              match (cur t).tok with
-              | Token.Eof -> ()
-              | Token.Punct ";" -> advance t
-              | Token.Punct "{" -> (try skip_balanced t with Parse_error _ -> ())
-              | _ ->
-                  advance t;
-                  skip ()
-            in
-            skip ();
-            go acc)
+        | exception Parse_error (l, m) -> (
+            match record_recovery t l m with
+            | () ->
+                sync_to_boundary t;
+                (* a stray '}' at file scope has no enclosing construct:
+                   consume it so recovery makes progress *)
+                (match (cur t).tok with
+                 | Token.Punct "}" -> advance t
+                 | _ -> ());
+                go acc
+            | exception Bail -> List.rev acc)
+        | exception Bail -> List.rev acc
+        | exception (Limits.Exceeded _ as e) ->
+            (* budget breach: record once and return what parsed so far *)
+            Diag.fatal_note diags (loc t) "%s" (Limits.describe e);
+            List.rev acc)
   in
   { tu_file = file; tu_decls = go [] }

@@ -150,6 +150,11 @@ type macro_item = {
 
 type t = {
   mutable version : string;
+  mutable incomplete : bool;
+      (** degraded compilation: the producing front end recovered from
+          errors, so declarations in damaged regions may be missing *)
+  mutable diag_count : int;
+      (** number of error/fatal diagnostics behind [incomplete] *)
   mutable files : source_file list;
   mutable types : type_item list;
   mutable classes : class_item list;
@@ -160,8 +165,25 @@ type t = {
 }
 
 let create () =
-  { version = "1.0"; files = []; types = []; classes = []; routines = [];
+  { version = "1.0"; incomplete = false; diag_count = 0;
+    files = []; types = []; classes = []; routines = [];
     templates = []; namespaces = []; pdb_macros = [] }
+
+(** Parse the content of a [<PDB ...>] header line (the text between
+    "<PDB " and ">"): a version word, optionally followed by
+    ["incomplete <diag-count>"].  Shared by both PDB parsers. *)
+let set_header t content =
+  match String.split_on_char ' ' content with
+  | version :: "incomplete" :: rest ->
+      t.version <- version;
+      t.incomplete <- true;
+      (match rest with
+       | [n] -> (match int_of_string_opt n with
+                 | Some k -> t.diag_count <- k
+                 | None -> ())
+       | _ -> ())
+  | version :: _ -> t.version <- version
+  | [] -> ()
 
 (* lookup helpers (PDBs are small enough that lists are fine; DUCTAPE builds
    hash indexes for the heavy tools) *)

@@ -644,7 +644,7 @@ let of_string (src : string) : t =
     let s = !s and e = !e in
     if s >= e then finalize ()
     else if e - s > 5 && word_is src s (s + 5) "<PDB " then
-      t.version <- sub src (s + 5) (e - 1)
+      set_header t (sub src (s + 5) (e - 1))
     else begin
       (* key = up to the first space; value = the rest of the line *)
       let rec sp i = if i >= e || String.unsafe_get src i = ' ' then i else sp (i + 1) in

@@ -83,7 +83,7 @@ type block = {
 
 let split_blocks (src : string) : string * block list =
   let lines = String.split_on_char '\n' src in
-  let version = ref "1.0" in
+  let header = ref "1.0" in
   let blocks = ref [] in
   let cur : block option ref = ref None in
   let flush () =
@@ -99,7 +99,7 @@ let split_blocks (src : string) : string * block list =
       let line = String.trim line in
       if line = "" then flush ()
       else if String.length line > 5 && String.sub line 0 5 = "<PDB " then
-        version := String.sub line 5 (String.length line - 6)
+        header := String.sub line 5 (String.length line - 6)
       else begin
         let key, rest =
           match String.index_opt line ' ' with
@@ -120,12 +120,12 @@ let split_blocks (src : string) : string * block list =
       end)
     lines;
   flush ();
-  (!version, List.rev !blocks)
+  (!header, List.rev !blocks)
 
 let of_string (src : string) : t =
-  let version, blocks = split_blocks src in
+  let header, blocks = split_blocks src in
   let t = create () in
-  t.version <- version;
+  set_header t header;
   let files = ref [] and types = ref [] and classes = ref [] in
   let routines = ref [] and templates = ref [] and namespaces = ref [] in
   let macros = ref [] in

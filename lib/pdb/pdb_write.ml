@@ -122,6 +122,10 @@ let write_to_buffer (t : t) (b : Buffer.t) : unit =
   in
   str "<PDB ";
   str t.version;
+  if t.incomplete then begin
+    str " incomplete ";
+    add_int b t.diag_count
+  end;
   str ">\n";
   nl ();
   (* source files *)

@@ -41,6 +41,7 @@ type file_record = {
 type t = {
   vfs : Vfs.t;
   diags : Diag.engine;
+  limits : Limits.t;
   macros : (string, macro) Hashtbl.t;
   mutable macro_log : macro list;          (* every definition, in order *)
   files : (string, file_record) Hashtbl.t;
@@ -48,13 +49,14 @@ type t = {
   mutable pragma_once : SS.t;
   mutable include_stack : string list;
   mutable out : Token.tok list;            (* reversed output *)
+  mutable reported_limits : SS.t;          (* budget breaches already recorded *)
 }
 
-let create ?(predefined = []) ~vfs ~diags () =
+let create ?(predefined = []) ?(limits = Limits.default ()) ~vfs ~diags () =
   let t =
-    { vfs; diags; macros = Hashtbl.create 64; macro_log = [];
+    { vfs; diags; limits; macros = Hashtbl.create 64; macro_log = [];
       files = Hashtbl.create 16; file_order = []; pragma_once = SS.empty;
-      include_stack = []; out = [] }
+      include_stack = []; out = []; reported_limits = SS.empty }
   in
   List.iter
     (fun (name, text) ->
@@ -66,6 +68,15 @@ let create ?(predefined = []) ~vfs ~diags () =
       Hashtbl.replace t.macros name m)
     predefined;
   t
+
+(* Record a budget breach as a Fatal diagnostic, once per distinct limit —
+   the construct that tripped it is abandoned, the TU keeps going. *)
+let report_limit t loc e =
+  let msg = Limits.describe e in
+  if not (SS.mem msg t.reported_limits) then begin
+    t.reported_limits <- SS.add msg t.reported_limits;
+    Diag.fatal_note t.diags loc "%s" msg
+  end
 
 let file_record t path =
   match Hashtbl.find_opt t.files path with
@@ -199,8 +210,22 @@ and collect_args t input : (ptok list list * ptok list) option =
       go 0 [] [] rest
   | _ -> None
 
-(* Substitute arguments into a macro body, handle # and ##, then rescan. *)
+(* Substitute arguments into a macro body, handle # and ##, then rescan.
+   This is where expansion recurses and where token amplification happens,
+   so both the macro-depth and per-TU token budgets are charged here: a
+   depth breach abandons just this expansion (the name stays unexpanded
+   upstream); a token-count breach aborts preprocessing via {!Limits.Exceeded},
+   caught in {!run}. *)
 and substitute t m (args : ptok list list) call_loc hide : ptok list =
+  match Limits.enter_macro t.limits with
+  | exception (Limits.Exceeded _ as e) ->
+      report_limit t call_loc e;
+      []
+  | () ->
+      Fun.protect ~finally:(fun () -> Limits.exit_macro t.limits) @@ fun () ->
+      substitute_body t m args call_loc hide
+
+and substitute_body t m (args : ptok list list) call_loc hide : ptok list =
   let param_index p =
     let rec idx i = function
       | [] -> None
@@ -248,6 +273,7 @@ and substitute t m (args : ptok list list) call_loc hide : ptok list =
     | tk :: rest -> subst ({ p = retok tk; hide } :: acc) rest
   in
   let substituted = subst [] m.m_body in
+  Limits.count_tokens t.limits (List.length substituted);
   (* Pass 2: rescan with the macro name hidden. *)
   expand t (List.map (fun x -> { x with hide = SS.union x.hide hide }) substituted)
 
@@ -442,9 +468,14 @@ let define_macro t loc (dtoks : Token.tok list) =
   | _ -> Diag.error t.diags loc "#define requires a macro name"
 
 let rec process_file t path : unit =
-  if List.length t.include_stack > 200 then
-    Diag.fatal t.diags Srcloc.dummy "#include nesting too deep (cycle through %s?)" path;
-  if SS.mem path t.pragma_once then ()
+  if List.length t.include_stack >= t.limits.Limits.budgets.Limits.max_include_depth
+  then
+    (* report the actual chain, innermost last — the stack holds it *)
+    Diag.fatal_note t.diags Srcloc.dummy
+      "#include nesting too deep (budget %d); include chain: %s"
+      t.limits.Limits.budgets.Limits.max_include_depth
+      (String.concat " -> " (List.rev (path :: t.include_stack)))
+  else if SS.mem path t.pragma_once then ()
   else begin
     ignore (file_record t path);
     match Vfs.read_raw t.vfs path with
@@ -469,6 +500,7 @@ and process_line t path conds currently_active line =
   | Text toks ->
       if currently_active () then begin
         let expanded = expand t (ptoks_of_toks toks) in
+        Limits.count_tokens t.limits (List.length expanded);
         t.out <- List.rev_append (toks_of_ptoks expanded) t.out
       end
   | Directive (loc, dtoks) -> (
@@ -539,7 +571,10 @@ and process_line t path conds currently_active line =
           | None -> Diag.error t.diags loc "malformed #include"
           | Some (name, system) -> (
               match Vfs.resolve_include t.vfs ~from:path ~system name with
-              | None -> Diag.fatal t.diags loc "cannot find include file '%s'" name
+              | None ->
+                  (* recoverable: the rest of the TU still compiles, minus
+                     whatever the missing header would have declared *)
+                  Diag.error t.diags loc "cannot find include file '%s'" name
               | Some resolved ->
                   let r = file_record t path in
                   r.f_includes <- r.f_includes @ [ resolved ];
@@ -550,7 +585,9 @@ and process_line t path conds currently_active line =
           | { tok = Token.Ident n; _ } :: _ -> Hashtbl.remove t.macros n
           | _ -> Diag.error t.diags loc "#undef requires an identifier")
       | "error" ->
-          Diag.fatal t.diags loc "#error %s" (Token.text_of_toks rest)
+          (* recorded, not raised: keep preprocessing to surface further
+             diagnostics from the same TU *)
+          Diag.error t.diags loc "#error %s" (Token.text_of_toks rest)
       | "warning" ->
           Diag.warn t.diags loc "#warning %s" (Token.text_of_toks rest)
       | "pragma" -> (
@@ -568,9 +605,15 @@ type result = {
   macros : macro list;              (** every definition, in definition order *)
 }
 
-let run ?(predefined = []) ~vfs ~diags path : result =
-  let t = create ~predefined ~vfs ~diags () in
-  process_file t path;
+(* The only exception [run] lets escape is [Diag.Error] for an unreadable
+   file (an I/O failure, surfaced by [Vfs.read_raw]) — user-input problems
+   (lexical errors, missing includes, [#error], budget breaches) are
+   recorded in [diags] and yield a partial token stream instead. *)
+let run ?(predefined = []) ?limits ~vfs ~diags path : result =
+  let limits = match limits with Some l -> l | None -> Limits.default () in
+  let t = create ~predefined ~limits ~vfs ~diags () in
+  (try process_file t path
+   with Limits.Exceeded _ as e -> report_limit t Srcloc.dummy e);
   {
     tokens = List.rev t.out;
     source_files =

@@ -46,6 +46,9 @@ type t = {
   prog : Il.program;
   diags : Diag.engine;
   opts : options;
+  limits : Limits.t;
+  (* budget-breach messages already reported (once per TU each) *)
+  mutable reported_limits : string list;
   global : Scope.t;
   (* class id -> its member scope *)
   class_scopes : (Il.class_id, Scope.t) Hashtbl.t;
@@ -83,10 +86,11 @@ and pending_body = {
   pb_rtempl : Il.template_id option;  (* template to credit on instantiation *)
 }
 
-let create ?(opts = default_options) ~diags () =
+let create ?(opts = default_options) ?(limits = Limits.default ()) ~diags () =
   let prog = Il.create_program () in
   {
-    prog; diags; opts;
+    prog; diags; opts; limits;
+    reported_limits = [];
     global = Scope.create Scope.Sk_global;
     class_scopes = Hashtbl.create 64;
     template_scopes = Hashtbl.create 64;
@@ -104,6 +108,16 @@ let program t = t.prog
 (* ------------------------------------------------------------------ *)
 (* Small helpers                                                       *)
 (* ------------------------------------------------------------------ *)
+
+(* Record a budget breach as a [Fatal] diagnostic, once per message.
+   Analysis continues: the failed construct degrades into a poisoned
+   placeholder (error type / missing instance). *)
+let report_limit t ~loc e =
+  let msg = Limits.describe e in
+  if not (List.mem msg t.reported_limits) then begin
+    t.reported_limits <- msg :: t.reported_limits;
+    Diag.fatal_note t.diags loc "%s" msg
+  end
 
 let access_of_ast = function
   | Ast.Public -> Pub
@@ -563,6 +577,17 @@ and normalize_args t te (args : rarg list) ~scope ~loc : rarg list =
 
 and instantiate_class t (te_id : Il.template_id) (args : rarg list) ~loc :
     Il.class_id option =
+  match Limits.enter_instantiation t.limits with
+  | exception (Limits.Exceeded _ as e) ->
+      report_limit t ~loc e;
+      None
+  | () ->
+      Fun.protect
+        ~finally:(fun () -> Limits.exit_instantiation t.limits)
+        (fun () -> instantiate_class_body t te_id args ~loc)
+
+and instantiate_class_body t (te_id : Il.template_id) (args : rarg list) ~loc :
+    Il.class_id option =
   let te = Il.template t.prog te_id in
   let def_scope =
     match Hashtbl.find_opt t.template_scopes te_id with
@@ -734,6 +759,17 @@ and attach_one_member_def t cl env name (fd : Ast.func_def) mem_te =
       end
 
 and instantiate_function t (te_id : Il.template_id) (args : rarg list) ~loc :
+    Il.routine_id option =
+  match Limits.enter_instantiation t.limits with
+  | exception (Limits.Exceeded _ as e) ->
+      report_limit t ~loc e;
+      None
+  | () ->
+      Fun.protect
+        ~finally:(fun () -> Limits.exit_instantiation t.limits)
+        (fun () -> instantiate_function_body t te_id args ~loc)
+
+and instantiate_function_body t (te_id : Il.template_id) (args : rarg list) ~loc :
     Il.routine_id option =
   let te = Il.template t.prog te_id in
   let def_scope =
@@ -2161,9 +2197,9 @@ let macro_entities t (pp : Pdt_pp.Preproc.result) : unit =
     pp.macros
 
 (** Analyze one preprocessed translation unit, producing its IL. *)
-let analyze ?(opts = default_options) ~diags (pp : Pdt_pp.Preproc.result)
+let analyze ?(opts = default_options) ?limits ~diags (pp : Pdt_pp.Preproc.result)
     (tu : Ast.translation_unit) : Il.program =
-  let t = create ~opts ~diags () in
+  let t = create ~opts ?limits ~diags () in
   file_entities t pp;
   macro_entities t pp;
   List.iter (do_decl t t.global) tu.Ast.tu_decls;
@@ -2172,9 +2208,9 @@ let analyze ?(opts = default_options) ~diags (pp : Pdt_pp.Preproc.result)
 
 (** Like {!analyze} but also returns the analysis state (used by tools that
     need scopes or the instantiation log, e.g. the prelink simulator). *)
-let analyze_full ?(opts = default_options) ~diags (pp : Pdt_pp.Preproc.result)
+let analyze_full ?(opts = default_options) ?limits ~diags (pp : Pdt_pp.Preproc.result)
     (tu : Ast.translation_unit) : t =
-  let t = create ~opts ~diags () in
+  let t = create ~opts ?limits ~diags () in
   file_entities t pp;
   macro_entities t pp;
   List.iter (do_decl t t.global) tu.Ast.tu_decls;

@@ -43,6 +43,12 @@ let fatal eng loc fmt =
       raise (Error d))
     fmt
 
+(** Record a [Fatal] diagnostic {e without} raising — for resource-limit
+    breaches, where the driver abandons one construct but keeps the
+    translation unit going (degraded compilation). *)
+let fatal_note eng loc fmt =
+  Fmt.kstr (fun message -> record eng { severity = Fatal; loc; message }) fmt
+
 let diagnostics eng = List.rev eng.diags
 
 let error_count eng = eng.error_count

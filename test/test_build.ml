@@ -290,19 +290,40 @@ let test_cache_key_covers_options () =
 
 let test_failed_unit_does_not_sink_build () =
   let vfs, sources = project () in
-  Pdt_util.Vfs.add_file vfs "broken.cpp" (G.broken_unit ~tu_index:9);
-  let r = build ~domains:4 (vfs, sources @ [ "broken.cpp" ]) in
+  (* an unreadable unit is a hard failure (I/O), not a degraded compile *)
+  let r = build ~domains:4 (vfs, sources @ [ "missing.cpp" ]) in
   Alcotest.(check int) "one unit failed" 1 r.B.failed;
   Alcotest.(check int) "the rest compiled" (n_tus + 1) r.B.compiled;
   (match B.failures r with
    | [ (source, msg) ] ->
-       Alcotest.(check string) "failure names the unit" "broken.cpp" source;
+       Alcotest.(check string) "failure names the unit" "missing.cpp" source;
        Alcotest.(check bool) "failure carries diagnostics" true (msg <> "")
    | _ -> Alcotest.fail "expected exactly one failure");
-  (* the merged PDB equals the build without the broken unit *)
+  (* the merged PDB equals the build without the failed unit *)
   let clean = build ~domains:4 (project ()) in
   Alcotest.(check string) "merged PDB excludes only the failed unit"
     (pdb_string clean.B.merged) (pdb_string r.B.merged)
+
+let test_degraded_unit_still_merges () =
+  let vfs, sources = project () in
+  Pdt_util.Vfs.add_file vfs "broken.cpp" (G.broken_unit ~tu_index:9);
+  let r = build ~domains:4 (vfs, sources @ [ "broken.cpp" ]) in
+  Alcotest.(check int) "one unit degraded" 1 r.B.degraded;
+  Alcotest.(check int) "no unit failed" 0 r.B.failed;
+  Alcotest.(check int) "the rest compiled" (n_tus + 1) r.B.compiled;
+  (match B.degraded_units r with
+   | [ (source, msg) ] ->
+       Alcotest.(check string) "report names the unit" "broken.cpp" source;
+       Alcotest.(check bool) "report carries diagnostics" true (msg <> "")
+   | _ -> Alcotest.fail "expected exactly one degraded unit");
+  (* the partial PDB is merged in, and its marker propagates *)
+  Alcotest.(check bool) "merged PDB marked incomplete" true
+    r.B.merged.P.incomplete;
+  Alcotest.(check bool) "merged PDB counts the diagnostics" true
+    (r.B.merged.P.diag_count > 0);
+  let clean = build ~domains:4 (project ()) in
+  Alcotest.(check bool) "merge contains at least the clean units' items" true
+    (P.item_count r.B.merged >= P.item_count clean.B.merged)
 
 (* ---------------- mixed-language projects ---------------- *)
 
@@ -362,5 +383,7 @@ let suite =
       test_cache_key_covers_options;
     Alcotest.test_case "failed unit does not sink the build" `Quick
       test_failed_unit_does_not_sink_build;
+    Alcotest.test_case "degraded unit still merges" `Quick
+      test_degraded_unit_still_merges;
     Alcotest.test_case "mixed C++/Fortran/Java project" `Quick
       test_mixed_language_project ]

@@ -1,0 +1,70 @@
+(* Diagnostic engine behavior the resilient front end leans on: recording
+   order, severity counting, and the fatal / fatal_note split. *)
+
+module D = Pdt_util.Diag
+module S = Pdt_util.Srcloc
+
+let loc line = S.make ~file:"t.cpp" ~line ~col:1
+
+let test_ordering () =
+  let eng = D.create () in
+  D.warn eng (loc 1) "first";
+  D.error eng (loc 2) "second";
+  D.warn eng (loc 3) "third";
+  D.error eng (loc 4) "fourth";
+  let messages = List.map (fun (d : D.diagnostic) -> d.D.message) (D.diagnostics eng) in
+  Alcotest.(check (list string)) "diagnostics come back in recording order"
+    [ "first"; "second"; "third"; "fourth" ] messages
+
+let test_mixed_severity_counts () =
+  let eng = D.create () in
+  D.warn eng (loc 1) "w1";
+  D.error eng (loc 2) "e1";
+  D.fatal_note eng (loc 3) "f1";
+  D.warn eng (loc 4) "w2";
+  D.error eng (loc 5) "e2";
+  Alcotest.(check int) "error_count counts Error and Fatal" 3 (D.error_count eng);
+  Alcotest.(check int) "warning_count counts Warning only" 2 (D.warning_count eng);
+  Alcotest.(check bool) "has_errors" true (D.has_errors eng);
+  Alcotest.(check int) "five diagnostics total" 5
+    (List.length (D.diagnostics eng))
+
+let test_fatal_records_before_raising () =
+  let eng = D.create () in
+  (match D.fatal eng (loc 7) "boom %d" 42 with
+   | () -> Alcotest.fail "fatal must raise"
+   | exception D.Error d ->
+       Alcotest.(check string) "raised diagnostic carries the message" "boom 42"
+         d.D.message);
+  (* the diagnostic is on record even though fatal raised *)
+  match D.diagnostics eng with
+  | [ d ] ->
+      Alcotest.(check bool) "recorded as Fatal" true (d.D.severity = D.Fatal);
+      Alcotest.(check int) "fatal line" 7 d.D.loc.S.line;
+      Alcotest.(check int) "counts as an error" 1 (D.error_count eng)
+  | ds -> Alcotest.fail (Printf.sprintf "expected 1 diagnostic, got %d" (List.length ds))
+
+let test_fatal_note_does_not_raise () =
+  let eng = D.create () in
+  D.fatal_note eng (loc 9) "budget breached";
+  Alcotest.(check int) "recorded" 1 (List.length (D.diagnostics eng));
+  Alcotest.(check bool) "severity is Fatal" true
+    (match D.diagnostics eng with
+     | [ d ] -> d.D.severity = D.Fatal
+     | _ -> false);
+  Alcotest.(check bool) "counts toward has_errors" true (D.has_errors eng)
+
+let test_empty_engine () =
+  let eng = D.create () in
+  Alcotest.(check bool) "no errors" false (D.has_errors eng);
+  Alcotest.(check int) "no warnings" 0 (D.warning_count eng);
+  Alcotest.(check string) "to_string is empty" "" (D.to_string eng)
+
+let suite =
+  [ Alcotest.test_case "recording order" `Quick test_ordering;
+    Alcotest.test_case "mixed severity counts" `Quick test_mixed_severity_counts;
+    Alcotest.test_case "fatal records before raising" `Quick
+      test_fatal_records_before_raising;
+    Alcotest.test_case "fatal_note records without raising" `Quick
+      test_fatal_note_does_not_raise;
+    Alcotest.test_case "empty engine" `Quick test_empty_engine ]

@@ -1,0 +1,387 @@
+(* Deterministic mutation fuzzing of the resilient front end.
+
+   Thousands of seeded mutants of the workload corpus run through the full
+   preprocess -> lex -> parse -> sema -> PDB pipeline.  The invariant under
+   test: the front end either produces a PDB (possibly partial) or clean
+   diagnostics — never an escaped exception, stack overflow, or hang.  Any
+   PDB produced must re-parse through both PDB parsers.  Failing inputs are
+   written to fuzz-failures/ so CI can upload them as an artifact.
+
+   The mutant count defaults to 2000 and can be overridden with the
+   PDT_FUZZ_MUTANTS environment variable. *)
+
+module G = Pdt_workloads.Generator
+module Stack = Pdt_workloads.Stack
+module Ministl = Pdt_workloads.Ministl
+module L = Pdt_util.Limits
+module P = Pdt_pdb.Pdb
+
+(* xorshift64* PRNG, the same idiom as the workload generator: fully
+   deterministic from the seed, no global state *)
+type rng = { mutable state : int64 }
+
+let rng seed = { state = Int64.of_int ((seed * 2654435761) + 99991) }
+
+let next r =
+  let x = r.state in
+  let x = Int64.logxor x (Int64.shift_left x 13) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 7) in
+  let x = Int64.logxor x (Int64.shift_left x 17) in
+  r.state <- x;
+  Int64.to_int (Int64.logand x 0x3FFFFFFFL)
+
+let pick r lst = List.nth lst (next r mod List.length lst)
+
+(* ---------------- mutation operators ---------------- *)
+
+let nasty_chars = [ '{'; '}'; '('; ')'; ';'; '<'; '>'; '"'; '\''; '\\'; '#'; '*'; ','; ':' ]
+
+let nasty_tokens =
+  [ "{"; "}"; "("; ")"; ";"; "<"; ">"; "::"; "..."; "\"";
+    "/*"; "*/"; "//"; "template <class T>"; "template <";
+    "#include \"StackAr.h\""; "#include \"nosuch.h\"";
+    "#define X X X"; "#define"; "#if"; "#endif"; "#error boom";
+    "((((((((("; ")))))"; "<<<<<"; ">>"; "operator"; "~" ]
+
+let mutate_once r s =
+  let n = String.length s in
+  if n = 0 then pick r nasty_tokens
+  else
+    match next r mod 6 with
+    | 0 ->
+        (* delete a span *)
+        let i = next r mod n in
+        let len = min (1 + (next r mod 60)) (n - i) in
+        String.sub s 0 i ^ String.sub s (i + len) (n - i - len)
+    | 1 ->
+        (* duplicate a span *)
+        let i = next r mod n in
+        let len = min (1 + (next r mod 40)) (n - i) in
+        String.sub s 0 (i + len) ^ String.sub s i (n - i)
+    | 2 ->
+        (* insert a structural character *)
+        let i = next r mod (n + 1) in
+        String.sub s 0 i
+        ^ String.make 1 (pick r nasty_chars)
+        ^ String.sub s i (n - i)
+    | 3 ->
+        (* replace one character *)
+        let i = next r mod n in
+        let b = Bytes.of_string s in
+        Bytes.set b i (pick r nasty_chars);
+        Bytes.to_string b
+    | 4 ->
+        (* truncate *)
+        String.sub s 0 (next r mod n)
+    | _ ->
+        (* insert a nasty token *)
+        let i = next r mod (n + 1) in
+        String.sub s 0 i ^ pick r nasty_tokens ^ String.sub s i (n - i)
+
+let mutate r s =
+  let rounds = 1 + (next r mod 3) in
+  let rec go s k = if k = 0 then s else go (mutate_once r s) (k - 1) in
+  go s rounds
+
+(* ---------------- corpus ---------------- *)
+
+(* Each entry: label, files to mount, main to compile, file to mutate.
+   Mutating a header (not the main file) exercises recovery across the
+   preprocessor's include machinery too. *)
+let corpus () =
+  let gen_files = G.project_files ~n_tus:2 () in
+  [ ("stack-main", Stack.files, Stack.main_file, Stack.main_file);
+    ("stack-header", Stack.files, Stack.main_file, "StackAr.h");
+    ("gen-tu", gen_files, "tu0.cpp", "tu0.cpp");
+    ("gen-header", gen_files, "main.cpp", "generated.h") ]
+
+let build_vfs files =
+  let vfs = Pdt_util.Vfs.create () in
+  Ministl.mount vfs;
+  List.iter (fun (p, c) -> Pdt_util.Vfs.add_file vfs p c) files;
+  vfs
+
+(* Tight token/error budgets keep pathological mutants fast while still
+   driving every limit code path; the breach is a recorded Fatal, which is
+   an acceptable outcome. *)
+let fuzz_budgets =
+  { L.default_budgets with L.max_tokens = 200_000; max_errors = 32 }
+
+let failures_dir = "fuzz-failures"
+
+let dump_failure ~label ~seed ~path ~src ~reason =
+  if not (Sys.file_exists failures_dir) then Unix.mkdir failures_dir 0o755;
+  let base = Printf.sprintf "%s/%s-seed%d" failures_dir label seed in
+  let oc = open_out (base ^ ".input") in
+  output_string oc src;
+  close_out oc;
+  let oc = open_out (base ^ ".txt") in
+  Printf.fprintf oc "corpus: %s\nseed: %d\nmutated file: %s\nreason: %s\n"
+    label seed path reason;
+  close_out oc;
+  Printf.sprintf "%s (input saved to %s.input)" reason base
+
+let n_mutants () =
+  match Sys.getenv_opt "PDT_FUZZ_MUTANTS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 2000)
+  | None -> 2000
+
+(* One mutant through the whole pipeline.  Returns None on success, or
+   Some reason on an invariant violation. *)
+let run_one ~label ~files ~main ~target ~seed : string option =
+  let r = rng seed in
+  let base = List.assoc target files in
+  let mutant = mutate r base in
+  let files = (target, mutant) :: List.remove_assoc target files in
+  let vfs = build_vfs files in
+  let limits = L.create ~budgets:fuzz_budgets () in
+  let t0 = Unix.gettimeofday () in
+  let outcome =
+    match Pdt.compile ~limits ~vfs main with
+    | c -> (
+        (* a compilation came back: its PDB must serialize and re-parse
+           through both parsers, partial or not *)
+        let pdb = Pdt_analyzer.Analyzer.run c.Pdt.program in
+        if Pdt_util.Diag.has_errors c.Pdt.diags then begin
+          pdb.P.incomplete <- true;
+          pdb.P.diag_count <- Pdt_util.Diag.error_count c.Pdt.diags
+        end;
+        let s = Pdt_pdb.Pdb_write.to_string pdb in
+        match (Pdt_pdb.Pdb_parse.of_string s, Pdt_pdb.Pdb_parse_ref.of_string s) with
+        | p1, p2 ->
+            if p1.P.incomplete <> pdb.P.incomplete
+               || p2.P.incomplete <> pdb.P.incomplete then
+              Some "incomplete marker lost in PDB round-trip"
+            else None
+        | exception e ->
+            Some ("emitted PDB failed to re-parse: " ^ Printexc.to_string e))
+    | exception Pdt_util.Diag.Error _ ->
+        (* clean diagnostics path (unreadable main file) *)
+        None
+    | exception Stack_overflow -> Some "stack overflow escaped the front end"
+    | exception e -> Some ("escaped exception: " ^ Printexc.to_string e)
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  match outcome with
+  | Some reason -> Some (dump_failure ~label ~seed ~path:target ~src:mutant ~reason)
+  | None when dt > 10.0 ->
+      Some
+        (dump_failure ~label ~seed ~path:target ~src:mutant
+           ~reason:(Printf.sprintf "mutant took %.1fs (wall-clock bound 10s)" dt))
+  | None -> None
+
+let test_fuzz_matrix () =
+  let total = n_mutants () in
+  let entries = corpus () in
+  let n_entries = List.length entries in
+  let failures = ref [] in
+  for i = 0 to total - 1 do
+    let label, files, main, target = List.nth entries (i mod n_entries) in
+    match run_one ~label ~files ~main ~target ~seed:i with
+    | None -> ()
+    | Some msg -> failures := msg :: !failures
+  done;
+  match !failures with
+  | [] -> ()
+  | msgs ->
+      Alcotest.fail
+        (Printf.sprintf "%d/%d mutants violated the no-crash invariant:\n%s"
+           (List.length msgs) total
+           (String.concat "\n" (List.rev msgs)))
+
+(* ---------------- hand-written recovery cases ---------------- *)
+
+let compile_src ?budgets src =
+  let vfs = Pdt_util.Vfs.create () in
+  Pdt_util.Vfs.add_file vfs "main.cpp" src;
+  let limits =
+    match budgets with
+    | Some b -> L.create ~budgets:b ()
+    | None -> L.default ()
+  in
+  Pdt.compile ~limits ~vfs "main.cpp"
+
+let routine_names pdb =
+  List.map (fun (ro : P.routine_item) -> ro.P.ro_name) pdb.P.routines
+
+(* k recoverable syntax errors: >= min(k, max-errors) diagnostics, and the
+   PDB still contains every declaration outside the damaged regions. *)
+let k_errors_src =
+  {|
+int good1( ) { return 1; }
+int bad1( ) { int x = ; return 0; }
+int good2( ) { return 2; }
+class Good3 {
+public:
+    int method3( ) { return 3; }
+};
+int bad2( ) { return (1 + ; }
+int good4( ) { return good1( ) + good2( ); }
+int bad3( ) { ] ; return 0; }
+int good5( ) { return 5; }
+|}
+
+let test_recovery_collects_k_errors () =
+  let c = compile_src k_errors_src in
+  let n_errors = Pdt_util.Diag.error_count c.Pdt.diags in
+  Alcotest.(check bool)
+    (Printf.sprintf "3 damaged regions yield >= 3 diagnostics (got %d)" n_errors)
+    true (n_errors >= 3);
+  let pdb = Pdt_analyzer.Analyzer.run c.Pdt.program in
+  let names = routine_names pdb in
+  List.iter
+    (fun good ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s survives recovery" good)
+        true (List.mem good names))
+    [ "good1"; "good2"; "good4"; "good5"; "method3" ];
+  Alcotest.(check bool) "class Good3 survives recovery" true
+    (List.exists (fun (cl : P.class_item) -> cl.P.cl_name = "Good3") pdb.P.classes)
+
+let test_max_errors_stops_recovery () =
+  let budgets = { L.default_budgets with L.max_errors = 2 } in
+  let c = compile_src ~budgets k_errors_src in
+  let diags = Pdt_util.Diag.diagnostics c.Pdt.diags in
+  Alcotest.(check bool) "at least the budget's diagnostics recorded" true
+    (Pdt_util.Diag.error_count c.Pdt.diags >= 2);
+  Alcotest.(check bool) "the bail-out is itself recorded" true
+    (List.exists
+       (fun (d : Pdt_util.Diag.diagnostic) ->
+         d.Pdt_util.Diag.severity = Pdt_util.Diag.Fatal)
+       diags)
+
+(* deep expression nesting: the parser-recursion budget turns a would-be
+   stack overflow into a recorded Fatal and a partial AST *)
+let test_parse_depth_limit () =
+  let n = 5_000 in
+  let src =
+    "int deep( ) { return "
+    ^ String.concat "" (List.init n (fun _ -> "("))
+    ^ "1"
+    ^ String.concat "" (List.init n (fun _ -> ")"))
+    ^ "; }\nint after( ) { return 2; }\n"
+  in
+  let c = compile_src src in
+  Alcotest.(check bool) "depth breach recorded" true
+    (Pdt_util.Diag.has_errors c.Pdt.diags)
+
+(* a #define chain deeper than the macro budget: recorded, not crashed *)
+let test_macro_depth_limit () =
+  let n = 300 in
+  let b = Buffer.create 4096 in
+  for i = 0 to n - 1 do
+    Buffer.add_string b (Printf.sprintf "#define A%d A%d\n" i (i + 1))
+  done;
+  Buffer.add_string b (Printf.sprintf "#define A%d 1\n" n);
+  Buffer.add_string b "int x = A0;\n";
+  let c = compile_src (Buffer.contents b) in
+  Alcotest.(check bool) "macro depth breach recorded" true
+    (Pdt_util.Diag.has_errors c.Pdt.diags)
+
+(* token-count budget: an exponential macro expansion is cut short *)
+let test_token_limit () =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "#define T0 x x\n";
+  for i = 1 to 24 do
+    Buffer.add_string b (Printf.sprintf "#define T%d T%d T%d\n" i (i - 1) (i - 1))
+  done;
+  Buffer.add_string b "int y = T24;\n";
+  let budgets = { L.default_budgets with L.max_tokens = 10_000 } in
+  let c = compile_src ~budgets (Buffer.contents b) in
+  Alcotest.(check bool) "token blowup recorded" true
+    (Pdt_util.Diag.has_errors c.Pdt.diags)
+
+(* the include-depth diagnostic names the actual cycle *)
+let test_include_cycle_reports_chain () =
+  let vfs = Pdt_util.Vfs.create () in
+  Pdt_util.Vfs.add_file vfs "a.h" "#include \"b.h\"\n";
+  Pdt_util.Vfs.add_file vfs "b.h" "#include \"a.h\"\n";
+  Pdt_util.Vfs.add_file vfs "main.cpp" "#include \"a.h\"\nint main( ) { return 0; }\n";
+  let limits = L.create ~budgets:{ L.default_budgets with L.max_include_depth = 8 } () in
+  let c = Pdt.compile ~limits ~vfs "main.cpp" in
+  let has_sub s sub =
+    let ls = String.length sub and ln = String.length s in
+    let rec go i = i + ls <= ln && (String.sub s i ls = sub || go (i + 1)) in
+    go 0
+  in
+  let text = Pdt_util.Diag.to_string c.Pdt.diags in
+  Alcotest.(check bool) "breach recorded" true (Pdt_util.Diag.has_errors c.Pdt.diags);
+  Alcotest.(check bool) "message shows the include chain" true
+    (has_sub text "include chain:");
+  Alcotest.(check bool) "chain names both headers" true
+    (has_sub text "a.h" && has_sub text "b.h")
+
+(* a partial PDB re-parses cleanly and merges; the merge keeps the marker
+   and sums the diagnostic counts *)
+let test_partial_pdb_merges () =
+  let c = compile_src k_errors_src in
+  let partial = Pdt_analyzer.Analyzer.run c.Pdt.program in
+  partial.P.incomplete <- true;
+  partial.P.diag_count <- Pdt_util.Diag.error_count c.Pdt.diags;
+  let clean =
+    let c = compile_src "int clean( ) { return 0; }\n" in
+    Pdt_analyzer.Analyzer.run c.Pdt.program
+  in
+  let reparsed = Pdt_pdb.Pdb_parse.of_string (Pdt_pdb.Pdb_write.to_string partial) in
+  Alcotest.(check bool) "round-trip keeps incomplete" true reparsed.P.incomplete;
+  Alcotest.(check int) "round-trip keeps the diag count" partial.P.diag_count
+    reparsed.P.diag_count;
+  let merged = Pdt_ductape.Ductape.merge [ clean; reparsed ] in
+  Alcotest.(check bool) "merge is incomplete" true merged.P.incomplete;
+  Alcotest.(check int) "merge sums diag counts" partial.P.diag_count
+    merged.P.diag_count;
+  Alcotest.(check bool) "merge kept the clean unit's routine" true
+    (List.mem "clean" (routine_names merged));
+  (* a complete PDB stays byte-identical to the pre-attribute format:
+     no header marker, parses with diag_count 0 *)
+  let s = Pdt_pdb.Pdb_write.to_string clean in
+  Alcotest.(check bool) "complete PDB has no incomplete marker" false
+    (let has_sub s sub =
+       let ls = String.length sub and ln = String.length s in
+       let rec go i = i + ls <= ln && (String.sub s i ls = sub || go (i + 1)) in
+       go 0
+     in
+     has_sub s "incomplete")
+
+(* lexer never raises: unterminated constructs become diagnostics *)
+let test_lexer_recovers () =
+  List.iter
+    (fun (label, src) ->
+      let c = compile_src src in
+      Alcotest.(check bool) (label ^ " recorded") true
+        (Pdt_util.Diag.has_errors c.Pdt.diags))
+    [ ("unterminated comment", "int a;\n/* no end");
+      ("unterminated string", "char const *s = \"no end;\nint b;\n");
+      ("unterminated char", "int c = 'x\n;\n") ]
+
+(* --limit name=value parsing used by the pdtc/pdbbuild flags *)
+let test_set_budget_parsing () =
+  (match L.set_budget L.default_budgets "parse-depth=17" with
+   | Ok b -> Alcotest.(check int) "parse-depth applied" 17 b.L.max_parse_depth
+   | Error e -> Alcotest.fail e);
+  (match L.set_budget L.default_budgets "errors=3" with
+   | Ok b -> Alcotest.(check int) "errors applied" 3 b.L.max_errors
+   | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match L.set_budget L.default_budgets bad with
+      | Ok _ -> Alcotest.fail ("accepted malformed limit " ^ bad)
+      | Error _ -> ())
+    [ "nosuch=1"; "errors=x"; "errors"; "errors=0"; "errors=-2" ]
+
+let suite =
+  [ Alcotest.test_case "seeded mutation matrix (>= 2000 mutants)" `Slow
+      test_fuzz_matrix;
+    Alcotest.test_case "k errors -> k diagnostics, survivors in PDB" `Quick
+      test_recovery_collects_k_errors;
+    Alcotest.test_case "--max-errors stops recovery" `Quick
+      test_max_errors_stops_recovery;
+    Alcotest.test_case "parser recursion budget" `Quick test_parse_depth_limit;
+    Alcotest.test_case "macro expansion budget" `Quick test_macro_depth_limit;
+    Alcotest.test_case "token count budget" `Quick test_token_limit;
+    Alcotest.test_case "include cycle names the chain" `Quick
+      test_include_cycle_reports_chain;
+    Alcotest.test_case "partial PDB round-trips and merges" `Quick
+      test_partial_pdb_merges;
+    Alcotest.test_case "lexer never raises" `Quick test_lexer_recovers;
+    Alcotest.test_case "--limit parsing" `Quick test_set_budget_parsing ]
