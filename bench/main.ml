@@ -563,6 +563,74 @@ let b7_pdb_io ~quick () =
   print_endline "wrote BENCH_pdb_io.json"
 
 (* ------------------------------------------------------------------ *)
+(* B8: tracing overhead                                                *)
+(* ------------------------------------------------------------------ *)
+
+let b8_trace_overhead ~quick () =
+  section "B8: tracing overhead (span layer; disabled spans are one flag load)";
+  let module T = Pdt_util.Trace in
+  let n_tus = if quick then 6 else 12 in
+  let build ~traced () =
+    let vfs, sources = Pdt_workloads.Generator.project_vfs ~n_tus () in
+    if traced then T.start ();
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Pdt_build.Build.build
+        ~options:{ Pdt_build.Build.default_options with domains = 4; cache_dir = None }
+        ~vfs sources
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    if traced then T.stop ();
+    assert (r.Pdt_build.Build.failed = 0);
+    dt
+  in
+  ignore (build ~traced:false ());  (* warm up allocators and code paths *)
+  let reps = if quick then 3 else 5 in
+  (* best-of-N: overhead is a difference of small numbers, so take the
+     noise floor of each configuration rather than a mean *)
+  let best f = List.fold_left min infinity (List.init reps (fun _ -> f ())) in
+  let off = best (build ~traced:false) in
+  let on = best (build ~traced:true) in
+  let events =
+    List.fold_left (fun acc (_, evs) -> acc + List.length evs) 0 (T.tracks ())
+  in
+  (* the disabled path itself: a span call with tracing off *)
+  T.stop ();
+  let n = 2_000_000 in
+  let sink = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to n do
+    sink := !sink + T.span ~cat:"b8" "noop" (fun () -> i land 1)
+  done;
+  let disabled_ns = (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int n in
+  ignore (Sys.opaque_identity !sink);
+  let overhead_pct = (on -. off) /. off *. 100.0 in
+  Printf.printf "project: %d TUs + main, 4 domains, no cache, best of %d\n\n"
+    n_tus reps;
+  Printf.printf "build, tracing off        : %.3fs\n" off;
+  Printf.printf "build, tracing on         : %.3fs  (%d events captured)\n" on events;
+  Printf.printf "enabled overhead          : %+.1f%%\n" overhead_pct;
+  Printf.printf "disabled span call        : %.1f ns  (acceptance: off-path <= 2%% of build)\n"
+    disabled_ns;
+  let oc = open_out "BENCH_trace.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"trace_overhead\",\n\
+    \  \"quick\": %b,\n\
+    \  \"n_tus\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"build_off_s\": %.4f,\n\
+    \  \"build_on_s\": %.4f,\n\
+    \  \"enabled_overhead_pct\": %.2f,\n\
+    \  \"events\": %d,\n\
+    \  \"dropped_events\": %d,\n\
+    \  \"disabled_span_ns\": %.1f\n\
+     }\n"
+    quick n_tus reps off on overhead_pct events (T.dropped_events ()) disabled_ns;
+  close_out oc;
+  print_endline "wrote BENCH_trace.json"
+
+(* ------------------------------------------------------------------ *)
 (* Specialization-mapping ablation                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -617,6 +685,7 @@ let () =
   b2_pdbmerge_scaling ();
   b6_parallel_build ();
   b7_pdb_io ~quick ();
+  b8_trace_overhead ~quick ();
   specialization_mapping ();
   if not quick then bechamel_benches ();
   print_newline ()

@@ -26,10 +26,37 @@ let resolve_budgets max_errors limit_specs =
           exit 124)
     b limit_specs
 
+let write_file path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc
+
+(* The trace's flat-profile export rides on TAU's own pprof layout
+   (lib/tau/pprof.ml) — the toolkit profiles itself in the report format
+   it generates for instrumented programs.  %Time is relative to the
+   longest recorded span (the outermost build phase). *)
+let write_pprof path =
+  let rows = Pdt_util.Trace.profile_rows () in
+  let total =
+    List.fold_left
+      (fun a (r : Pdt_util.Trace.profile_row) -> max a r.inclusive_ns)
+      0L rows
+  in
+  write_file path
+    (Pdt_tau.Pprof.format_rows ~title:"pdbbuild self-profile" ~total
+       (List.map
+          (fun (r : Pdt_util.Trace.profile_row) ->
+            { Pdt_tau.Pprof.r_name = r.pname; r_calls = r.calls;
+              r_child_calls = r.child_calls; r_exclusive = r.exclusive_ns;
+              r_inclusive = r.inclusive_ns })
+          rows))
+
 let run sources includes output jobs cache_dir no_cache retries fail_fast
-    verbose stats max_errors limit_specs =
+    verbose stats trace trace_pprof max_errors limit_specs =
   let vfs = Pdt_util.Vfs.create ~include_paths:includes () in
   Pdt_util.Vfs.set_disk_fallback vfs true;
+  let tracing = trace <> None || trace_pprof <> None in
+  if tracing then Pdt_util.Trace.start ();
   let options =
     { Pdt_build.Build.default_options with
       domains = jobs;
@@ -57,6 +84,11 @@ let run sources includes output jobs cache_dir no_cache retries fail_fast
       r.units;
   (* serialize the merged PDB once; the file and the digest share the bytes *)
   let serialized = Pdt_pdb.Pdb_write.to_string r.merged in
+  if tracing then begin
+    Pdt_util.Trace.stop ();
+    Option.iter (fun p -> write_file p (Pdt_util.Trace.chrome_json ())) trace;
+    Option.iter write_pprof trace_pprof
+  end;
   let oc = open_out output in
   output_string oc serialized;
   close_out oc;
@@ -130,6 +162,20 @@ let stats =
            ~doc:"Print per-phase wall-time counters (parse, compile, merge, \
                  cache I/O) and string-interning statistics after the build")
 
+let trace =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a structured trace of the whole build (per-include, \
+                 per-parse, per-instantiation, cache and scheduler spans; one \
+                 track per worker domain) and write it as Chrome trace_event \
+                 JSON, loadable in chrome://tracing or https://ui.perfetto.dev")
+
+let trace_pprof =
+  Arg.(value & opt (some string) None
+       & info [ "trace-pprof" ] ~docv:"FILE"
+           ~doc:"Write the recorded trace as a TAU pprof-style flat profile \
+                 (exclusive/inclusive time per span name)")
+
 let max_errors =
   Arg.(value & opt (some int) None
        & info [ "max-errors" ] ~docv:"N"
@@ -147,6 +193,7 @@ let cmd =
   let doc = "compile a project to one merged program database, in parallel and incrementally" in
   Cmd.v (Cmd.info "pdbbuild" ~doc)
     Term.(const run $ sources $ includes $ output $ jobs $ cache_dir $ no_cache
-          $ retries $ fail_fast $ verbose $ stats $ max_errors $ limit_specs)
+          $ retries $ fail_fast $ verbose $ stats $ trace $ trace_pprof
+          $ max_errors $ limit_specs)
 
 let () = exit (Cmd.eval' cmd)

@@ -12,6 +12,7 @@ let run pdb_file which root =
       Printf.eprintf "pdbtree: %s\n" msg;
       1
   | d ->
+  Option.iter prerr_endline (Pdt_tools.Pdbtree.incomplete_note d);
   let root_routine =
     Option.bind root (fun name ->
         List.find_opt

@@ -137,18 +137,29 @@ let run_single source includes output mapping no_used fixed_spec budgets =
     if degraded then 1 else 0
   end
 
-let run sources includes output mapping no_used fixed_spec project jobs
+let run sources includes output mapping no_used fixed_spec project jobs trace
     max_errors limit_specs =
   let budgets = resolve_budgets ~tool:"pdtc" max_errors limit_specs in
-  match (project, sources) with
-  | true, _ ->
-      run_project sources includes output jobs no_used fixed_spec mapping budgets
-  | false, [ source ] ->
-      run_single source includes output mapping no_used fixed_spec budgets
-  | false, [] -> prerr_endline "pdtc: missing SOURCE argument"; 124
-  | false, _ :: _ :: _ ->
-      prerr_endline "pdtc: several sources given; use --project to build them into one merged PDB";
-      124
+  if trace <> None then Pdt_util.Trace.start ();
+  let code =
+    match (project, sources) with
+    | true, _ ->
+        run_project sources includes output jobs no_used fixed_spec mapping budgets
+    | false, [ source ] ->
+        run_single source includes output mapping no_used fixed_spec budgets
+    | false, [] -> prerr_endline "pdtc: missing SOURCE argument"; 124
+    | false, _ :: _ :: _ ->
+        prerr_endline "pdtc: several sources given; use --project to build them into one merged PDB";
+        124
+  in
+  Option.iter
+    (fun path ->
+      Pdt_util.Trace.stop ();
+      let oc = open_out path in
+      output_string oc (Pdt_util.Trace.chrome_json ());
+      close_out oc)
+    trace;
+  code
 
 let sources =
   Arg.(non_empty & pos_all file []
@@ -186,6 +197,14 @@ let jobs =
   Arg.(value & opt int (Pdt_build.Scheduler.default_domains ())
        & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains for --project builds")
 
+let trace =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Record a structured trace of the compilation (per-include, \
+                 per-parse, per-template-instantiation spans) and write it as \
+                 Chrome trace_event JSON, loadable in chrome://tracing or \
+                 https://ui.perfetto.dev")
+
 let max_errors =
   Arg.(value & opt (some int) None
        & info [ "max-errors" ] ~docv:"N"
@@ -203,6 +222,6 @@ let cmd =
   let doc = "compile C++ source into a program database (PDB)" in
   Cmd.v (Cmd.info "pdtc" ~doc)
     Term.(const run $ sources $ includes $ output $ mapping $ no_used $ fixed_spec
-          $ project $ jobs $ max_errors $ limit_specs)
+          $ project $ jobs $ trace $ max_errors $ limit_specs)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,138 @@
+(* tracecheck: validate a Chrome trace_event JSON file produced by
+   [pdbbuild --trace] / [pdtc --trace] against the subset of the
+   trace_event schema the exporter emits, and against the structural
+   invariants the trace tests rely on:
+
+   - the document parses as JSON and is {"traceEvents": [...]};
+   - every event has ph in {B, E, i, M}, integer pid/tid, a string name,
+     and (for non-metadata events) a numeric ts and a string cat;
+   - per track (tid), B/E events balance and nest: every E matches the
+     name of the innermost open B, and no B is left open at the end;
+   - with --require a,b,c: each named span occurs somewhere in the trace.
+
+   Exit code 0 when the trace validates, 1 with a diagnostic otherwise. *)
+
+open Cmdliner
+module J = Pdt_util.Json
+
+let fail fmt = Printf.ksprintf (fun m -> Error m) fmt
+
+let validate_event i (ev : J.t) =
+  let get k = J.member k ev in
+  match get "ph" with
+  | Some (J.Str ph) when List.mem ph [ "B"; "E"; "i"; "M" ] -> (
+      match (get "pid", get "tid", get "name") with
+      | Some (J.Num _), Some (J.Num tid), Some (J.Str name) ->
+          if ph = "M" then Ok (int_of_float tid, ph, name)
+          else (
+            match (get "ts", get "cat") with
+            | Some (J.Num _), Some (J.Str _) -> Ok (int_of_float tid, ph, name)
+            | None, _ -> fail "event %d: missing ts" i
+            | _, None -> fail "event %d: missing cat" i
+            | _ -> fail "event %d: ts/cat have wrong types" i)
+      | _ -> fail "event %d: missing or mistyped pid/tid/name" i
+    )
+  | Some (J.Str ph) -> fail "event %d: unknown ph %S" i ph
+  | _ -> fail "event %d: missing ph" i
+
+let check_nesting (events : (int * string * string) list) =
+  (* per-tid stack of open B names, in document order *)
+  let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let err = ref None in
+  List.iter
+    (fun (tid, ph, name) ->
+      if !err = None then
+        let stack = Option.value ~default:[] (Hashtbl.find_opt stacks tid) in
+        match ph with
+        | "B" -> Hashtbl.replace stacks tid (name :: stack)
+        | "E" -> (
+            match stack with
+            | top :: rest when top = name -> Hashtbl.replace stacks tid rest
+            | top :: _ ->
+                err := Some (Printf.sprintf
+                               "tid %d: E %S closes open span %S" tid name top)
+            | [] ->
+                err := Some (Printf.sprintf "tid %d: E %S with no open span" tid name))
+        | _ -> ())
+    events;
+  (match !err with
+   | None ->
+       Hashtbl.iter
+         (fun tid stack ->
+           match stack with
+           | [] -> ()
+           | top :: _ when !err = None ->
+               err := Some (Printf.sprintf "tid %d: span %S never closed" tid top)
+           | _ -> ())
+         stacks
+   | Some _ -> ());
+  match !err with None -> Ok () | Some m -> Error m
+
+let run file requires =
+  let required =
+    List.concat_map (String.split_on_char ',') requires
+    |> List.filter (fun s -> s <> "")
+  in
+  let content =
+    let ic = open_in_bin file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let result =
+    match J.parse content with
+    | Error msg -> Error (Printf.sprintf "not valid JSON: %s" msg)
+    | Ok doc -> (
+        match J.member "traceEvents" doc with
+        | Some (J.List events) -> (
+            let rec check i acc = function
+              | [] -> Ok (List.rev acc)
+              | ev :: rest -> (
+                  match validate_event i ev with
+                  | Ok e -> check (i + 1) (e :: acc) rest
+                  | Error m -> Error m)
+            in
+            match check 0 [] events with
+            | Error m -> Error m
+            | Ok parsed -> (
+                match check_nesting parsed with
+                | Error m -> Error m
+                | Ok () -> (
+                    let seen name =
+                      List.exists (fun (_, ph, n) -> ph <> "M" && n = name) parsed
+                    in
+                    match List.filter (fun n -> not (seen n)) required with
+                    | [] ->
+                        let spans =
+                          List.length (List.filter (fun (_, ph, _) -> ph = "B") parsed)
+                        in
+                        let tids =
+                          List.sort_uniq compare (List.map (fun (t, _, _) -> t) parsed)
+                        in
+                        Printf.printf "%s: OK (%d events, %d spans, %d tracks)\n"
+                          file (List.length parsed) spans (List.length tids);
+                        Ok ()
+                    | missing ->
+                        Error (Printf.sprintf "missing required spans: %s"
+                                 (String.concat ", " missing)))))
+        | _ -> Error "top level is not {\"traceEvents\": [...]}")
+  in
+  match result with
+  | Ok () -> 0
+  | Error msg ->
+      Printf.eprintf "tracecheck: %s: %s\n" file msg;
+      1
+
+let file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Chrome trace_event JSON file")
+
+let requires =
+  Arg.(value & opt_all string []
+       & info [ "require" ] ~docv:"NAMES"
+           ~doc:"Comma-separated span names that must occur in the trace; repeatable")
+
+let cmd =
+  let doc = "validate a Chrome trace_event file produced by pdbbuild/pdtc --trace" in
+  Cmd.v (Cmd.info "tracecheck" ~doc) Term.(const run $ file $ requires)
+
+let () = exit (Cmd.eval' cmd)

@@ -144,6 +144,7 @@ let compile_unit (o : options) ~vfs source : Pdt_pdb.Pdb.t * string option =
    deterministic front-end diagnostic fails fast, because re-running the
    same compile would only reproduce it. *)
 let build_unit (o : options) (cache : Cache.t option) ~vfs source : unit_result =
+  let run () =
   let t0 = Unix.gettimeofday () in
   let finish status pdb =
     { source; status; pdb; seconds = Unix.gettimeofday () -. t0 }
@@ -151,8 +152,8 @@ let build_unit (o : options) (cache : Cache.t option) ~vfs source : unit_result 
   (* a failed store never sinks the unit — the PDB is in hand and the next
      build simply misses; count the loss so --stats surfaces it *)
   let store_entry c k body =
-    try Perf.time "cache.store" (fun () -> Cache.store_serialized c k body)
-    with e when Fault.is_transient e -> Perf.record "cache.store_failed" 0
+    try Trace.timed ~cat:"cache" "cache.store" (fun () -> Cache.store_serialized c k body)
+    with e when Fault.is_transient e -> Trace.count ~cat:"cache" "cache.store_failed" 0
   in
   let attempt () =
     let key =
@@ -162,10 +163,13 @@ let build_unit (o : options) (cache : Cache.t option) ~vfs source : unit_result 
     in
     match (cache, key) with
     | Some c, Some k -> (
-        match Perf.time "cache.load" (fun () -> Cache.load c k) with
-        | Some pdb -> finish Cached (Some pdb)
+        match Trace.timed ~cat:"cache" "cache.load" (fun () -> Cache.load c k) with
+        | Some pdb ->
+            Trace.count ~cat:"cache" "cache.hit" 0;
+            finish Cached (Some pdb)
         | None -> (
-            match Perf.time "compile" (fun () -> compile_unit o ~vfs source) with
+            Trace.count ~cat:"cache" "cache.miss" 0;
+            match Trace.timed ~cat:"build" "compile" (fun () -> compile_unit o ~vfs source) with
             | pdb, None ->
                 (* serialize once; the entry body reuses the bytes *)
                 let body = Pdt_pdb.Pdb_write.to_string pdb in
@@ -176,7 +180,7 @@ let build_unit (o : options) (cache : Cache.t option) ~vfs source : unit_result 
                    must recompile, not replay the degraded artifact *)
                 finish (Degraded msg) (Some pdb)))
     | _ -> (
-        match Perf.time "compile" (fun () -> compile_unit o ~vfs source) with
+        match Trace.timed ~cat:"build" "compile" (fun () -> compile_unit o ~vfs source) with
         | pdb, None -> finish Compiled (Some pdb)
         | pdb, Some msg -> finish (Degraded msg) (Some pdb))
   in
@@ -185,7 +189,7 @@ let build_unit (o : options) (cache : Cache.t option) ~vfs source : unit_result 
     | Unit_error msg -> finish (Failed msg) None
     | Diag.Error d -> finish (Failed (Fmt.str "%a" Diag.pp_diagnostic d)) None
     | e when Fault.is_transient e && attempts_left > 0 ->
-        Perf.record "build.retry" 0;
+        Trace.count ~cat:"build" "build.retry" 0;
         go (attempts_left - 1)
     | e when Fault.is_transient e ->
         finish
@@ -196,6 +200,10 @@ let build_unit (o : options) (cache : Cache.t option) ~vfs source : unit_result 
     | e -> finish (Failed (Printexc.to_string e)) None
   in
   go (max 0 o.retries)
+  in
+  if Trace.on () then
+    Trace.span ~cat:"build" ~args:[ ("unit", Trace.Str source) ] "build.unit" run
+  else run ()
 
 (** Build a project: compile every source to a PDB (in parallel, through
     the cache) and merge the survivors.  Sources are deduplicated nowhere —
@@ -229,7 +237,7 @@ let build ?(options = default_options) ~vfs (sources : string list) : result =
                (* the worker faulted before the task ran (flaky-worker
                   injection, lost job): one sequential redo, which brings
                   build_unit's own retry budget with it *)
-               Perf.record "build.retry" 0;
+               Trace.count ~cat:"build" "build.retry" 0;
                task tasks.(i)
            | Error e ->
                { source = tasks.(i); status = Failed (Printexc.to_string e);

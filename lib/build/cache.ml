@@ -156,6 +156,8 @@ let rec mkdir_p dirname =
    the corrupt bytes are no longer at the live path, which is the
    invariant load depends on. *)
 let quarantine t key =
+  if Trace.on () then
+    Trace.instant ~cat:"cache" ~args:[ ("key", Trace.Str key) ] "cache.quarantine";
   Perf.record "cache.corrupt" 0;
   mkdir_p (quarantine_dir t);
   let path = entry_path t key in

@@ -48,8 +48,11 @@ let merge ?domains (pdbs : P.t list) : P.t =
       let s = i * n / k and e = (i + 1) * n / k in
       Array.to_list (Array.sub arr s (e - s))
     in
+    let merge_chunk ps =
+      Pdt_util.Trace.span ~cat:"pdb" "pdb.merge_chunk" (fun () -> D.merge ps)
+    in
     let partials =
-      Scheduler.parallel_map ~domains:k D.merge (Array.init k chunk)
+      Scheduler.parallel_map ~domains:k merge_chunk (Array.init k chunk)
     in
     D.merge
       (Array.to_list partials

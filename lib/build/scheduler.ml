@@ -95,22 +95,47 @@ let parallel_map ?domains ?(should_stop = fun () -> false) (f : 'a -> 'b)
     let q = queue_create () in
     Array.iteri (fun i _ -> queue_push q i) items;
     queue_close q;
+    (* first exception to escape a worker's loop (i.e. outside run1's
+       per-task capture) or a join.  It must not vanish: the jobs the dead
+       worker had popped surface below as that exception instead of an
+       anonymous "lost job", and if no slot is missing it re-raises after
+       the join barrier — a worker death is a bug in the scheduler or the
+       runtime, never a normal outcome. *)
+    let crashed : exn option Atomic.t = Atomic.make None in
+    let note_crash e = ignore (Atomic.compare_and_set crashed None (Some e)) in
     let worker () =
       let rec loop () =
-        match queue_pop q with
+        match Trace.span ~cat:"sched" "sched.queue_wait" (fun () -> queue_pop q)
+        with
         | None -> ()
         | Some i ->
             results.(i) <- Some (run1 items.(i));
             loop ()
       in
-      (* a dying worker must not take the whole pool down: swallow and
-         exit; jobs it popped but never finished surface as "lost job"
-         Error slots below, jobs still queued drain on its siblings *)
-      try loop () with _ -> ()
+      (* a dying worker must not take the whole pool down: record the
+         exception and exit; jobs still queued drain on its siblings *)
+      try loop () with e -> note_crash e
     in
     let ds = List.init domains (fun _ -> Domain.spawn worker) in
-    List.iter (fun d -> try Domain.join d with _ -> ()) ds;
-    Array.map
-      (function Some r -> r | None -> Error (Failure "scheduler: lost job"))
-      results
+    List.iter (fun d -> try Domain.join d with e -> note_crash e) ds;
+    let lost = ref false in
+    let out =
+      Array.map
+        (function
+          | Some r -> r
+          | None ->
+              lost := true;
+              Error
+                (match Atomic.get crashed with
+                 | Some e -> e
+                 | None -> Failure "scheduler: lost job"))
+        results
+    in
+    (match Atomic.get crashed with
+     | Some e when not !lost ->
+         (* every slot completed, so the crash is attributable to no unit:
+            surfacing it per-slot would mislabel a finished job — re-raise *)
+         raise e
+     | _ -> ());
+    out
   end

@@ -366,7 +366,7 @@ let type_key (pdb : P.t) (ty : P.type_item) =
     parallel tree merge reduce pairwise on worker domains and still match
     the sequential result exactly. *)
 let merge (pdbs : P.t list) : P.t =
-  Pdt_util.Perf.time "pdb.merge" @@ fun () ->
+  Pdt_util.Trace.timed ~cat:"pdb" "pdb.merge" @@ fun () ->
   let pdbs =
     List.map (fun p -> (Pdt_pdb.Pdb_digest.of_pdb p, p)) pdbs
     |> List.stable_sort (fun (a, _) (b, _) -> String.compare a b)

@@ -263,9 +263,16 @@ let next st : Token.tok =
 
 (** Lex an entire file to a token list (without the trailing [Eof]). *)
 let tokenize ~diags ~file src =
-  let st = create ~diags ~file src in
-  let rec go acc =
-    let t = next st in
-    match t.tok with Token.Eof -> List.rev acc | _ -> go (t :: acc)
+  let go () =
+    let st = create ~diags ~file src in
+    let rec loop acc =
+      let t = next st in
+      match t.tok with Token.Eof -> List.rev acc | _ -> loop (t :: acc)
+    in
+    loop []
   in
-  go []
+  if Pdt_util.Trace.on () then
+    Pdt_util.Trace.span ~cat:"lex"
+      ~args:[ ("file", Pdt_util.Trace.Str file) ]
+      "lex.tokenize" go
+  else go ()

@@ -1791,7 +1791,7 @@ and parse_toplevel_decl_body t : decl =
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let parse_translation_unit ?limits ~diags ~file toks : translation_unit =
+let parse_translation_unit_inner ?limits ~diags ~file toks : translation_unit =
   let t = create ?limits ~diags toks in
   let rec go acc =
     match (cur t).tok with
@@ -1817,3 +1817,11 @@ let parse_translation_unit ?limits ~diags ~file toks : translation_unit =
             List.rev acc)
   in
   { tu_file = file; tu_decls = go [] }
+
+let parse_translation_unit ?limits ~diags ~file toks : translation_unit =
+  let parse () = parse_translation_unit_inner ?limits ~diags ~file toks in
+  if Pdt_util.Trace.on () then
+    Pdt_util.Trace.span ~cat:"parse"
+      ~args:[ ("file", Pdt_util.Trace.Str file) ]
+      "parse.tu" parse
+  else parse ()

@@ -260,7 +260,7 @@ let of_string (src : string) : t =
      mangling [src], which could yield a silently-wrong parse) keeps the
      fault visible as a transient the cache/build layers must absorb *)
   Pdt_util.Fault.check "pdb.parse";
-  Pdt_util.Perf.time "pdb.parse" @@ fun () ->
+  Pdt_util.Trace.timed ~cat:"pdb" "pdb.parse" @@ fun () ->
   (* canonical copy of src[s,e); allocation-free when already pooled *)
   let intern_sub s e = Pdt_util.Intern.intern_sub src s (e - s) in
   let len = String.length src in

@@ -305,7 +305,7 @@ let write_to_buffer (t : t) (b : Buffer.t) : unit =
     t.pdb_macros
 
 let to_string (t : t) : string =
-  Pdt_util.Perf.time "pdb.write" @@ fun () ->
+  Pdt_util.Trace.timed ~cat:"pdb" "pdb.write" @@ fun () ->
   let b = Buffer.create 65536 in
   write_to_buffer t b;
   Buffer.contents b

@@ -477,22 +477,27 @@ let rec process_file t path : unit =
       (String.concat " -> " (List.rev (path :: t.include_stack)))
   else if SS.mem path t.pragma_once then ()
   else begin
-    ignore (file_record t path);
-    match Vfs.read_raw t.vfs path with
-    | None -> Diag.fatal t.diags Srcloc.dummy "cannot open source file %s" path
-    | Some src ->
-        t.include_stack <- path :: t.include_stack;
-        let toks = Lexer.tokenize ~diags:t.diags ~file:path src in
-        let lines = split_lines toks in
-        let conds : cond_state list ref = ref [] in
-        let currently_active () =
-          match !conds with [] -> true | c :: _ -> c.active
-        in
-        List.iter (fun line -> process_line t path conds currently_active line) lines;
-        (match !conds with
-         | [] -> ()
-         | _ -> Diag.error t.diags Srcloc.dummy "unterminated #if in %s" path);
-        t.include_stack <- List.tl t.include_stack
+    let go () =
+      ignore (file_record t path);
+      match Vfs.read_raw t.vfs path with
+      | None -> Diag.fatal t.diags Srcloc.dummy "cannot open source file %s" path
+      | Some src ->
+          t.include_stack <- path :: t.include_stack;
+          let toks = Lexer.tokenize ~diags:t.diags ~file:path src in
+          let lines = split_lines toks in
+          let conds : cond_state list ref = ref [] in
+          let currently_active () =
+            match !conds with [] -> true | c :: _ -> c.active
+          in
+          List.iter (fun line -> process_line t path conds currently_active line) lines;
+          (match !conds with
+           | [] -> ()
+           | _ -> Diag.error t.diags Srcloc.dummy "unterminated #if in %s" path);
+          t.include_stack <- List.tl t.include_stack
+    in
+    if Trace.on () then
+      Trace.span ~cat:"pp" ~args:[ ("file", Trace.Str path) ] "pp.include" go
+    else go ()
   end
 
 and process_line t path conds currently_active line =

@@ -605,6 +605,7 @@ and instantiate_class_body t (te_id : Il.template_id) (args : rarg list) ~loc :
         None
       end
       else begin
+        let inst () =
         t.all_instantiations <- (te_id, key) :: t.all_instantiations;
         (* choose pattern: explicit specialization > partial spec > primary *)
         let chosen =
@@ -728,6 +729,13 @@ and instantiate_class_body t (te_id : Il.template_id) (args : rarg list) ~loc :
             | _ ->
                 Diag.error t.diags loc "'%s' is not a class template" te.te_name;
                 None)
+        in
+        (* per-instantiation span, named — the paper's template focus *)
+        if Trace.on () then
+          Trace.span ~cat:"sema"
+            ~args:[ ("name", Trace.Str (te.te_name ^ "<" ^ key ^ ">")) ]
+            "sema.instantiate" inst
+        else inst ()
       end
 
 (* Register the out-of-line member definitions of a class template against
@@ -788,6 +796,7 @@ and instantiate_function_body t (te_id : Il.template_id) (args : rarg list) ~loc
         None
       end
       else begin
+        let inst () =
         t.all_instantiations <- (te_id, key) :: t.all_instantiations;
         match te.te_pattern with
         | Some { Ast.d = Ast.DFunction fd; _ } -> (
@@ -813,6 +822,12 @@ and instantiate_function_body t (te_id : Il.template_id) (args : rarg list) ~loc
         | _ ->
             Diag.error t.diags loc "'%s' is not a function template" te.te_name;
             None
+        in
+        if Trace.on () then
+          Trace.span ~cat:"sema"
+            ~args:[ ("name", Trace.Str (te.te_name ^ "<" ^ key ^ ">")) ]
+            "sema.instantiate" inst
+        else inst ()
       end
 
 (* ------------------------------------------------------------------ *)
@@ -2199,6 +2214,10 @@ let macro_entities t (pp : Pdt_pp.Preproc.result) : unit =
 (** Analyze one preprocessed translation unit, producing its IL. *)
 let analyze ?(opts = default_options) ?limits ~diags (pp : Pdt_pp.Preproc.result)
     (tu : Ast.translation_unit) : Il.program =
+  Trace.span ~cat:"sema"
+    ~args:[ ("file", Trace.Str tu.Ast.tu_file) ]
+    "sema.analyze"
+  @@ fun () ->
   let t = create ~opts ?limits ~diags () in
   file_entities t pp;
   macro_entities t pp;
@@ -2210,6 +2229,10 @@ let analyze ?(opts = default_options) ?limits ~diags (pp : Pdt_pp.Preproc.result
     need scopes or the instantiation log, e.g. the prelink simulator). *)
 let analyze_full ?(opts = default_options) ?limits ~diags (pp : Pdt_pp.Preproc.result)
     (tu : Ast.translation_unit) : t =
+  Trace.span ~cat:"sema"
+    ~args:[ ("file", Trace.Str tu.Ast.tu_file) ]
+    "sema.analyze"
+  @@ fun () ->
   let t = create ~opts ?limits ~diags () in
   file_entities t pp;
   macro_entities t pp;

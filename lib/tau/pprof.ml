@@ -7,24 +7,46 @@
 
 module Rt = Runtime
 
-let format ?(title = "TAU profile") (p : Rt.t) : string =
-  let entries = Rt.entries p in
-  let total = Rt.total_time p in
+(** One row of a pprof report, decoupled from the interpreter's [Rt.entry]
+    so other producers can borrow the exact format — the {!Pdt_util.Trace}
+    flat-profile export renders compiler self-profiles through this very
+    function, dogfooding the paper's own report layout. *)
+type row = {
+  r_name : string;
+  r_calls : int;
+  r_child_calls : int;
+  r_exclusive : int64;
+  r_inclusive : int64;
+}
+
+(** Render rows in pprof's layout, in the caller's order; [total] is the
+    program total the %Time column is relative to. *)
+let format_rows ?(title = "TAU profile") ~(total : int64) (rows : row list) :
+    string =
   let b = Buffer.create 1024 in
   Printf.bprintf b "%s\n" title;
   Printf.bprintf b "%s\n" (String.make (String.length title) '-');
   Printf.bprintf b "%8s %12s %12s %8s %8s  %s\n" "%Time" "Exclusive" "Inclusive"
     "#Call" "#ChildCalls" "Name";
   List.iter
-    (fun (e : Rt.entry) ->
+    (fun r ->
       let pct =
         if total = 0L then 0.0
-        else Int64.to_float e.e_inclusive /. Int64.to_float total *. 100.0
+        else Int64.to_float r.r_inclusive /. Int64.to_float total *. 100.0
       in
-      Printf.bprintf b "%8.1f %12Ld %12Ld %8d %8d  %s\n" pct e.e_exclusive
-        e.e_inclusive e.e_calls e.e_child_calls e.e_name)
-    entries;
+      Printf.bprintf b "%8.1f %12Ld %12Ld %8d %8d  %s\n" pct r.r_exclusive
+        r.r_inclusive r.r_calls r.r_child_calls r.r_name)
+    rows;
   Buffer.contents b
+
+let format ?(title = "TAU profile") (p : Rt.t) : string =
+  format_rows ~title ~total:(Rt.total_time p)
+    (List.map
+       (fun (e : Rt.entry) ->
+         { r_name = e.e_name; r_calls = e.e_calls;
+           r_child_calls = e.e_child_calls; r_exclusive = e.e_exclusive;
+           r_inclusive = e.e_inclusive })
+       (Rt.entries p))
 
 (** Machine-readable rows: (name, calls, child calls, exclusive, inclusive,
     %time). *)

@@ -143,6 +143,14 @@ let report (d : D.t) : string =
   let s = summary d in
   pr "Program statistics";
   pr "------------------";
+  (* degraded-compilation marker (PR 4): a PDB written after recovered
+     front-end errors is usable but partial — say so before any numbers *)
+  if (D.pdb d).P.incomplete then begin
+    pr "WARNING: incomplete PDB (%d diagnostic%s recorded during compilation);"
+      (D.pdb d).P.diag_count (if (D.pdb d).P.diag_count = 1 then "" else "s");
+    pr "         the statistics below describe the recovered portion only";
+    pr ""
+  end;
   pr "routines          : %d (%d defined)" s.n_routines s.n_defined;
   pr "classes           : %d (%d template instantiations)" s.n_classes s.n_instantiations;
   pr "call edges        : %d" s.n_call_edges;

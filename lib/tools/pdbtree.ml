@@ -7,6 +7,20 @@
 module P = Pdt_pdb.Pdb
 module D = Pdt_ductape.Ductape
 
+(** Degraded-compilation marker (PR 4's [incomplete] header attribute):
+    [Some note] when the PDB was written after recovered front-end errors,
+    so tree output can carry the caveat instead of silently presenting a
+    partial program as whole. *)
+let incomplete_note (d : D.t) : string option =
+  if (D.pdb d).P.incomplete then
+    Some
+      (Printf.sprintf
+         "WARNING: incomplete PDB (%d diagnostic%s recorded during \
+          compilation); trees may be partial"
+         (D.pdb d).P.diag_count
+         (if (D.pdb d).P.diag_count = 1 then "" else "s"))
+  else None
+
 type flag = Active | Inactive
 
 (* Figure 5, transliterated.  The C++ version stores the flag on the

@@ -1,0 +1,202 @@
+(** Minimal JSON: just enough to print and re-parse Chrome trace files.
+
+    The toolchain has no JSON dependency, and pulling one in for a trace
+    exporter would be out of proportion — the trace_event format uses a
+    small JSON subset (objects, arrays, strings, numbers, booleans).  The
+    printer lives with {!Trace}; this module owns escaping and a strict
+    recursive-descent parser used by [tracecheck] and the trace
+    well-formedness tests to prove the exporter's output round-trips. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Append [s] to [b] as a JSON string literal, with escaping. *)
+let escape_to (b : Buffer.t) (s : string) : unit =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let escape (s : string) : string =
+  let b = Buffer.create (String.length s + 2) in
+  escape_to b s;
+  Buffer.contents b
+
+(* --- parsing ------------------------------------------------------- *)
+
+exception Bad of string
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    && (match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    c.pos <- c.pos + 1
+  done
+
+let fail c msg = raise (Bad (Printf.sprintf "%s at offset %d" msg c.pos))
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> fail c (Printf.sprintf "expected '%c'" ch)
+
+let parse_literal c lit value =
+  let n = String.length lit in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = lit then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c (Printf.sprintf "expected %s" lit)
+
+let parse_string_raw c : string =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    if c.pos >= String.length c.src then fail c "unterminated string";
+    let ch = c.src.[c.pos] in
+    c.pos <- c.pos + 1;
+    match ch with
+    | '"' -> Buffer.contents b
+    | '\\' -> (
+        if c.pos >= String.length c.src then fail c "unterminated escape";
+        let e = c.src.[c.pos] in
+        c.pos <- c.pos + 1;
+        match e with
+        | '"' -> Buffer.add_char b '"'; loop ()
+        | '\\' -> Buffer.add_char b '\\'; loop ()
+        | '/' -> Buffer.add_char b '/'; loop ()
+        | 'n' -> Buffer.add_char b '\n'; loop ()
+        | 'r' -> Buffer.add_char b '\r'; loop ()
+        | 't' -> Buffer.add_char b '\t'; loop ()
+        | 'b' -> Buffer.add_char b '\b'; loop ()
+        | 'f' -> Buffer.add_char b '\012'; loop ()
+        | 'u' ->
+            if c.pos + 4 > String.length c.src then fail c "bad \\u escape";
+            let hex = String.sub c.src c.pos 4 in
+            c.pos <- c.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail c "bad \\u escape"
+            in
+            (* non-BMP escapes don't occur in our traces; encode BMP as UTF-8 *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            loop ()
+        | _ -> fail c "bad escape")
+    | c when Char.code c < 0x20 -> fail { src = ""; pos = 0 } "raw control char in string"
+    | ch -> Buffer.add_char b ch; loop ()
+  in
+  loop ()
+
+let parse_number c : float =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.pos < String.length c.src && is_num_char c.src.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then fail c "expected number";
+  let s = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some f -> f
+  | None -> fail c (Printf.sprintf "bad number %S" s)
+
+let rec parse_value c : t =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> Str (parse_string_raw c)
+  | Some '{' ->
+      expect c '{';
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws c;
+          let key = parse_string_raw c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' -> c.pos <- c.pos + 1; members ((key, v) :: acc)
+          | Some '}' -> c.pos <- c.pos + 1; List.rev ((key, v) :: acc)
+          | _ -> fail c "expected ',' or '}'"
+        in
+        Obj (members [])
+      end
+  | Some '[' ->
+      expect c '[';
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        List []
+      end
+      else begin
+        let rec elems acc =
+          let v = parse_value c in
+          skip_ws c;
+          match peek c with
+          | Some ',' -> c.pos <- c.pos + 1; elems (v :: acc)
+          | Some ']' -> c.pos <- c.pos + 1; List.rev ((v :: acc))
+          | _ -> fail c "expected ',' or ']'"
+        in
+        List (elems [])
+      end
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some 'n' -> parse_literal c "null" Null
+  | Some _ -> Num (parse_number c)
+
+(** Parse a complete JSON document; trailing whitespace only. *)
+let parse (s : string) : (t, string) result =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos = String.length s then Ok v
+      else Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+  | exception Bad msg -> Error msg
+
+(* --- accessors (total, for validators) ----------------------------- *)
+
+let member (key : string) (j : t) : t option =
+  match j with Obj kvs -> List.assoc_opt key kvs | _ -> None
+
+let to_string_opt = function Str s -> Some s | _ -> None
+let to_num_opt = function Num f -> Some f | _ -> None
+let to_list_opt = function List l -> Some l | _ -> None

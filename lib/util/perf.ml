@@ -1,50 +1,34 @@
-(** Per-phase wall-clock counters for the PDB pipeline.
+(** Per-phase wall-clock counters for the PDB pipeline — now a facade
+    over {!Trace}.
 
     The build driver and the benches need to know where a build's time
     goes — parse, compile, merge, cache I/O — without wiring a profiler
-    through every call site.  Phases are named dynamically; each counter
-    accumulates call count and total nanoseconds.  Counters are global and
-    mutex-guarded so worker domains report into the same table; the
-    overhead is two clock reads and one short critical section per timed
-    call, which is noise at the granularity timed here (whole files, whole
-    merges).
+    through every call site.  Since the tracing layer landed, the
+    counters ARE the span stream: {!time} is [Trace.timed], {!record} is
+    [Trace.count], and {!snapshot} reads the shared counter table that
+    every span updates.  [pdbbuild --stats] therefore reports, by
+    construction, the same totals as a [--trace] file of the same run —
+    the two can never disagree.
+
+    The clock is monotonic (bechamel's CLOCK_MONOTONIC stub; the old
+    [Unix.gettimeofday] base could step backwards under NTP and produce
+    negative durations).
 
     [pdbbuild --stats] prints {!report}; bench B7 reads {!snapshot}. *)
 
-type counter = { mutable calls : int; mutable ns : int }
-
-let table : (string, counter) Hashtbl.t = Hashtbl.create 16
-let mutex = Mutex.create ()
-
-let now_ns () : int = int_of_float (Unix.gettimeofday () *. 1e9)
+let now_ns () : int = Trace.now_ns ()
 
 (** Add one timed call of [ns] nanoseconds to phase [name]. *)
-let record (name : string) (ns : int) : unit =
-  Mutex.lock mutex;
-  (match Hashtbl.find_opt table name with
-   | Some c ->
-       c.calls <- c.calls + 1;
-       c.ns <- c.ns + ns
-   | None -> Hashtbl.replace table name { calls = 1; ns });
-  Mutex.unlock mutex
+let record (name : string) (ns : int) : unit = Trace.count ~cat:"perf" name ns
 
 (** Run [f ()] and charge its wall time to phase [name]; exceptions
     propagate but the time spent is still recorded. *)
-let time (name : string) (f : unit -> 'a) : 'a =
-  let t0 = now_ns () in
-  Fun.protect ~finally:(fun () -> record name (now_ns () - t0)) f
+let time (name : string) (f : unit -> 'a) : 'a = Trace.timed ~cat:"perf" name f
 
 (** All counters as [(phase, calls, total_ns)], sorted by phase name. *)
-let snapshot () : (string * int * int) list =
-  Mutex.lock mutex;
-  let rows = Hashtbl.fold (fun k c acc -> (k, c.calls, c.ns) :: acc) table [] in
-  Mutex.unlock mutex;
-  List.sort (fun (a, _, _) (b, _, _) -> String.compare a b) rows
+let snapshot () : (string * int * int) list = Trace.counters ()
 
-let reset () =
-  Mutex.lock mutex;
-  Hashtbl.reset table;
-  Mutex.unlock mutex
+let reset () = Trace.reset_counters ()
 
 (** Human-readable table: one line per phase with calls, total and mean
     milliseconds.  Empty string when nothing was recorded. *)

@@ -24,4 +24,6 @@ let () =
       ("diag", Test_diag.suite);
       ("fuzz", Test_fuzz.suite);
       ("integration", Test_integration.suite);
-      ("java", Test_java.suite) ]
+      ("java", Test_java.suite);
+      ("trace", Test_trace.suite);
+      ("golden", Test_golden.suite) ]

@@ -55,6 +55,35 @@ let test_scheduler_isolates_exceptions () =
             (i mod 7 = 3 && e = Failure "boom"))
     r
 
+(* A worker-domain death (as opposed to a task exception, which run1
+   captures per-slot) must not be swallowed: the job the dead worker had
+   popped surfaces as that exact exception, not as an anonymous "lost
+   job", and every other slot still completes.  [should_stop] runs
+   outside run1's try, so raising from it is a deliberate worker crash. *)
+let test_scheduler_worker_crash_surfaces () =
+  let fired = Atomic.make false in
+  let crash () =
+    if Atomic.compare_and_set fired false true then
+      failwith "deliberate worker crash"
+    else false
+  in
+  let items = Array.init 24 (fun i -> i) in
+  let r = S.parallel_map ~domains:4 ~should_stop:crash (fun i -> i) items in
+  let crashed =
+    Array.to_list r
+    |> List.filter (function
+         | Error (Failure m) -> m = "deliberate worker crash"
+         | _ -> false)
+  in
+  Alcotest.(check int) "exactly one slot carries the worker's exception" 1
+    (List.length crashed);
+  Array.iteri
+    (fun i -> function
+      | Ok v -> Alcotest.(check int) (Printf.sprintf "slot %d" i) i v
+      | Error (Failure m) when m = "deliberate worker crash" -> ()
+      | Error e -> Alcotest.fail ("unexpected error: " ^ Printexc.to_string e))
+    r
+
 (* ---------------- parallel = sequential ---------------- *)
 
 let test_parallel_equals_sequential () =
@@ -353,6 +382,8 @@ let suite =
   [ Alcotest.test_case "scheduler: map preserves order" `Quick test_scheduler_map;
     Alcotest.test_case "scheduler: exceptions stay per-slot" `Quick
       test_scheduler_isolates_exceptions;
+    Alcotest.test_case "scheduler: worker crash surfaces, not swallowed" `Quick
+      test_scheduler_worker_crash_surfaces;
     Alcotest.test_case "parallel = sequential bytes" `Quick
       test_parallel_equals_sequential;
     Alcotest.test_case "driver = compile_project" `Quick

@@ -138,6 +138,55 @@ let test_pdbhtml_links_resolve () =
       scan 0)
     pages
 
+(* ---------------- degraded (incomplete) PDBs ---------------- *)
+
+(* a PDB written after recovered front-end errors: header says
+   "incomplete <n>"; the tools must surface that instead of silently
+   presenting a partial program as whole *)
+let degraded_d ?(diags = 3) () =
+  let vfs = Pdt_workloads.Stack.vfs () in
+  let c = Pdt.compile_exn ~vfs Pdt_workloads.Stack.main_file in
+  let pdb = Pdt_analyzer.Analyzer.run c.Pdt.program in
+  pdb.P.incomplete <- true;
+  pdb.P.diag_count <- diags;
+  pdb
+
+let test_pdbstats_flags_incomplete () =
+  let out = Pdt_tools.Pdbstats.report (D.index (degraded_d ())) in
+  Alcotest.(check bool) "warning present" true
+    (contains out "WARNING: incomplete PDB (3 diagnostics recorded during compilation)");
+  Alcotest.(check bool) "scope caveat" true
+    (contains out "the statistics below describe the recovered portion only");
+  Alcotest.(check bool) "numbers still reported" true (contains out "routines");
+  let singular = Pdt_tools.Pdbstats.report (D.index (degraded_d ~diags:1 ())) in
+  Alcotest.(check bool) "singular form" true
+    (contains singular "(1 diagnostic recorded");
+  let clean = Pdt_tools.Pdbstats.report (stack_d ()) in
+  Alcotest.(check bool) "clean PDB has no warning" true
+    (not (contains clean "WARNING"))
+
+let test_pdbtree_incomplete_note () =
+  (match Pdt_tools.Pdbtree.incomplete_note (D.index (degraded_d ())) with
+   | None -> Alcotest.fail "no incomplete note for a degraded PDB"
+   | Some note ->
+       Alcotest.(check bool) "names the diag count" true
+         (contains note "incomplete PDB (3 diagnostics");
+       Alcotest.(check bool) "warns trees may be partial" true
+         (contains note "trees may be partial"));
+  Alcotest.(check bool) "clean PDB has no note" true
+    (Pdt_tools.Pdbtree.incomplete_note (stack_d ()) = None)
+
+let test_incomplete_flag_survives_disk () =
+  (* the tools read the flag from the serialized header, which is how the
+     pdbstats/pdbtree executables see a degraded artifact *)
+  let text = Pdt_pdb.Pdb_write.to_string (degraded_d ~diags:2 ()) in
+  let d = D.index (Pdt_pdb.Pdb_parse.of_string text) in
+  let out = Pdt_tools.Pdbstats.report d in
+  Alcotest.(check bool) "warning after round-trip" true
+    (contains out "WARNING: incomplete PDB (2 diagnostics");
+  Alcotest.(check bool) "tree note after round-trip" true
+    (Pdt_tools.Pdbtree.incomplete_note d <> None)
+
 let suite =
   [ Alcotest.test_case "pdbconv sections" `Quick test_pdbconv_sections;
     Alcotest.test_case "pdbconv check clean" `Quick test_pdbconv_check_clean;
@@ -147,4 +196,9 @@ let suite =
     Alcotest.test_case "pdbtree include/class trees" `Quick test_pdbtree_include_and_class;
     Alcotest.test_case "pdbmerge statistics" `Quick test_pdbmerge_stats;
     Alcotest.test_case "pdbhtml pages" `Quick test_pdbhtml_pages;
-    Alcotest.test_case "pdbhtml links resolve" `Quick test_pdbhtml_links_resolve ]
+    Alcotest.test_case "pdbhtml links resolve" `Quick test_pdbhtml_links_resolve;
+    Alcotest.test_case "pdbstats flags incomplete PDBs" `Quick
+      test_pdbstats_flags_incomplete;
+    Alcotest.test_case "pdbtree incomplete note" `Quick test_pdbtree_incomplete_note;
+    Alcotest.test_case "incomplete flag survives disk" `Quick
+      test_incomplete_flag_survives_disk ]
