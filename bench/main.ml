@@ -631,6 +631,122 @@ let b8_trace_overhead ~quick () =
   print_endline "wrote BENCH_trace.json"
 
 (* ------------------------------------------------------------------ *)
+(* B9: edit-rebuild latency, cold vs incremental                       *)
+(* ------------------------------------------------------------------ *)
+
+let b9_incremental ~quick () =
+  section "B9: edit-rebuild latency (cold build vs --incremental)";
+  let module I = Pdt_build.Incremental in
+  let module B = Pdt_build.Build in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let n_tus = if quick then 8 else 24 in
+  let vfs, sources = Pdt_workloads.Generator.project_vfs ~n_tus () in
+  let cache_dir = Filename.temp_file "pdt-bench-b9" ".cache" in
+  Sys.remove cache_dir;
+  let domains = 4 in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let rebuild () =
+    I.build
+      ~options:
+        { I.default_options with
+          build = { B.default_options with domains; cache_dir = Some cache_dir } }
+      ~vfs sources
+  in
+  let cold () =
+    B.build
+      ~options:{ B.default_options with domains; cache_dir = None }
+      ~vfs sources
+  in
+  let append path extra =
+    match Pdt_util.Vfs.read_raw vfs path with
+    | Some c -> Pdt_util.Vfs.add_file vfs path (c ^ extra)
+    | None -> failwith ("b9: missing " ^ path)
+  in
+  let reps = if quick then 3 else 5 in
+  let best f = List.fold_left min infinity (List.init reps (fun _ -> f ())) in
+  ignore (cold ());                      (* warm up code paths *)
+  let cold_s = best (fun () -> fst (time cold)) in
+  let seed_s, seed = time rebuild in        (* populates cache + state *)
+  assert (List.length seed.I.units = n_tus + 1);
+  (* each rep appends a fresh declaration so the edit is never a no-op *)
+  let n = ref 0 in
+  let stats = ref (0, 0) in
+  let timed_edit mk =
+    best (fun () ->
+        n := !n + 1;
+        mk !n;
+        let dt, r = time rebuild in
+        assert (not r.I.fallback);
+        stats := (r.I.reanalyzed, r.I.reused);
+        dt)
+  in
+  let header_s =
+    timed_edit (fun i ->
+        append "generated.h" (Printf.sprintf "int b9_h_%d(int);\n" i))
+  in
+  let h_rean, h_reused = !stats in
+  let tu_s =
+    timed_edit (fun i ->
+        append "tu0.cpp" (Printf.sprintf "int b9_tu_%d() { return %d; }\n" i i))
+  in
+  let t_rean, t_reused = !stats in
+  (* trailing whitespace only: key-invariant, everything must be reused *)
+  let noop_s = timed_edit (fun _ -> append "tu1.cpp" "   \n") in
+  let n_rean, n_reused = !stats in
+  rm_rf cache_dir;
+  let speedup a = cold_s /. a in
+  Printf.printf "project: %d TUs + main, %d domains, best of %d\n\n" n_tus
+    domains reps;
+  Printf.printf "cold build (no cache)     : %.3fs\n" cold_s;
+  Printf.printf "incremental seed          : %.3fs\n" seed_s;
+  Printf.printf
+    "header edit rebuild       : %.3fs  (%.1fx, reanalyzed=%d reused=%d)\n"
+    header_s (speedup header_s) h_rean h_reused;
+  Printf.printf
+    "TU-body edit rebuild      : %.3fs  (%.1fx, reanalyzed=%d reused=%d)\n"
+    tu_s (speedup tu_s) t_rean t_reused;
+  Printf.printf
+    "whitespace no-op rebuild  : %.3fs  (%.1fx, reanalyzed=%d reused=%d)\n"
+    noop_s (speedup noop_s) n_rean n_reused;
+  let oc = open_out "BENCH_incremental.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"incremental_rebuild\",\n\
+    \  \"quick\": %b,\n\
+    \  \"n_tus\": %d,\n\
+    \  \"domains\": %d,\n\
+    \  \"reps\": %d,\n\
+    \  \"cold_s\": %.4f,\n\
+    \  \"seed_s\": %.4f,\n\
+    \  \"header_edit_s\": %.4f,\n\
+    \  \"header_reanalyzed\": %d,\n\
+    \  \"header_reused\": %d,\n\
+    \  \"tu_edit_s\": %.4f,\n\
+    \  \"tu_reanalyzed\": %d,\n\
+    \  \"tu_reused\": %d,\n\
+    \  \"noop_edit_s\": %.4f,\n\
+    \  \"noop_reanalyzed\": %d,\n\
+    \  \"noop_reused\": %d,\n\
+    \  \"speedup_tu_edit\": %.2f,\n\
+    \  \"speedup_noop\": %.2f\n\
+     }\n"
+    quick n_tus domains reps cold_s seed_s header_s h_rean h_reused tu_s t_rean
+    t_reused noop_s n_rean n_reused (speedup tu_s) (speedup noop_s);
+  close_out oc;
+  print_endline "wrote BENCH_incremental.json"
+
+(* ------------------------------------------------------------------ *)
 (* Specialization-mapping ablation                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -686,6 +802,7 @@ let () =
   b6_parallel_build ();
   b7_pdb_io ~quick ();
   b8_trace_overhead ~quick ();
+  b9_incremental ~quick ();
   specialization_mapping ();
   if not quick then bechamel_benches ();
   print_newline ()

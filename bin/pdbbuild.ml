@@ -51,8 +51,8 @@ let write_pprof path =
               r_inclusive = r.inclusive_ns })
           rows))
 
-let run sources includes output jobs cache_dir no_cache retries fail_fast
-    verbose stats trace trace_pprof max_errors limit_specs =
+let run sources includes output jobs cache_dir no_cache incremental retries
+    fail_fast verbose stats trace trace_pprof max_errors limit_specs =
   let vfs = Pdt_util.Vfs.create ~include_paths:includes () in
   Pdt_util.Vfs.set_disk_fallback vfs true;
   let tracing = trace <> None || trace_pprof <> None in
@@ -65,25 +65,73 @@ let run sources includes output jobs cache_dir no_cache retries fail_fast
       fail_fast;
       limits = resolve_budgets max_errors limit_specs }
   in
-  let r = Pdt_build.Build.build ~options ~vfs sources in
-  List.iter
-    (fun (source, msg) -> Printf.eprintf "pdbbuild: %s failed:\n%s\n" source msg)
-    (Pdt_build.Build.failures r);
-  List.iter
-    (fun (source, msg) -> Printf.eprintf "pdbbuild: %s degraded:\n%s\n" source msg)
-    (Pdt_build.Build.degraded_units r);
-  if verbose then
-    List.iter
-      (fun (u : Pdt_build.Build.unit_result) ->
-        Printf.printf "  %-30s %-8s %.3fs\n" u.source
-          (match u.status with
-           | Compiled -> "compiled" | Cached -> "cached"
-           | Degraded _ -> "DEGRADED"
-           | Failed _ -> "FAILED" | Skipped -> "skipped")
-          u.seconds)
-      r.units;
+  (* both drivers converge on the same epilogue: merged PDB + per-unit
+     failure report + summary line(s) + counts for the exit code *)
+  let merged, summary_lines, n_failed, n_degraded, n_skipped, n_ok =
+    if incremental then begin
+      let module I = Pdt_build.Incremental in
+      let iopts = { I.default_options with build = options } in
+      let r = I.build ~options:iopts ~vfs sources in
+      List.iter
+        (fun (u : I.unit_info) ->
+          match u.disposition with
+          | I.Failed m ->
+              Printf.eprintf "pdbbuild: %s failed:\n%s\n" u.source m
+          | I.Degraded m ->
+              Printf.eprintf "pdbbuild: %s degraded:\n%s\n" u.source m
+          | _ -> ())
+        r.I.units;
+      if verbose then
+        List.iter
+          (fun (u : I.unit_info) ->
+            Printf.printf "  %-30s %-10s %.3fs  %s\n" u.source
+              (match u.disposition with
+               | I.Reused -> "reused"
+               | I.Loaded -> "loaded"
+               | I.Recompiled -> "compiled"
+               | I.Degraded _ -> "DEGRADED"
+               | I.Failed _ -> "FAILED")
+              u.seconds u.reason)
+          r.I.units;
+      let count p = List.length (List.filter p r.I.units) in
+      let failed =
+        count (fun u -> match u.I.disposition with I.Failed _ -> true | _ -> false)
+      and degraded =
+        count (fun u -> match u.I.disposition with I.Degraded _ -> true | _ -> false)
+      in
+      ( r.I.merged,
+        [ I.stats_line r;
+          Printf.sprintf "%d reanalyzed, %d reused, %d failed%s | %.3fs wall"
+            r.I.reanalyzed r.I.reused failed
+            (if degraded > 0 then Printf.sprintf ", %d degraded" degraded else "")
+            r.I.wall_seconds ],
+        failed, degraded, 0,
+        List.length r.I.units - failed )
+    end
+    else begin
+      let r = Pdt_build.Build.build ~options ~vfs sources in
+      List.iter
+        (fun (source, msg) -> Printf.eprintf "pdbbuild: %s failed:\n%s\n" source msg)
+        (Pdt_build.Build.failures r);
+      List.iter
+        (fun (source, msg) -> Printf.eprintf "pdbbuild: %s degraded:\n%s\n" source msg)
+        (Pdt_build.Build.degraded_units r);
+      if verbose then
+        List.iter
+          (fun (u : Pdt_build.Build.unit_result) ->
+            Printf.printf "  %-30s %-8s %.3fs\n" u.source
+              (match u.status with
+               | Compiled -> "compiled" | Cached -> "cached"
+               | Degraded _ -> "DEGRADED"
+               | Failed _ -> "FAILED" | Skipped -> "skipped")
+              u.seconds)
+          r.units;
+      ( r.merged, [ Pdt_build.Build.summary r ], r.failed, r.degraded,
+        r.skipped, r.compiled + r.cached + r.degraded )
+    end
+  in
   (* serialize the merged PDB once; the file and the digest share the bytes *)
-  let serialized = Pdt_pdb.Pdb_write.to_string r.merged in
+  let serialized = Pdt_pdb.Pdb_write.to_string merged in
   if tracing then begin
     Pdt_util.Trace.stop ();
     Option.iter (fun p -> write_file p (Pdt_util.Trace.chrome_json ())) trace;
@@ -92,9 +140,9 @@ let run sources includes output jobs cache_dir no_cache retries fail_fast
   let oc = open_out output in
   output_string oc serialized;
   close_out oc;
-  print_endline (Pdt_build.Build.summary r);
+  List.iter print_endline summary_lines;
   Printf.printf "wrote %s (%d items, digest %s)\n" output
-    (Pdt_pdb.Pdb.item_count r.merged)
+    (Pdt_pdb.Pdb.item_count merged)
     (Pdt_pdb.Pdb_digest.of_string serialized);
   if stats then begin
     let report = Pdt_util.Perf.report () in
@@ -111,9 +159,9 @@ let run sources includes output jobs cache_dir no_cache retries fail_fast
        2 = partial: some units failed or compiled degraded; the merged
            PDB of everything that produced output was written
        3 = aborted: --fail-fast stopped the build, units were skipped *)
-  if r.skipped > 0 then 3
-  else if r.failed = 0 && r.degraded = 0 then 0
-  else if r.compiled + r.cached + r.degraded > 0 then 2
+  if n_skipped > 0 then 3
+  else if n_failed = 0 && n_degraded = 0 then 0
+  else if n_ok > 0 then 2
   else 1
 
 let sources =
@@ -136,6 +184,17 @@ let cache_dir =
 
 let no_cache =
   Arg.(value & flag & info [ "no-cache" ] ~doc:"Disable the incremental cache")
+
+let incremental =
+  Arg.(value & flag
+       & info [ "incremental" ]
+           ~doc:"Incremental re-analysis: reuse every unit whose dependency \
+                 fingerprint (source + transitive include cone, recorded \
+                 during the previous compile) is unchanged, re-analyze only \
+                 the rest, and splice the delta through memoized partial \
+                 merges.  Prints $(b,reanalyzed=N reused=M); byte-identical \
+                 to a from-scratch build.  Requires the cache; any delta-path \
+                 failure falls back to a full remerge.")
 
 let retries =
   Arg.(value & opt int Pdt_build.Build.default_options.retries
@@ -193,7 +252,7 @@ let cmd =
   let doc = "compile a project to one merged program database, in parallel and incrementally" in
   Cmd.v (Cmd.info "pdbbuild" ~doc)
     Term.(const run $ sources $ includes $ output $ jobs $ cache_dir $ no_cache
-          $ retries $ fail_fast $ verbose $ stats $ trace $ trace_pprof
-          $ max_errors $ limit_specs)
+          $ incremental $ retries $ fail_fast $ verbose $ stats $ trace
+          $ trace_pprof $ max_errors $ limit_specs)
 
 let () = exit (Cmd.eval' cmd)

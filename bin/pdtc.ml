@@ -29,7 +29,8 @@ let resolve_budgets ~tool max_errors limit_specs =
 
 (* --project: hand the source list to the parallel incremental build driver
    (the pdbbuild engine) and write one merged PDB. *)
-let run_project sources includes output jobs no_used fixed_spec mapping budgets =
+let run_project sources includes output jobs incremental no_used fixed_spec
+    mapping budgets =
   let vfs = Pdt_util.Vfs.create ~include_paths:includes () in
   Pdt_util.Vfs.set_disk_fallback vfs true;
   let options =
@@ -43,20 +44,45 @@ let run_project sources includes output jobs no_used fixed_spec mapping budgets 
          else Pdt_analyzer.Analyzer.Location_based);
       limits = budgets }
   in
-  let r = Pdt_build.Build.build ~options ~vfs sources in
-  List.iter
-    (fun (source, msg) -> Printf.eprintf "pdtc: %s failed:\n%s\n" source msg)
-    (Pdt_build.Build.failures r);
-  List.iter
-    (fun (source, msg) -> Printf.eprintf "pdtc: %s degraded:\n%s\n" source msg)
-    (Pdt_build.Build.degraded_units r);
   let out = Option.value ~default:"merged.pdb" output in
-  Pdt_pdb.Pdb_write.to_file r.merged out;
-  print_endline (Pdt_build.Build.summary r);
-  Printf.printf "wrote %s (%d items)\n" out (Pdt_pdb.Pdb.item_count r.merged);
-  if r.failed = 0 && r.degraded = 0 then 0
-  else if r.compiled + r.cached + r.degraded > 0 then 2
-  else 1
+  if incremental then begin
+    let module I = Pdt_build.Incremental in
+    let r = I.build ~options:{ I.default_options with build = options } ~vfs sources in
+    List.iter
+      (fun (u : I.unit_info) ->
+        match u.I.disposition with
+        | I.Failed m -> Printf.eprintf "pdtc: %s failed:\n%s\n" u.I.source m
+        | I.Degraded m -> Printf.eprintf "pdtc: %s degraded:\n%s\n" u.I.source m
+        | _ -> ())
+      r.I.units;
+    Pdt_pdb.Pdb_write.to_file r.I.merged out;
+    print_endline (I.stats_line r);
+    Printf.printf "wrote %s (%d items)\n" out (Pdt_pdb.Pdb.item_count r.I.merged);
+    let failed =
+      List.length
+        (List.filter
+           (fun u -> match u.I.disposition with I.Failed _ | I.Degraded _ -> true | _ -> false)
+           r.I.units)
+    in
+    if failed = 0 then 0
+    else if failed < List.length r.I.units then 2
+    else 1
+  end
+  else begin
+    let r = Pdt_build.Build.build ~options ~vfs sources in
+    List.iter
+      (fun (source, msg) -> Printf.eprintf "pdtc: %s failed:\n%s\n" source msg)
+      (Pdt_build.Build.failures r);
+    List.iter
+      (fun (source, msg) -> Printf.eprintf "pdtc: %s degraded:\n%s\n" source msg)
+      (Pdt_build.Build.degraded_units r);
+    Pdt_pdb.Pdb_write.to_file r.merged out;
+    print_endline (Pdt_build.Build.summary r);
+    Printf.printf "wrote %s (%d items)\n" out (Pdt_pdb.Pdb.item_count r.merged);
+    if r.failed = 0 && r.degraded = 0 then 0
+    else if r.compiled + r.cached + r.degraded > 0 then 2
+    else 1
+  end
 
 let run_single source includes output mapping no_used fixed_spec budgets =
   match language_of source with
@@ -137,14 +163,15 @@ let run_single source includes output mapping no_used fixed_spec budgets =
     if degraded then 1 else 0
   end
 
-let run sources includes output mapping no_used fixed_spec project jobs trace
-    max_errors limit_specs =
+let run sources includes output mapping no_used fixed_spec project jobs
+    incremental trace max_errors limit_specs =
   let budgets = resolve_budgets ~tool:"pdtc" max_errors limit_specs in
   if trace <> None then Pdt_util.Trace.start ();
   let code =
     match (project, sources) with
     | true, _ ->
-        run_project sources includes output jobs no_used fixed_spec mapping budgets
+        run_project sources includes output jobs incremental no_used fixed_spec
+          mapping budgets
     | false, [ source ] ->
         run_single source includes output mapping no_used fixed_spec budgets
     | false, [] -> prerr_endline "pdtc: missing SOURCE argument"; 124
@@ -197,6 +224,15 @@ let jobs =
   Arg.(value & opt int (Pdt_build.Scheduler.default_domains ())
        & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains for --project builds")
 
+let incremental =
+  Arg.(value & flag
+       & info [ "incremental" ]
+           ~doc:"With $(b,--project): incremental re-analysis — reuse units \
+                 whose dependency fingerprint is unchanged, re-analyze the \
+                 rest, splice the delta through memoized partial merges; \
+                 prints $(b,reanalyzed=N reused=M).  Byte-identical to a \
+                 from-scratch build.")
+
 let trace =
   Arg.(value & opt (some string) None
        & info [ "trace" ] ~docv:"FILE"
@@ -222,6 +258,6 @@ let cmd =
   let doc = "compile C++ source into a program database (PDB)" in
   Cmd.v (Cmd.info "pdtc" ~doc)
     Term.(const run $ sources $ includes $ output $ mapping $ no_used $ fixed_spec
-          $ project $ jobs $ trace $ max_errors $ limit_specs)
+          $ project $ jobs $ incremental $ trace $ max_errors $ limit_specs)
 
 let () = exit (Cmd.eval' cmd)

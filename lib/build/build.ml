@@ -57,9 +57,15 @@ let default_options =
 
 (* Everything that can change a unit's PDB besides its input content; part
    of the cache key.  Bump Cache.format_version instead when the PDB format
-   itself changes. *)
+   itself changes.  The resource budgets belong here: a unit compiled under
+   a generous include-depth budget and one compiled under a tight budget
+   that truncates its cone produce different (Degraded) PDBs from identical
+   inputs, so budgets must separate their cache keys. *)
 let options_fingerprint (o : options) (source : string) =
-  Printf.sprintf "lang=%s used=%b spec=%b mapping=%s"
+  let l = o.limits in
+  Printf.sprintf
+    "lang=%s used=%b spec=%b mapping=%s \
+     limits=%d,%d,%d,%d,%d,%d"
     (match language_of_source source with
      | Cpp -> "cpp" | Fortran -> "f90" | Java -> "java")
     o.sema.Pdt_sema.Sema.instantiate_used
@@ -67,6 +73,9 @@ let options_fingerprint (o : options) (source : string) =
     (match o.mapping with
      | Pdt_analyzer.Analyzer.Location_based -> "location"
      | Pdt_analyzer.Analyzer.Il_ids -> "ids")
+    l.Limits.max_include_depth l.Limits.max_macro_depth l.Limits.max_tokens
+    l.Limits.max_parse_depth l.Limits.max_instantiation_depth
+    l.Limits.max_errors
 
 type status =
   | Compiled            (** compiled this run (cache miss or no cache) *)
@@ -82,6 +91,15 @@ type unit_result = {
   status : status;
   pdb : Pdt_pdb.Pdb.t option;  (** [None] iff [Failed] or [Skipped] *)
   seconds : float;
+  deps : string list;
+      (** normalized VFS paths read while compiling (source + actual
+          include cone), sorted; [[]] when the unit was served from the
+          cache or produced no PDB — the compile never ran, so nothing
+          was observed *)
+  cone_truncated : bool;
+      (** the preprocessor hit the include-depth budget: [deps] misses the
+          skipped subtree, so the unit must never be treated as reusable
+          by dependency fingerprint *)
 }
 
 type result = {
@@ -99,13 +117,34 @@ type result = {
 exception Unit_error of string
 (** A translation unit's front end reported errors. *)
 
+(* What one fresh compile produced: the PDB, the degradation report
+   ([Some diags_text] when the C++ front end recovered from errors and the
+   PDB is partial — keep-going mode only; under [fail_fast] recoverable
+   errors raise [Unit_error]), the recorded dependency set and whether the
+   include cone was truncated by the depth budget. *)
+type compiled = {
+  c_pdb : Pdt_pdb.Pdb.t;
+  c_degraded : string option;
+  c_deps : string list;
+  c_truncated : bool;
+}
+
 (* Compile one unit against a private VFS copy (domains must not share the
-   mutable Hashtbl inside Vfs.t) and run the IL Analyzer.  The second
-   component is the degradation report: [Some diags_text] when the C++
-   front end recovered from errors and the PDB is partial (keep-going
-   mode only — under [fail_fast] recoverable errors raise [Unit_error]). *)
-let compile_unit (o : options) ~vfs source : Pdt_pdb.Pdb.t * string option =
+   mutable Hashtbl inside Vfs.t) and run the IL Analyzer.  A read recorder
+   on the private copy captures the unit's true dependency set — every
+   file the preprocessor actually opened — for incremental rebuilds. *)
+let compile_unit (o : options) ~vfs source : compiled =
   let vfs = Vfs.copy vfs in
+  let seen = Hashtbl.create 16 in
+  let reads = ref [] in
+  Vfs.set_recorder vfs
+    (Some
+       (fun path ->
+         if not (Hashtbl.mem seen path) then begin
+           Hashtbl.replace seen path ();
+           reads := path :: !reads
+         end));
+  let deps () = List.sort compare !reads in
   match language_of_source source with
   | Fortran | Java -> (
       match Vfs.read_raw vfs source with
@@ -118,7 +157,8 @@ let compile_unit (o : options) ~vfs source : Pdt_pdb.Pdb.t * string option =
             | _ -> Pdt_java.Java_sema.compile_string ~file:source ~diags src
           in
           if Diag.has_errors diags then raise (Unit_error (Diag.to_string diags));
-          (Pdt_analyzer.Analyzer.run prog, None))
+          { c_pdb = Pdt_analyzer.Analyzer.run prog; c_degraded = None;
+            c_deps = deps (); c_truncated = false })
   | Cpp ->
       let limits = Limits.create ~budgets:o.limits () in
       let c = Pdt.compile ~opts:o.sema ~limits ~vfs source in
@@ -128,12 +168,16 @@ let compile_unit (o : options) ~vfs source : Pdt_pdb.Pdb.t * string option =
         { Pdt_analyzer.Analyzer.default_options with mapping = o.mapping }
       in
       let pdb = Pdt_analyzer.Analyzer.run ~opts:aopts c.Pdt.program in
+      let truncated = c.Pdt.pp.Pdt_pp.Preproc.include_depth_exceeded in
       if Diag.has_errors c.Pdt.diags then begin
         pdb.Pdt_pdb.Pdb.incomplete <- true;
         pdb.Pdt_pdb.Pdb.diag_count <- Diag.error_count c.Pdt.diags;
-        (pdb, Some (Diag.to_string c.Pdt.diags))
+        { c_pdb = pdb; c_degraded = Some (Diag.to_string c.Pdt.diags);
+          c_deps = deps (); c_truncated = truncated }
       end
-      else (pdb, None)
+      else
+        { c_pdb = pdb; c_degraded = None; c_deps = deps ();
+          c_truncated = truncated }
 
 (* One scheduler task: cache lookup, else compile and fill the cache.
    Never raises — failure is data here, not control flow.
@@ -146,8 +190,9 @@ let compile_unit (o : options) ~vfs source : Pdt_pdb.Pdb.t * string option =
 let build_unit (o : options) (cache : Cache.t option) ~vfs source : unit_result =
   let run () =
   let t0 = Unix.gettimeofday () in
-  let finish status pdb =
-    { source; status; pdb; seconds = Unix.gettimeofday () -. t0 }
+  let finish ?(deps = []) ?(cone_truncated = false) status pdb =
+    { source; status; pdb; seconds = Unix.gettimeofday () -. t0;
+      deps; cone_truncated }
   in
   (* a failed store never sinks the unit — the PDB is in hand and the next
      build simply misses; count the loss so --stats surfaces it *)
@@ -170,19 +215,29 @@ let build_unit (o : options) (cache : Cache.t option) ~vfs source : unit_result 
         | None -> (
             Trace.count ~cat:"cache" "cache.miss" 0;
             match Trace.timed ~cat:"build" "compile" (fun () -> compile_unit o ~vfs source) with
-            | pdb, None ->
-                (* serialize once; the entry body reuses the bytes *)
-                let body = Pdt_pdb.Pdb_write.to_string pdb in
-                store_entry c k body;
-                finish Compiled (Some pdb)
-            | pdb, Some msg ->
+            | { c_pdb = pdb; c_degraded = None; c_deps; c_truncated } ->
+                (* serialize once; the entry body reuses the bytes.  A
+                   truncated-cone unit is never stored: its key misses the
+                   skipped include subtree, so a later edit to that subtree
+                   could not invalidate the entry *)
+                if not c_truncated then begin
+                  let body = Pdt_pdb.Pdb_write.to_string pdb in
+                  store_entry c k body
+                end;
+                finish ~deps:c_deps ~cone_truncated:c_truncated Compiled
+                  (Some pdb)
+            | { c_pdb = pdb; c_degraded = Some msg; c_deps; c_truncated } ->
                 (* a partial PDB never enters the cache: fixing the source
                    must recompile, not replay the degraded artifact *)
-                finish (Degraded msg) (Some pdb)))
+                finish ~deps:c_deps ~cone_truncated:c_truncated
+                  (Degraded msg) (Some pdb)))
     | _ -> (
         match Trace.timed ~cat:"build" "compile" (fun () -> compile_unit o ~vfs source) with
-        | pdb, None -> finish Compiled (Some pdb)
-        | pdb, Some msg -> finish (Degraded msg) (Some pdb))
+        | { c_pdb = pdb; c_degraded = None; c_deps; c_truncated } ->
+            finish ~deps:c_deps ~cone_truncated:c_truncated Compiled (Some pdb)
+        | { c_pdb = pdb; c_degraded = Some msg; c_deps; c_truncated } ->
+            finish ~deps:c_deps ~cone_truncated:c_truncated (Degraded msg)
+              (Some pdb))
   in
   let rec go attempts_left =
     try attempt () with
@@ -232,7 +287,7 @@ let build ?(options = default_options) ~vfs (sources : string list) : result =
            | Ok u -> u
            | Error Scheduler.Cancelled ->
                { source = tasks.(i); status = Skipped; pdb = None;
-                 seconds = 0.0 }
+                 seconds = 0.0; deps = []; cone_truncated = false }
            | Error e when Fault.is_transient e && options.retries > 0 ->
                (* the worker faulted before the task ran (flaky-worker
                   injection, lost job): one sequential redo, which brings
@@ -241,7 +296,8 @@ let build ?(options = default_options) ~vfs (sources : string list) : result =
                task tasks.(i)
            | Error e ->
                { source = tasks.(i); status = Failed (Printexc.to_string e);
-                 pdb = None; seconds = 0.0 })
+                 pdb = None; seconds = 0.0; deps = [];
+                 cone_truncated = false })
          results)
   in
   let survivors = List.filter_map (fun u -> u.pdb) units in

@@ -35,7 +35,7 @@
 
 open Pdt_util
 
-let format_version = 2
+let format_version = 3
 
 let magic = Printf.sprintf "PDT-CACHE v%d" format_version
 
@@ -113,12 +113,42 @@ let include_closure ~vfs (source : string) : (string * string) list =
   visit source;
   List.rev !out
 
+(* Whitespace that provably cannot change a PDB: trailing spaces/tabs on a
+   line (tokens and their columns are untouched — nothing follows them) and
+   blank lines at end of file (no tokens follow).  Normalizing them out of
+   the key lets a pure-whitespace edit keep its cache entry and lets the
+   incremental driver report the unit as reused.  The one subtlety is line
+   splicing: if stripping would leave the line ending in a backslash, the
+   original line is kept — a splice must never appear (or disappear) under
+   normalization.  Interior blank lines and leading whitespace stay: they
+   shift line/column numbers, which PDB locations record. *)
+let normalize_for_key (src : string) : string =
+  let strip line =
+    let n = String.length line in
+    let i = ref n in
+    while !i > 0 && (line.[!i - 1] = ' ' || line.[!i - 1] = '\t') do decr i done;
+    if !i = n then line
+    else
+      let stripped = String.sub line 0 !i in
+      if !i > 0 && line.[!i - 1] = '\\' then line else stripped
+  in
+  let lines = List.map strip (String.split_on_char '\n' src) in
+  let rec drop_trailing_blanks = function
+    | "" :: rest -> drop_trailing_blanks rest
+    | kept -> kept
+  in
+  String.concat "\n" (List.rev (drop_trailing_blanks (List.rev lines)))
+
 (** Cache key for one translation unit.  [options] is the driver's
-    compile-option fingerprint (instantiation mode, mapping, language). *)
+    compile-option fingerprint (instantiation mode, mapping, language,
+    resource budgets).  File contents enter the hash through
+    {!normalize_for_key}, so edits the PDB cannot observe (trailing
+    whitespace, trailing blank lines) keep the key stable. *)
 let key ~vfs ~(options : string) (source : string) : string =
   let closure = include_closure ~vfs source in
   Hashutil.strings
-    (magic :: options :: List.concat_map (fun (p, c) -> [ p; c ]) closure)
+    (magic :: options
+     :: List.concat_map (fun (p, c) -> [ p; normalize_for_key c ]) closure)
 
 (* ------------------------------------------------------------------ *)
 (* Entries                                                             *)

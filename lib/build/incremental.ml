@@ -1,0 +1,549 @@
+(** Incremental re-analysis: patch in, delta out.
+
+    A full {!Build.build} re-merges every unit's PDB even when the unit
+    cache serves most compiles.  This driver keeps enough state between
+    runs to do strictly less work after an edit:
+
+    - {e per-unit dependency fingerprints} — the unit's {!Cache.key}
+      (content hash over the lexical include closure, whitespace-
+      normalized) plus a hash over the dependency set the previous
+      compile {e actually read} (recorded by the {!Pdt_util.Vfs} read
+      recorder during preprocessing).  A unit whose fingerprint is
+      unchanged is {e reused}: it is not recompiled, and usually not even
+      loaded;
+    - {e memoized partial merges} — the build plan is partitioned into
+      fixed-size groups whose merged PDBs are stored in the same
+      self-healing content-addressed {!Cache} (keyed by the member unit
+      keys).  An edit dirties only the groups containing affected units;
+      clean groups splice their stale-free contribution straight from the
+      cache without touching member PDBs.  The top-level merge over group
+      partials is byte-identical to a flat merge of all units because
+      {!Pdt_ductape.Ductape.merge} is canonical under grouping (the same
+      theorem behind {!Merge_par});
+    - {e a state file} ([incremental.state] in the cache dir, written
+      atomically) mapping each source to its key and recorded dependency
+      paths.  A missing or corrupt state file merely degrades to a full
+      re-analysis — it can never produce wrong output, because reuse
+      additionally requires the content-addressed cache to produce the
+      bytes.
+
+    Degraded units, units whose include cone was truncated by the depth
+    budget, and failed units never enter the state file or the group
+    cache: they are re-analyzed on every run until they build clean.
+
+    Fault tolerance: any exception escaping the delta path (injected
+    faults included) falls back to a plain {!Build.build} — a full
+    remerge — so a mid-build fault can never leave a half-spliced PDB.
+    The fallback is counted under the [incr.fallback] Perf counter.
+
+    Stats surface as [reanalyzed=N reused=M] from [pdbbuild
+    --incremental] and as [incr.*] Perf counters / ["incr"]-category
+    trace spans. *)
+
+open Pdt_util
+module P = Pdt_pdb.Pdb
+
+type options = {
+  build : Build.options;
+  group_size : int;    (** units per memoized partial merge *)
+  state_file : string option;
+      (** default: [incremental.state] inside the cache dir *)
+}
+
+let default_options =
+  { build = Build.default_options; group_size = 8; state_file = None }
+
+(* ------------------------------------------------------------------ *)
+(* Persistent state                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type entry = {
+  e_source : string;
+  e_key : string;           (* Cache.key when the unit was last built *)
+  e_dep_hash : string;      (* hash over the recorded dependency contents *)
+  e_deps : string list;     (* normalized paths the compile actually read *)
+}
+
+let state_magic = "PDT-INCR v1"
+
+(* Hash of a dependency set's current contents.  Normalized like the
+   cache key, so whitespace-only edits keep the hash; a missing file
+   hashes to a marker, so deletion changes it. *)
+let dep_hash ~vfs (deps : string list) : string =
+  Hashutil.strings
+    (List.concat_map
+       (fun p ->
+         match Vfs.read_raw vfs p with
+         | Some c -> [ p; Cache.normalize_for_key c ]
+         | None -> [ p; "\x00missing" ])
+       (List.sort_uniq compare deps))
+
+(* One line per unit, tab-separated: source, key, dep hash, then the dep
+   paths.  A digest header binds the whole body, mirroring cache
+   entries: any damage fails one comparison and the state is ignored. *)
+let render_state (entries : entry list) : string =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      let fields = e.e_source :: e.e_key :: e.e_dep_hash :: e.e_deps in
+      if
+        List.for_all
+          (fun f -> not (String.contains f '\t' || String.contains f '\n'))
+          fields
+      then Buffer.add_string b (String.concat "\t" fields ^ "\n"))
+    entries;
+  let body = Buffer.contents b in
+  Printf.sprintf "%s digest=%s\n%s" state_magic (Hashutil.string body) body
+
+let parse_state (content : string) : entry list option =
+  match String.index_opt content '\n' with
+  | None -> None
+  | Some i ->
+      let hdr = String.sub content 0 i in
+      let body = String.sub content (i + 1) (String.length content - i - 1) in
+      if hdr <> Printf.sprintf "%s digest=%s" state_magic (Hashutil.string body)
+      then None
+      else
+        Some
+          (String.split_on_char '\n' body
+          |> List.filter_map (fun line ->
+                 match String.split_on_char '\t' line with
+                 | source :: key :: dh :: deps when source <> "" ->
+                     Some
+                       { e_source = source; e_key = key; e_dep_hash = dh;
+                         e_deps = deps }
+                 | _ -> None))
+
+let load_state path : entry list =
+  match
+    (try
+       let ic = open_in_bin path in
+       Fun.protect
+         ~finally:(fun () -> close_in_noerr ic)
+         (fun () -> Some (really_input_string ic (in_channel_length ic)))
+     with Sys_error _ | End_of_file -> None)
+  with
+  | None -> []
+  | Some content -> Option.value (parse_state content) ~default:[]
+
+(* Atomic write, same discipline as cache entries: per-process/per-domain
+   temp name, then rename; best-effort — a lost state file only costs the
+   next run a full re-analysis. *)
+let save_state path (entries : entry list) : unit =
+  try
+    Cache.mkdir_p (Filename.dirname path);
+    let tmp =
+      Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+        (Domain.self () :> int)
+    in
+    let oc = open_out_bin tmp in
+    (try
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () -> output_string oc (render_state entries));
+       Sys.rename tmp path
+     with e ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e)
+  with Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type disposition =
+  | Reused            (** fingerprint unchanged — not recompiled; spliced
+                          from a memoized group or the unit cache *)
+  | Loaded            (** served by the unit cache while its group was
+                          re-merged *)
+  | Recompiled        (** compiled this run *)
+  | Degraded of string
+  | Failed of string
+
+type unit_info = {
+  source : string;
+  disposition : disposition;
+  reason : string;    (** why the unit was (or was not) re-analyzed *)
+  seconds : float;
+}
+
+type result = {
+  merged : P.t;
+  units : unit_info list;      (** in input order *)
+  reanalyzed : int;            (** units recompiled: [Recompiled] +
+                                   [Degraded] + [Failed] *)
+  reused : int;                (** [Reused] + [Loaded]; always
+                                   [reanalyzed + reused = total units] *)
+  fallback : bool;             (** the delta path was abandoned and a full
+                                   {!Build.build} ran instead *)
+  groups_reused : int;         (** partial merges served from the cache *)
+  groups_remerged : int;
+  wall_seconds : float;
+}
+
+let stats_line (r : result) : string =
+  Printf.sprintf "incremental: reanalyzed=%d reused=%d%s" r.reanalyzed
+    r.reused
+    (if r.fallback then " (fallback: full remerge)" else "")
+
+(* ------------------------------------------------------------------ *)
+(* The delta path                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let group_magic = "PDT-INCR-GROUP v1"
+
+let group_key (member_keys : string list) : string =
+  Hashutil.strings (group_magic :: member_keys)
+
+let chunk size xs =
+  let rec go acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+        if k = size then go (List.rev cur :: acc) [ x ] 1 rest
+        else go acc (x :: cur) (k + 1) rest
+  in
+  go [] [] 0 xs
+
+type plan_item = {
+  p_source : string;
+  p_key : string;
+  p_reuse : bool;
+  p_reason : string;
+  p_prev : entry option;
+}
+
+let classify ~vfs ~(o : Build.options) (prev : (string, entry) Hashtbl.t)
+    ~had_state source : plan_item =
+  let key =
+    Cache.key ~vfs ~options:(Build.options_fingerprint o source) source
+  in
+  let reanalyze reason =
+    { p_source = source; p_key = key; p_reuse = false; p_reason = reason;
+      p_prev = Hashtbl.find_opt prev source }
+  in
+  match Hashtbl.find_opt prev source with
+  | None ->
+      reanalyze (if had_state then "new unit" else "no incremental state")
+  | Some e when e.e_key <> key -> reanalyze "dependency cone changed"
+  | Some e when dep_hash ~vfs e.e_deps <> e.e_dep_hash ->
+      (* belt and braces: the key's lexical closure should subsume every
+         recorded read, but the recorded set is what the compile actually
+         consumed, so it gets the final word *)
+      reanalyze "recorded dependency changed"
+  | Some e ->
+      { p_source = source; p_key = key; p_reuse = true;
+        p_reason = "fingerprint unchanged"; p_prev = Some e }
+
+(* A group either splices its cached partial merge (members untouched) or
+   re-merges from member unit results. *)
+type group_state =
+  | Ready of P.t
+  | Need of Build.unit_result option array  (* filled by the scheduler *)
+
+let delta_build ~(options : options) ~vfs (sources : string list) : result =
+  let o = options.build in
+  let dir =
+    match o.Build.cache_dir with
+    | Some d -> d
+    | None -> invalid_arg "Incremental.build: cache_dir is required"
+  in
+  let t0 = Unix.gettimeofday () in
+  let cache = Cache.create ~dir () in
+  let state_path =
+    match options.state_file with
+    | Some p -> p
+    | None -> Filename.concat dir "incremental.state"
+  in
+  let prev_entries = load_state state_path in
+  let had_state = prev_entries <> [] in
+  let prev = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace prev e.e_source e) prev_entries;
+  let plan =
+    Trace.timed ~cat:"incr" "incr.plan" @@ fun () ->
+    List.map (classify ~vfs ~o prev ~had_state) sources
+  in
+  let groups = chunk (max 1 options.group_size) plan in
+  (* probe the partial-merge cache for groups with no re-analyzed member;
+     a transient read fault is a miss here — the delta path must degrade,
+     not die *)
+  let probe members =
+    if not (List.for_all (fun p -> p.p_reuse) members) then
+      Need (Array.make (List.length members) None)
+    else
+      let gkey = group_key (List.map (fun p -> p.p_key) members) in
+      match
+        (try Cache.load cache gkey with e when Fault.is_transient e -> None)
+      with
+      | Some pdb ->
+          Trace.count ~cat:"incr" "incr.group_hit" 0;
+          Ready pdb
+      | None ->
+          Trace.count ~cat:"incr" "incr.group_miss" 0;
+          Need (Array.make (List.length members) None)
+  in
+  let states =
+    Trace.timed ~cat:"incr" "incr.probe" @@ fun () -> List.map probe groups
+  in
+  (* every member of a dirty (or unprobed) group goes through
+     Build.build_unit: it serves reusable units from the unit cache and
+     compiles the rest, with the standard retry policy *)
+  let work =
+    List.concat
+      (List.map2
+         (fun members state ->
+           match state with
+           | Ready _ -> []
+           | Need slots ->
+               List.mapi (fun i p -> (p, slots, i)) members)
+         groups states)
+  in
+  let task (p, (slots : Build.unit_result option array), i) =
+    let u = Build.build_unit o (Some cache) ~vfs p.p_source in
+    slots.(i) <- Some u;
+    u
+  in
+  let results =
+    Scheduler.parallel_map ~domains:o.Build.domains task
+      (Array.of_list work)
+  in
+  Array.iteri
+    (fun idx r ->
+      let p, slots, i = List.nth work idx in
+      match r with
+      | Ok _ -> ()
+      | Error e when Fault.is_transient e && o.Build.retries > 0 ->
+          (* worker faulted before the task ran: one sequential redo *)
+          Trace.count ~cat:"build" "build.retry" 0;
+          ignore (task (p, slots, i))
+      | Error e ->
+          slots.(i) <-
+            Some
+              { Build.source = p.p_source;
+                status = Build.Failed (Printexc.to_string e);
+                pdb = None; seconds = 0.0; deps = [];
+                cone_truncated = false })
+    results;
+  (* assemble group partials; freshly merged clean groups go back into the
+     content-addressed cache for the next edit *)
+  let group_pdbs =
+    Trace.timed ~cat:"incr" "incr.group_merge" @@ fun () ->
+    List.map2
+      (fun members state ->
+        match state with
+        | Ready pdb -> Some pdb
+        | Need slots ->
+            let us = Array.to_list slots |> List.filter_map Fun.id in
+            let survivors = List.filter_map (fun u -> u.Build.pdb) us in
+            if survivors = [] then None
+            else begin
+              let pdb = Pdt_ductape.Ductape.merge survivors in
+              let clean =
+                List.length us = List.length members
+                && List.for_all
+                     (fun (u : Build.unit_result) ->
+                       (not u.Build.cone_truncated)
+                       &&
+                       match u.Build.status with
+                       | Build.Compiled | Build.Cached -> true
+                       | _ -> false)
+                     us
+              in
+              if clean then begin
+                let gkey = group_key (List.map (fun p -> p.p_key) members) in
+                try
+                  Cache.store_serialized cache gkey
+                    (Pdt_pdb.Pdb_write.to_string pdb)
+                with e when Fault.is_transient e ->
+                  Trace.count ~cat:"incr" "incr.group_store_failed" 0
+              end;
+              Some pdb
+            end)
+      groups states
+    |> List.filter_map Fun.id
+  in
+  let merged =
+    Trace.timed ~cat:"incr" "incr.merge" @@ fun () ->
+    if o.Build.domains > 1 then
+      Merge_par.merge ~domains:o.Build.domains group_pdbs
+    else Pdt_ductape.Ductape.merge group_pdbs
+  in
+  (* per-unit report, state entries, and the reanalyzed/reused stats *)
+  let units =
+    List.concat
+      (List.map2
+         (fun members state ->
+           match state with
+           | Ready _ ->
+               List.map
+                 (fun p ->
+                   { source = p.p_source; disposition = Reused;
+                     reason = "group partial merge reused"; seconds = 0.0 })
+                 members
+           | Need slots ->
+               List.mapi
+                 (fun i p ->
+                   match slots.(i) with
+                   | None ->
+                       { source = p.p_source;
+                         disposition = Failed "not scheduled";
+                         reason = p.p_reason; seconds = 0.0 }
+                   | Some u ->
+                       let disposition =
+                         match u.Build.status with
+                         | Build.Compiled -> Recompiled
+                         | Build.Cached ->
+                             if p.p_reuse then Reused else Loaded
+                         | Build.Degraded m -> Degraded m
+                         | Build.Failed m -> Failed m
+                         | Build.Skipped -> Failed "skipped"
+                       in
+                       { source = p.p_source; disposition;
+                         reason = p.p_reason; seconds = u.Build.seconds })
+                 members)
+         groups states)
+  in
+  let entries =
+    List.concat
+      (List.map2
+         (fun members state ->
+           match state with
+           | Ready _ -> List.filter_map (fun p -> p.p_prev) members
+           | Need slots ->
+               List.mapi
+                 (fun i p ->
+                   match slots.(i) with
+                   | Some (u : Build.unit_result) -> (
+                       match u.Build.status with
+                       | Build.Compiled when not u.Build.cone_truncated ->
+                           Some
+                             { e_source = p.p_source; e_key = p.p_key;
+                               e_dep_hash = dep_hash ~vfs u.Build.deps;
+                               e_deps = u.Build.deps }
+                       | Build.Cached -> (
+                           (* the compile didn't run, so nothing was
+                              recorded: carry the previous entry forward,
+                              or fall back to the lexical closure, which
+                              subsumes every read the compile would do *)
+                           match p.p_prev with
+                           | Some e when e.e_key = p.p_key -> Some e
+                           | _ ->
+                               let deps =
+                                 List.map fst
+                                   (Cache.include_closure ~vfs p.p_source)
+                               in
+                               Some
+                                 { e_source = p.p_source; e_key = p.p_key;
+                                   e_dep_hash = dep_hash ~vfs deps;
+                                   e_deps = deps })
+                       | _ -> None)
+                   | None -> None)
+                 members
+               |> List.filter_map Fun.id)
+         groups states)
+  in
+  save_state state_path entries;
+  let count f = List.length (List.filter f units) in
+  let reanalyzed =
+    count (fun u ->
+        match u.disposition with
+        | Recompiled | Degraded _ | Failed _ -> true
+        | _ -> false)
+  in
+  let reused =
+    count (fun u ->
+        match u.disposition with Reused | Loaded -> true | _ -> false)
+  in
+  let groups_reused =
+    List.length (List.filter (function Ready _ -> true | _ -> false) states)
+  in
+  Perf.record "incr.reanalyzed" reanalyzed;
+  Perf.record "incr.reused" reused;
+  { merged; units; reanalyzed; reused; fallback = false; groups_reused;
+    groups_remerged = List.length states - groups_reused;
+    wall_seconds = Unix.gettimeofday () -. t0 }
+
+(* ------------------------------------------------------------------ *)
+(* Entry point with full-remerge fallback                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A plain Build.build presented as an incremental result: everything the
+   unit cache served counts as reused, everything compiled as reanalyzed. *)
+let full_build ~(options : options) ~vfs (sources : string list)
+    ~(reason : string) : result =
+  let t0 = Unix.gettimeofday () in
+  let r = Build.build ~options:options.build ~vfs sources in
+  let units =
+    List.map
+      (fun (u : Build.unit_result) ->
+        let disposition =
+          match u.Build.status with
+          | Build.Compiled -> Recompiled
+          | Build.Cached -> Loaded
+          | Build.Degraded m -> Degraded m
+          | Build.Failed m -> Failed m
+          | Build.Skipped -> Failed "skipped"
+        in
+        { source = u.Build.source; disposition; reason;
+          seconds = u.Build.seconds })
+      r.Build.units
+  in
+  (* repair the state file so the next run can take the delta path *)
+  (match options.build.Build.cache_dir with
+   | None -> ()
+   | Some dir ->
+       let state_path =
+         match options.state_file with
+         | Some p -> p
+         | None -> Filename.concat dir "incremental.state"
+       in
+       let entries =
+         List.filter_map
+           (fun (u : Build.unit_result) ->
+             match u.Build.status with
+             | Build.Compiled when not u.Build.cone_truncated ->
+                 (try
+                    Some
+                      { e_source = u.Build.source;
+                        e_key =
+                          Cache.key ~vfs
+                            ~options:
+                              (Build.options_fingerprint options.build
+                                 u.Build.source)
+                            u.Build.source;
+                        e_dep_hash = dep_hash ~vfs u.Build.deps;
+                        e_deps = u.Build.deps }
+                  with _ -> None)
+             | _ -> None)
+           r.Build.units
+       in
+       save_state state_path entries);
+  let reused = r.Build.cached in
+  let total = List.length r.Build.units in
+  Perf.record "incr.reanalyzed" (total - reused);
+  Perf.record "incr.reused" reused;
+  { merged = r.Build.merged; units; reanalyzed = total - reused; reused;
+    fallback = true; groups_reused = 0; groups_remerged = 0;
+    wall_seconds = Unix.gettimeofday () -. t0 }
+
+(** Incremental build: reuse everything whose dependency fingerprint is
+    unchanged since the recorded state, re-analyze the rest, and splice
+    the delta through memoized partial merges.  Byte-identical to
+    {!Build.build} over the same sources.  Requires a cache directory;
+    any failure of the delta path (including injected faults) falls back
+    to a full build-and-remerge. *)
+let build ?(options = default_options) ~vfs (sources : string list) : result =
+  Trace.span ~cat:"incr" "incr.build" @@ fun () ->
+  match options.build.Build.cache_dir with
+  | None -> full_build ~options ~vfs sources ~reason:"cache disabled"
+  | Some _ -> (
+      try delta_build ~options ~vfs sources
+      with e ->
+        Trace.count ~cat:"incr" "incr.fallback" 0;
+        if Trace.on () then
+          Trace.instant ~cat:"incr"
+            ~args:[ ("error", Trace.Str (Printexc.to_string e)) ]
+            "incr.fallback";
+        full_build ~options ~vfs sources
+          ~reason:
+            (Printf.sprintf "delta path failed (%s): full remerge"
+               (Printexc.to_string e)))

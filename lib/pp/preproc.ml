@@ -50,13 +50,17 @@ type t = {
   mutable include_stack : string list;
   mutable out : Token.tok list;            (* reversed output *)
   mutable reported_limits : SS.t;          (* budget breaches already recorded *)
+  mutable depth_exceeded : bool;           (* an #include was skipped because
+                                              the nesting budget was hit: the
+                                              include cone is truncated *)
 }
 
 let create ?(predefined = []) ?(limits = Limits.default ()) ~vfs ~diags () =
   let t =
     { vfs; diags; limits; macros = Hashtbl.create 64; macro_log = [];
       files = Hashtbl.create 16; file_order = []; pragma_once = SS.empty;
-      include_stack = []; out = []; reported_limits = SS.empty }
+      include_stack = []; out = []; reported_limits = SS.empty;
+      depth_exceeded = false }
   in
   List.iter
     (fun (name, text) ->
@@ -469,12 +473,16 @@ let define_macro t loc (dtoks : Token.tok list) =
 
 let rec process_file t path : unit =
   if List.length t.include_stack >= t.limits.Limits.budgets.Limits.max_include_depth
-  then
+  then begin
+    (* the skipped file's whole subtree is missing from this TU: flag the
+       truncation so build caches never treat the unit as reusable *)
+    t.depth_exceeded <- true;
     (* report the actual chain, innermost last — the stack holds it *)
     Diag.fatal_note t.diags Srcloc.dummy
       "#include nesting too deep (budget %d); include chain: %s"
       t.limits.Limits.budgets.Limits.max_include_depth
       (String.concat " -> " (List.rev (path :: t.include_stack)))
+  end
   else if SS.mem path t.pragma_once then ()
   else begin
     let go () =
@@ -608,6 +616,11 @@ type result = {
   tokens : Token.tok list;          (** the expanded token stream *)
   source_files : file_record list;  (** in first-seen order; head = main file *)
   macros : macro list;              (** every definition, in definition order *)
+  include_depth_exceeded : bool;
+      (** an [#include] was skipped because the nesting budget was hit;
+          the token stream covers a truncated include cone.  Build caches
+          must treat such a unit as non-reusable: the missing subtree's
+          files are invisible to any dependency fingerprint. *)
 }
 
 (* The only exception [run] lets escape is [Diag.Error] for an unreadable
@@ -624,4 +637,5 @@ let run ?(predefined = []) ?limits ~vfs ~diags path : result =
     source_files =
       List.rev_map (fun p -> Hashtbl.find t.files p) t.file_order;
     macros = List.rev t.macro_log;
+    include_depth_exceeded = t.depth_exceeded;
   }

@@ -9,6 +9,10 @@ type t = {
   files : (string, string) Hashtbl.t;  (* normalized path -> contents *)
   mutable include_paths : string list; (* searched for <...> and "..." *)
   mutable disk_fallback : bool;        (* read from the real FS if missing *)
+  mutable recorder : (string -> unit) option;
+      (* observes every successful read (normalized path); the incremental
+         build driver installs one to capture a unit's true dependency set
+         during preprocessing *)
 }
 
 let normalize path =
@@ -28,13 +32,20 @@ let normalize path =
   if absolute then "/" ^ joined else joined
 
 let create ?(include_paths = []) () =
-  { files = Hashtbl.create 64; include_paths; disk_fallback = false }
+  { files = Hashtbl.create 64; include_paths; disk_fallback = false;
+    recorder = None }
 
 let add_file t path contents = Hashtbl.replace t.files (normalize path) contents
 
 let add_include_path t dir = t.include_paths <- t.include_paths @ [ dir ]
 
 let set_disk_fallback t b = t.disk_fallback <- b
+
+(** Install (or clear) a read observer.  Called with the normalized path of
+    every file whose bytes are successfully served by {!read_raw} — the
+    dependency-recording hook behind incremental rebuilds.  The recorder
+    must not read from the VFS itself. *)
+let set_recorder t f = t.recorder <- f
 
 let mem t path = Hashtbl.mem t.files (normalize path)
 
@@ -46,8 +57,14 @@ let mem t path = Hashtbl.mem t.files (normalize path)
    never crash the pipeline. *)
 let read_raw t path =
   Fault.check "vfs.read";
+  let record contents =
+    (match t.recorder with
+     | Some f -> f (normalize path)
+     | None -> ());
+    Some contents
+  in
   match Hashtbl.find_opt t.files (normalize path) with
-  | Some c -> Some c
+  | Some c -> record c
   | None ->
       if
         t.disk_fallback
@@ -60,8 +77,9 @@ let read_raw t path =
             Fun.protect
               ~finally:(fun () -> close_in_noerr ic)
               (fun () ->
-                try Some (really_input_string ic (in_channel_length ic))
-                with End_of_file | Sys_error _ -> None)
+                match really_input_string ic (in_channel_length ic) with
+                | contents -> record contents
+                | exception (End_of_file | Sys_error _) -> None)
       else None
 
 let dirname path =
@@ -88,7 +106,10 @@ let resolve_include t ~from ~system name =
 
 let files t = Hashtbl.fold (fun k _ acc -> k :: acc) t.files [] |> List.sort compare
 
-(** A deep copy sharing no mutable state with the original. *)
+(** A deep copy sharing no mutable state with the original.  The recorder
+    is deliberately not inherited: an observer installed on the original
+    must not see reads from private worker copies it knows nothing about. *)
 let copy t =
   let files = Hashtbl.copy t.files in
-  { files; include_paths = t.include_paths; disk_fallback = t.disk_fallback }
+  { files; include_paths = t.include_paths; disk_fallback = t.disk_fallback;
+    recorder = None }

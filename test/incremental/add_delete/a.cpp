@@ -1,0 +1,3 @@
+#include "util.h"
+int twice(int x) { return x * 2; }
+int half(int x) { return x / 2; }

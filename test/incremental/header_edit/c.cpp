@@ -1,0 +1,1 @@
+int standalone(int x) { return x + 7; }

@@ -1,0 +1,2 @@
+#include "templ.h"
+int pick(int a, int b) { return max_of(a, b); }

@@ -1,0 +1,2 @@
+#include "templ.h"
+double pickd(double a, double b) { return max_of(a, b); }

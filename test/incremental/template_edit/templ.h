@@ -1,0 +1,8 @@
+#ifndef TEMPL_H
+#define TEMPL_H
+template <class T>
+T max_of(T a, T b) {
+  if (a < b) return b;
+  return a;
+}
+#endif

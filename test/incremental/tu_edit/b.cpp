@@ -1,0 +1,2 @@
+#include "util.h"
+int roundtrip(int x) { return half(twice(x)); }

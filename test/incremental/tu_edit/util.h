@@ -1,0 +1,5 @@
+#ifndef UTIL_H
+#define UTIL_H
+int twice(int x);
+int half(int x);
+#endif

@@ -26,4 +26,5 @@ let () =
       ("integration", Test_integration.suite);
       ("java", Test_java.suite);
       ("trace", Test_trace.suite);
-      ("golden", Test_golden.suite) ]
+      ("golden", Test_golden.suite);
+      ("incremental", Test_incremental.suite) ]

@@ -215,6 +215,138 @@ let test_fault_matrix () =
     true
     (!injected_total > 0)
 
+(* ---------------- faults mid-incremental-build ---------------- *)
+
+module I = Pdt_build.Incremental
+
+(* The delta-merge invariant under fire: an incremental rebuild hit by
+   faults mid-build must never produce a half-spliced PDB.  Either the
+   delta path completes (bytes identical to the fault-free build of the
+   edited tree), or it falls back to a full remerge cleanly, or units
+   report structured failures — but a *successful* result always carries
+   exactly the from-scratch bytes, and the surviving cache/state serve a
+   convergent fault-free rebuild afterwards. *)
+
+let edited_project () =
+  let vfs, sources = project () in
+  (match Pdt_util.Vfs.read_raw vfs "tu1.cpp" with
+   | Some src ->
+       Pdt_util.Vfs.add_file vfs "tu1.cpp"
+         (src ^ "\nint fault_matrix_edit() { return 42; }\n")
+   | None -> Alcotest.fail "tu1.cpp missing from generated project");
+  (vfs, sources)
+
+let edited_reference =
+  lazy (pdb_string (build ~domains:1 (edited_project ())).B.merged)
+
+let incr_build ~cache_dir ~domains (vfs, sources) =
+  I.build
+    ~options:
+      { I.default_options with
+        build =
+          { B.default_options with domains; cache_dir = Some cache_dir } }
+    ~vfs sources
+
+let check_incremental_schedule ~label ~sites ~rate ~seed ~domains () =
+  let dir = fresh_dir () in
+  let fail fmt = Printf.ksprintf (fun m -> Alcotest.fail m) fmt in
+  (* warm, fault-free base build: unit cache + group partials + state *)
+  let base = incr_build ~cache_dir:dir ~domains (project ()) in
+  if base.I.reanalyzed = 0 then fail "%s: base build reused everything" label;
+  let injected = ref 0 in
+  (* build the edited tree before arming: Vfs.read_raw is itself a fault
+     site, and the harness must not trip it *)
+  let edited = edited_project () in
+  let under_fire =
+    try
+      F.with_faults ?sites ~seed ~rate (fun () ->
+          let r = incr_build ~cache_dir:dir ~domains edited in
+          injected := F.injected_count ();
+          r)
+    with e ->
+      F.disarm ();
+      fail "%s: escaped exception %s" label (Printexc.to_string e)
+  in
+  let failed =
+    List.length
+      (List.filter
+         (fun u ->
+           match u.I.disposition with I.Failed _ -> true | _ -> false)
+         under_fire.I.units)
+  in
+  (* 1. the stats always partition the units *)
+  if under_fire.I.reanalyzed + under_fire.I.reused
+     <> List.length under_fire.I.units
+  then fail "%s: reanalyzed + reused <> total" label;
+  (* 2. success => byte-identical to the fault-free edited build — a
+     half-spliced merge (stale contribution left in, new one lost, group
+     double-counted) can never masquerade as success *)
+  if failed = 0 then begin
+    let got = pdb_string under_fire.I.merged in
+    if got <> Lazy.force edited_reference then
+      fail "%s: clean incremental build diverged (half-spliced delta?)" label
+  end;
+  (* 3. no residual temp file from entries, group partials or the state *)
+  if Sys.file_exists dir && not (no_residual_tmp dir) then
+    fail "%s: residual .tmp.* file in cache dir" label;
+  (* 4. the surviving cache + state serve a convergent fault-free rebuild *)
+  let recovered =
+    try incr_build ~cache_dir:dir ~domains:1 (edited_project ())
+    with e -> fail "%s: recovery raised %s" label (Printexc.to_string e)
+  in
+  if pdb_string recovered.I.merged <> Lazy.force edited_reference then
+    fail "%s: recovery diverged from the fault-free PDB" label;
+  rm_rf dir;
+  !injected
+
+let test_incremental_fault_matrix () =
+  let schedules = ref 0 and injected_total = ref 0 in
+  List.iter
+    (fun (name, sites, _start) ->
+      List.iter
+        (fun seed ->
+          List.iter
+            (fun domains ->
+              incr schedules;
+              let label =
+                Printf.sprintf "incr %s seed=%d domains=%d" name seed domains
+              in
+              injected_total :=
+                !injected_total
+                + check_incremental_schedule ~label ~sites ~rate:0.25 ~seed
+                    ~domains ())
+            matrix_domains)
+        [ 1; 2; 3 ])
+    site_sets;
+  Alcotest.(check bool)
+    (Printf.sprintf "incremental sweep ran %d schedules" !schedules)
+    true (!schedules >= 16);
+  Alcotest.(check bool)
+    (Printf.sprintf "the sweep was not vacuous (%d faults injected)"
+       !injected_total)
+    true (!injected_total > 0)
+
+(* a fault that kills the whole delta path must surface as the fallback
+   counter plus a full-remerge result, not as an error *)
+let test_incremental_fallback_counted () =
+  let dir = fresh_dir () in
+  ignore (incr_build ~cache_dir:dir ~domains:1 (project ()));
+  let before = perf_calls "incr.fallback" in
+  (* rate 1.0 on vfs.read: the planner's very first fingerprint read
+     faults, which aborts the delta path before any per-unit retry *)
+  let edited = edited_project () in
+  let r =
+    F.with_faults ~sites:[ "vfs.read" ] ~seed:7 ~rate:1.0 ~max_faults:1
+      (fun () -> incr_build ~cache_dir:dir ~domains:1 edited)
+  in
+  Alcotest.(check bool) "fallback taken" true r.I.fallback;
+  Alcotest.(check bool) "fallback counted" true
+    (perf_calls "incr.fallback" > before);
+  Alcotest.(check string) "fallback result is the full-remerge bytes"
+    (Lazy.force edited_reference)
+    (pdb_string r.I.merged);
+  rm_rf dir
+
 (* ---------------- retry policy ---------------- *)
 
 let test_retry_recovers_transient () =
@@ -621,6 +753,10 @@ let test_fault_disarmed_is_inert () =
 let suite =
   [ Alcotest.test_case "injection matrix: >=200 seeded schedules" `Slow
       test_fault_matrix;
+    Alcotest.test_case "incremental matrix: no half-spliced delta" `Slow
+      test_incremental_fault_matrix;
+    Alcotest.test_case "incremental: delta-path fault falls back cleanly"
+      `Quick test_incremental_fallback_counted;
     Alcotest.test_case "retry recovers a transient fault" `Quick
       test_retry_recovers_transient;
     Alcotest.test_case "retries are bounded, failure is structured" `Quick

@@ -241,6 +241,68 @@ let prop_project_merge_roundtrip =
       s = s')
 
 (* ------------------------------------------------------------------ *)
+(* Incremental build: a random edit's delta rebuild is exact           *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* For random workloadgen projects and random single-file edits, the
+   incremental rebuild must be byte-identical to a cold cacheless build
+   of the edited tree, and its stats must partition the units:
+   reanalyzed + reused = total.  Edit kind 4 is a whitespace-only edit
+   (trailing blank line), which must re-analyze nothing. *)
+let prop_incremental_edit_exact =
+  QCheck.Test.make ~count:10
+    ~name:"incremental: random edit rebuild = cold build bytes, stats partition units"
+    QCheck.(pair (int_range 0 300) (int_range 0 4))
+    (fun (seed, edit_kind) ->
+      let module B = Pdt_build.Build in
+      let module I = Pdt_build.Incremental in
+      let n_tus = 3 in
+      let cfg =
+        { Pdt_workloads.Generator.default_config with
+          seed; n_class_templates = 2; methods_per_class = 2 }
+      in
+      let vfs, sources = Pdt_workloads.Generator.project_vfs ~cfg ~n_tus () in
+      let cache = Filename.temp_file "pdt-incr-prop" ".cache" in
+      Sys.remove cache;
+      Fun.protect ~finally:(fun () -> rm_rf cache) @@ fun () ->
+      let options =
+        { I.default_options with
+          build =
+            { B.default_options with domains = 1; cache_dir = Some cache } }
+      in
+      ignore (I.build ~options ~vfs sources);
+      let target, addition =
+        match edit_kind with
+        | 0 -> ("generated.h", "\nint prop_edit_marker(int x);\n")
+        | 4 -> ("main.cpp", "   \n")
+        | k ->
+            ( Printf.sprintf "tu%d.cpp" (k - 1),
+              Printf.sprintf "\nint prop_edit_fn_%d() { return %d; }\n" k k )
+      in
+      (match Vfs.read_raw vfs target with
+       | Some old -> Vfs.add_file vfs target (old ^ addition)
+       | None -> QCheck.Test.fail_reportf "edit target %s missing" target);
+      let r = I.build ~options ~vfs sources in
+      let cold =
+        B.build
+          ~options:{ B.default_options with domains = 1; cache_dir = None }
+          ~vfs sources
+      in
+      Pdt_pdb.Pdb_write.to_string r.I.merged
+      = Pdt_pdb.Pdb_write.to_string cold.B.merged
+      && r.I.reanalyzed + r.I.reused = List.length sources
+      && (not r.I.fallback)
+      && (edit_kind <> 4 || r.I.reanalyzed = 0))
+
+(* ------------------------------------------------------------------ *)
 (* Subst: the empty environment is the identity                        *)
 (* ------------------------------------------------------------------ *)
 
@@ -298,5 +360,6 @@ let suite =
       prop_generator_deterministic;
       prop_generator_compiles;
       prop_project_merge_roundtrip;
+      prop_incremental_edit_exact;
       prop_subst_empty_identity;
       prop_instrumentation_preserves_semantics ]
