@@ -52,7 +52,8 @@ let write_pprof path =
           rows))
 
 let run sources includes output jobs cache_dir no_cache incremental retries
-    fail_fast verbose stats trace trace_pprof max_errors limit_specs =
+    fail_fast verbose stats trace trace_pprof max_errors limit_specs
+    pdb_format =
   let vfs = Pdt_util.Vfs.create ~include_paths:includes () in
   Pdt_util.Vfs.set_disk_fallback vfs true;
   let tracing = trace <> None || trace_pprof <> None in
@@ -63,7 +64,8 @@ let run sources includes output jobs cache_dir no_cache incremental retries
       cache_dir = (if no_cache then None else Some cache_dir);
       retries;
       fail_fast;
-      limits = resolve_budgets max_errors limit_specs }
+      limits = resolve_budgets max_errors limit_specs;
+      pdb_format }
   in
   (* both drivers converge on the same epilogue: merged PDB + per-unit
      failure report + summary line(s) + counts for the exit code *)
@@ -130,20 +132,29 @@ let run sources includes output jobs cache_dir no_cache incremental retries
         r.skipped, r.compiled + r.cached + r.degraded )
     end
   in
-  (* serialize the merged PDB once; the file and the digest share the bytes *)
-  let serialized = Pdt_pdb.Pdb_write.to_string merged in
+  (* serialize the merged PDB once in the requested container; the
+     reported digest is always over the canonical ASCII serialization, so
+     it is identical for both containers (and to the digests the
+     incremental cache keys on) *)
+  let serialized = Pdt_pdb.Pdb_io.to_string pdb_format merged in
+  let digest =
+    match pdb_format with
+    | Pdt_pdb.Pdb_io.Ascii -> Pdt_pdb.Pdb_digest.of_string serialized
+    | Pdt_pdb.Pdb_io.Binary -> Pdt_pdb.Pdb_digest.of_pdb merged
+  in
   if tracing then begin
     Pdt_util.Trace.stop ();
     Option.iter (fun p -> write_file p (Pdt_util.Trace.chrome_json ())) trace;
     Option.iter write_pprof trace_pprof
   end;
-  let oc = open_out output in
+  let oc = open_out_bin output in
   output_string oc serialized;
   close_out oc;
   List.iter print_endline summary_lines;
-  Printf.printf "wrote %s (%d items, digest %s)\n" output
+  Printf.printf "wrote %s (%d items, %s container, digest %s)\n" output
     (Pdt_pdb.Pdb.item_count merged)
-    (Pdt_pdb.Pdb_digest.of_string serialized);
+    (Pdt_pdb.Pdb_io.format_name pdb_format)
+    digest;
   if stats then begin
     let report = Pdt_util.Perf.report () in
     if report <> "" then print_string report;
@@ -241,6 +252,20 @@ let max_errors =
            ~doc:"Stop error recovery after N syntax errors per translation \
                  unit (shorthand for $(b,--limit errors=N))")
 
+let pdb_format =
+  Arg.(value
+       & opt
+           (enum
+              [ ("ascii", Pdt_pdb.Pdb_io.Ascii);
+                ("binary", Pdt_pdb.Pdb_io.Binary) ])
+           Pdt_pdb.Pdb_io.Ascii
+       & info [ "pdb-format" ] ~docv:"FORMAT"
+           ~doc:"Container format for the output PDB and fresh cache \
+                 entries: $(b,ascii) (the paper's interchange format, \
+                 default) or $(b,binary) (PDB-B, mmap-loadable).  Cache \
+                 keys and digests are format-independent, so switching \
+                 formats never invalidates the cache.")
+
 let limit_specs =
   Arg.(value & opt_all string []
        & info [ "limit" ] ~docv:"NAME=N"
@@ -253,6 +278,6 @@ let cmd =
   Cmd.v (Cmd.info "pdbbuild" ~doc)
     Term.(const run $ sources $ includes $ output $ jobs $ cache_dir $ no_cache
           $ incremental $ retries $ fail_fast $ verbose $ stats $ trace
-          $ trace_pprof $ max_errors $ limit_specs)
+          $ trace_pprof $ max_errors $ limit_specs $ pdb_format)
 
 let () = exit (Cmd.eval' cmd)

@@ -7,11 +7,15 @@ let run pdb_files output =
   match
     List.map
       (fun f ->
-        (* parse one at a time so errors name the offending file *)
-        match Pdt_pdb.Pdb_parse.of_file f with
+        (* load one at a time so errors name the offending file; the
+           container format (ASCII or PDB-B) is sniffed per file *)
+        match Pdt_pdb.Pdb_io.of_file f with
         | pdb -> pdb
         | exception Pdt_pdb.Pdb_parse.Parse_error (line, msg) ->
             Printf.eprintf "%s:%d: not a valid PDB file: %s\n" f line msg;
+            exit 1
+        | exception Pdt_pdb.Pdb_bin.Format_error msg ->
+            Printf.eprintf "%s: not a valid PDB-B file: %s\n" f msg;
             exit 1)
       pdb_files
   with

@@ -8,6 +8,9 @@ let run pdb_file which root =
   | exception Pdt_pdb.Pdb_parse.Parse_error (line, msg) ->
       Printf.eprintf "%s:%d: not a valid PDB file: %s\n" pdb_file line msg;
       1
+  | exception Pdt_pdb.Pdb_bin.Format_error msg ->
+      Printf.eprintf "%s: not a valid PDB-B file: %s\n" pdb_file msg;
+      1
   | exception Sys_error msg ->
       Printf.eprintf "pdbtree: %s\n" msg;
       1

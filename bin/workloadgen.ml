@@ -1,23 +1,43 @@
 (* workloadgen: dump a generated multi-TU workload project to disk, so the
    command-line drivers (pdbbuild, pdtc --project) can be exercised against
    a reproducible on-disk tree — CI builds one with --trace and validates
-   the resulting Chrome trace with tracecheck. *)
+   the resulting Chrome trace with tracecheck.
+
+   The shape knobs (--templates, --methods, --types, ...) scale the
+   per-TU weight and --tus the breadth, so one command can synthesize
+   anything from an 8-unit smoke project to a thousands-of-TU tree whose
+   merged PDB runs to hundreds of MB. *)
 
 open Cmdliner
 
-let run dir n_tus seed depth =
+let run dir n_tus seed depth templates methods types fn_templates plain =
   let cfg =
-    { Pdt_workloads.Generator.default_config with seed; chain_depth = depth }
+    { Pdt_workloads.Generator.seed;
+      chain_depth = depth;
+      n_class_templates = templates;
+      methods_per_class = methods;
+      n_instantiation_types = types;
+      n_function_templates = fn_templates;
+      n_plain_classes = plain }
   in
   let sources = Pdt_workloads.Generator.write_project ~cfg ~n_tus ~dir () in
   List.iter print_endline sources;
+  let bytes =
+    List.fold_left
+      (fun acc (_, contents) -> acc + String.length contents)
+      0
+      (Pdt_workloads.Generator.project_files ~cfg ~n_tus ())
+  in
+  Printf.eprintf
+    "workloadgen: %d TUs + main, %d class templates x %d methods, %d bytes of source\n"
+    n_tus templates methods bytes;
   0
 
 let dir =
   Arg.(value & opt string "workload" & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory")
 
 let n_tus =
-  Arg.(value & opt int 6 & info [ "tus" ] ~docv:"N" ~doc:"Number of generated translation units (plus main.cpp)")
+  Arg.(value & opt int 6 & info [ "tus" ] ~docv:"N" ~doc:"Number of generated translation units (plus main.cpp); thousands are fine — generation is linear")
 
 let seed =
   Arg.(value & opt int Pdt_workloads.Generator.default_config.seed
@@ -27,9 +47,30 @@ let depth =
   Arg.(value & opt int Pdt_workloads.Generator.default_config.chain_depth
        & info [ "depth" ] ~docv:"N" ~doc:"Template instantiation chain depth")
 
+let templates =
+  Arg.(value & opt int Pdt_workloads.Generator.default_config.n_class_templates
+       & info [ "templates" ] ~docv:"N" ~doc:"Number of distinct class templates in the shared header")
+
+let methods =
+  Arg.(value & opt int Pdt_workloads.Generator.default_config.methods_per_class
+       & info [ "methods" ] ~docv:"N" ~doc:"Member functions per class template")
+
+let types =
+  Arg.(value & opt int Pdt_workloads.Generator.default_config.n_instantiation_types
+       & info [ "types" ] ~docv:"N" ~doc:"Distinct instantiation type arguments per TU (max 5)")
+
+let fn_templates =
+  Arg.(value & opt int Pdt_workloads.Generator.default_config.n_function_templates
+       & info [ "fn-templates" ] ~docv:"N" ~doc:"Number of function templates")
+
+let plain =
+  Arg.(value & opt int Pdt_workloads.Generator.default_config.n_plain_classes
+       & info [ "plain" ] ~docv:"N" ~doc:"Number of plain (non-template) classes")
+
 let cmd =
   let doc = "write a generated workload project to a directory, printing its source files" in
   Cmd.v (Cmd.info "workloadgen" ~doc)
-    Term.(const run $ dir $ n_tus $ seed $ depth)
+    Term.(const run $ dir $ n_tus $ seed $ depth $ templates $ methods $ types
+          $ fn_templates $ plain)
 
 let () = exit (Cmd.eval' cmd)

@@ -44,6 +44,12 @@ type options = {
   sema : Pdt_sema.Sema.options;
   mapping : Pdt_analyzer.Analyzer.mapping;
   limits : Limits.budgets;   (** front-end resource budgets per unit *)
+  pdb_format : Pdt_pdb.Pdb_io.format;
+      (** container format for cache entries (and the driver's output
+          file).  Deliberately absent from {!options_fingerprint}: both
+          containers hold the same model and [Cache.load] sniffs per
+          entry, so ASCII- and binary-mode builds share keys and reuse
+          each other's entries *)
 }
 
 let default_options =
@@ -53,7 +59,8 @@ let default_options =
     fail_fast = false;
     sema = Pdt_sema.Sema.default_options;
     mapping = Pdt_analyzer.Analyzer.Location_based;
-    limits = Limits.default_budgets }
+    limits = Limits.default_budgets;
+    pdb_format = Pdt_pdb.Pdb_io.Ascii }
 
 (* Everything that can change a unit's PDB besides its input content; part
    of the cache key.  Bump Cache.format_version instead when the PDB format
@@ -221,7 +228,7 @@ let build_unit (o : options) (cache : Cache.t option) ~vfs source : unit_result 
                    skipped include subtree, so a later edit to that subtree
                    could not invalidate the entry *)
                 if not c_truncated then begin
-                  let body = Pdt_pdb.Pdb_write.to_string pdb in
+                  let body = Pdt_pdb.Pdb_io.to_string o.pdb_format pdb in
                   store_entry c k body
                 end;
                 finish ~deps:c_deps ~cone_truncated:c_truncated Compiled

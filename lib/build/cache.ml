@@ -224,9 +224,12 @@ let load t key : Pdt_pdb.Pdb.t option =
       | Some body -> (
           (* digest-verified bytes should always parse; if they somehow
              don't, that's corruption too — quarantine, never crash.
-             Transient injections from the parser's own site propagate so
-             the driver's retry policy sees them. *)
-          try Some (Pdt_pdb.Pdb_parse.of_string body)
+             The body format is sniffed per entry (ASCII or PDB-B), so a
+             cache dir can hold a mix of both and a build in either mode
+             reuses entries written by the other.  Transient injections
+             from the parser's own site propagate so the driver's retry
+             policy sees them. *)
+          try Some (Pdt_pdb.Pdb_io.of_string body)
           with
           | Fault.Injected _ as e -> raise e
           | _ ->

@@ -89,8 +89,24 @@ let index (pdb : P.t) : t =
 
 let pdb t = t.pdb
 
-let of_string s = index (Pdt_pdb.Pdb_parse.of_string s)
-let of_file p = index (Pdt_pdb.Pdb_parse.of_file p)
+(* Loading sniffs the container format (ASCII vs PDB-B).  On the binary
+   path the whole load — mmap, record decode, and index build — runs
+   under one [pdb.mmap_index] span: that is the end-to-end "cold load"
+   cost the B10 bench tracks against the ASCII parser. *)
+let of_string s =
+  match Pdt_pdb.Pdb_io.sniff_string s with
+  | Pdt_pdb.Pdb_io.Binary ->
+      Pdt_util.Trace.timed ~cat:"pdb" "pdb.mmap_index" @@ fun () ->
+      index (Pdt_pdb.Pdb_bin.of_string s)
+  | Pdt_pdb.Pdb_io.Ascii -> index (Pdt_pdb.Pdb_parse.of_string s)
+
+let of_file p =
+  match Pdt_pdb.Pdb_io.sniff_file p with
+  | Pdt_pdb.Pdb_io.Binary ->
+      Pdt_util.Trace.timed ~cat:"pdb" "pdb.mmap_index" @@ fun () ->
+      index (Pdt_pdb.Pdb_bin.of_file p)
+  | Pdt_pdb.Pdb_io.Ascii -> index (Pdt_pdb.Pdb_parse.of_file p)
+
 let to_string t = Pdt_pdb.Pdb_write.to_string t.pdb
 let to_file t path = Pdt_pdb.Pdb_write.to_file t.pdb path
 

@@ -27,4 +27,5 @@ let () =
       ("java", Test_java.suite);
       ("trace", Test_trace.suite);
       ("golden", Test_golden.suite);
+      ("pdb-bin", Test_pdb_bin.suite);
       ("incremental", Test_incremental.suite) ]

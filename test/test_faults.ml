@@ -508,6 +508,59 @@ let test_corrupt_wrong_key () =
   | None -> Alcotest.fail "the correctly-filed entry still loads");
   rm_rf dir
 
+(* PDB-B axis of the corruption matrix: binary (PDB-B) cache entries have
+   two lines of defense, and both must hold.  (a) Truncating the entry
+   file breaks the digest header, same as for ASCII entries.  (b) An
+   entry whose digest is *valid* but whose body is a truncated PDB-B
+   container sails past the digest check — the format-sniffing parse is
+   the last defense, and it must quarantine (Format_error caught), never
+   crash the build. *)
+let test_corrupt_truncated_binary () =
+  let dir = fresh_dir () in
+  let vfs, sources = project () in
+  let source = List.hd sources in
+  let pdb =
+    Pdt_analyzer.Analyzer.run (Pdt.compile_exn ~vfs source).Pdt.program
+  in
+  let cache = C.create ~dir () in
+  let key = C.key ~vfs ~options:"opts" source in
+  let body = Pdt_pdb.Pdb_io.to_string Pdt_pdb.Pdb_io.Binary pdb in
+  C.store_serialized cache key body;
+  (match C.load cache key with
+  | Some loaded ->
+      Alcotest.(check string) "binary entry loads losslessly"
+        (pdb_string pdb) (pdb_string loaded)
+  | None -> Alcotest.fail "fresh binary entry must load");
+  let path = C.entry_path cache key in
+  (* (a) raw file truncation: caught by the digest header *)
+  let content = read_file path in
+  write_file path (String.sub content 0 (String.length content / 2));
+  Alcotest.(check bool) "truncated binary entry is a miss" true
+    (C.load cache key = None);
+  Alcotest.(check bool) "truncated binary entry quarantined" true
+    (Sys.file_exists
+       (Filename.concat (C.quarantine_dir cache) (Filename.basename path)));
+  (* (b) digest-valid header over a truncated PDB-B body: only the parse
+     can catch this one *)
+  List.iter
+    (fun frac ->
+      let cut = String.sub body 0 (String.length body / frac) in
+      write_file path
+        (C.header key (Pdt_util.Hashutil.string cut) ^ "\n" ^ cut);
+      Alcotest.(check bool)
+        (Printf.sprintf "1/%d PDB-B body is a miss, not a crash" frac)
+        true
+        (C.load cache key = None);
+      Alcotest.(check bool)
+        (Printf.sprintf "1/%d PDB-B body quarantined" frac)
+        false (Sys.file_exists path))
+    [ 2; 4; 16 ];
+  C.store_serialized cache key body;
+  (match C.load cache key with
+  | Some _ -> ()
+  | None -> Alcotest.fail "re-stored binary entry must load");
+  rm_rf dir
+
 let test_corrupt_counter_reported () =
   let before = perf_calls "cache.corrupt" in
   corruption_case "counted corruption" (fun path ->
@@ -775,6 +828,8 @@ let suite =
       test_corrupt_wrong_version;
     Alcotest.test_case "wrong-key entry quarantined, right key intact" `Quick
       test_corrupt_wrong_key;
+    Alcotest.test_case "truncated PDB-B entry quarantined and rebuilt" `Quick
+      test_corrupt_truncated_binary;
     Alcotest.test_case "corruption shows in the cache.corrupt counter" `Quick
       test_corrupt_counter_reported;
     Alcotest.test_case "torn write self-heals" `Quick test_torn_write_heals;
