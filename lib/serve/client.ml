@@ -1,0 +1,47 @@
+(** A minimal scripted pdbd client: one Unix-socket connection, one
+    request line out, one reply line back.  Shared by the conformance and
+    stress tests and by [workloadgen]'s load generator, so every harness
+    speaks the protocol through the same few lines of code. *)
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+}
+
+let connect (socket_path : string) : t =
+  let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
+  (try Unix.connect fd (ADDR_UNIX socket_path)
+   with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
+  { fd; ic = Unix.in_channel_of_descr fd }
+
+let send_line (c : t) (line : string) : unit =
+  let payload = line ^ "\n" in
+  let n = String.length payload in
+  let rec go off =
+    if off < n then go (off + Unix.write_substring c.fd payload off (n - off))
+  in
+  go 0
+
+(** Next reply line; [None] on EOF (server dropped the connection). *)
+let recv_line (c : t) : string option =
+  match input_line c.ic with
+  | line -> Some line
+  | exception End_of_file -> None
+
+(** One round trip. *)
+let request (c : t) (line : string) : string option =
+  send_line c line;
+  recv_line c
+
+(** Round trip with a parsed request/reply. *)
+let request_json (c : t) (req : Pdt_util.Json.t) : Pdt_util.Json.t option =
+  match request c (Pdt_util.Json.to_string req) with
+  | None -> None
+  | Some reply -> (
+      match Pdt_util.Json.parse reply with
+      | Ok j -> Some j
+      | Error _ -> None)
+
+let close (c : t) : unit =
+  (* ic wraps fd; close the fd once, ignore the wrapper *)
+  try Unix.close c.fd with Unix.Unix_error _ -> ()

@@ -137,6 +137,20 @@ let summary (d : D.t) : summary =
     max_inheritance_depth = List.fold_left (fun a c -> max a c.cs_depth) 0 cs;
     unreachable_from_main = unreachable }
 
+(** The summary as labeled fields, in report order — the single source
+    both the text {!report} and machine consumers (the pdbd [stats] verb)
+    draw from, so the two can never disagree on a number. *)
+let summary_fields (s : summary) : (string * int) list =
+  [ ("routines", s.n_routines);
+    ("defined", s.n_defined);
+    ("classes", s.n_classes);
+    ("instantiations", s.n_instantiations);
+    ("call_edges", s.n_call_edges);
+    ("max_fan_out", s.max_fan_out);
+    ("max_fan_in", s.max_fan_in);
+    ("max_inheritance_depth", s.max_inheritance_depth);
+    ("unreachable_from_main", s.unreachable_from_main) ]
+
 let report (d : D.t) : string =
   let b = Buffer.create 2048 in
   let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in

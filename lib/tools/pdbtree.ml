@@ -93,3 +93,12 @@ let class_hierarchy (d : D.t) : string =
   in
   List.iter (go 0) (D.class_hierarchy d);
   Buffer.contents buf
+
+(** One entry point over the three tree views, so callers that receive
+    the tree kind as data (the pdbtree CLI's [-t], the pdbd [tree] verb)
+    share the dispatch instead of each re-matching strings. *)
+let tree ~(which : [ `Include | `Class | `Call ]) ?root (d : D.t) : string =
+  match which with
+  | `Include -> include_tree d
+  | `Call -> call_graph ?root d
+  | `Class -> class_hierarchy d

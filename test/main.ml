@@ -28,4 +28,6 @@ let () =
       ("trace", Test_trace.suite);
       ("golden", Test_golden.suite);
       ("pdb-bin", Test_pdb_bin.suite);
-      ("incremental", Test_incremental.suite) ]
+      ("incremental", Test_incremental.suite);
+      ("json", Test_json.suite);
+      ("pdbd", Test_pdbd.suite) ]

@@ -780,6 +780,94 @@ let test_scheduler_cancellation () =
         | _ -> Alcotest.fail (Printf.sprintf "slot %d should be cancelled" i))
     r
 
+(* ---------------- pdbd: daemon killed mid-reload ---------------- *)
+
+(* The serve.reload fault site fires inside Snapshot.reload, after the
+   request is accepted but before the new snapshot is published — the
+   in-process stand-in for a daemon killed mid-reload.  The invariants:
+   the client gets a structured reload-failed reply (or clean EOF if the
+   stop races the reply), the old snapshot keeps answering, stopping the
+   daemon unlinks the socket, and the incremental state file is intact —
+   a fresh daemon over the same project reuses every unit. *)
+let test_daemon_killed_mid_reload () =
+  let cache_dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf cache_dir; F.disarm ()) @@ fun () ->
+  let vfs, sources = project () in
+  let options =
+    { Pdt_build.Incremental.default_options with
+      build = { B.default_options with cache_dir = Some cache_dir } }
+  in
+  let holder =
+    Pdt_serve.Snapshot.load (Pdt_serve.Snapshot.Project { vfs; sources; options })
+  in
+  let n_units = List.length sources in
+  let socket = Filename.temp_file "pdbd-fault" ".sock" in
+  Sys.remove socket;
+  let config = { Pdt_serve.Daemon.default_config with socket_path = socket } in
+  let t = Pdt_serve.Daemon.start ~config holder in
+  let rec connect tries =
+    match Pdt_serve.Client.connect socket with
+    | c -> c
+    | exception _ when tries > 0 ->
+        ignore (Unix.select [] [] [] 0.02);
+        connect (tries - 1)
+  in
+  let c = connect 200 in
+  let reply_of = function
+    | Some line -> Pdt_util.Json.parse line
+    | None -> Error "connection dropped"
+  in
+  let is_ok = function
+    | Ok j -> Pdt_util.Json.member "ok" j = Some (Pdt_util.Json.Bool true)
+    | Error _ -> false
+  in
+  (* 1: reload dies at the fault site; the reply is structured and the
+     daemon keeps serving generation 1 *)
+  F.arm ~sites:[ "serve.reload" ] ~seed:7 ~rate:1.0 ();
+  let r = reply_of (Pdt_serve.Client.request c {|{"id":1,"verb":"reload"}|}) in
+  F.disarm ();
+  (match r with
+   | Ok j ->
+       Alcotest.(check bool) "reload failed structurally" false
+         (Pdt_util.Json.member "ok" j = Some (Pdt_util.Json.Bool true));
+       (match
+          Option.bind (Pdt_util.Json.member "error" j) (fun e ->
+              Pdt_util.Json.member "code" e)
+        with
+        | Some (Pdt_util.Json.Str "reload-failed") -> ()
+        | _ -> Alcotest.fail "expected code reload-failed")
+   | Error e -> Alcotest.failf "no structured reply: %s" e);
+  Alcotest.(check bool) "old snapshot still serves" true
+    (is_ok (reply_of (Pdt_serve.Client.request c {|{"id":2,"verb":"ping"}|})));
+  Alcotest.(check int) "still generation 1" 1
+    (Pdt_serve.Snapshot.current holder).Pdt_serve.Snapshot.gen;
+  (* 2: kill the daemon while a reload is dying at the same site *)
+  F.arm ~sites:[ "serve.reload" ] ~seed:8 ~rate:1.0 ();
+  Pdt_serve.Client.send_line c {|{"id":3,"verb":"reload"}|};
+  Pdt_serve.Daemon.stop t;
+  F.disarm ();
+  (* the in-flight reply either arrived (structured) or the socket
+     closed cleanly — never a hang, never a half-line *)
+  (match Pdt_serve.Client.recv_line c with
+   | None -> ()
+   | Some line -> (
+       match Pdt_util.Json.parse line with
+       | Ok _ -> ()
+       | Error e -> Alcotest.failf "torn reply after kill: %S (%s)" line e));
+  Pdt_serve.Client.close c;
+  Alcotest.(check bool) "socket unlinked on stop" false (Sys.file_exists socket);
+  (* 3: the state files survived — a fresh daemon over the same project
+     reuses every unit instead of reanalyzing *)
+  let holder2 =
+    Pdt_serve.Snapshot.load (Pdt_serve.Snapshot.Project { vfs; sources; options })
+  in
+  (match Pdt_serve.Snapshot.reload holder2 with
+   | Ok (_, stats) ->
+       Alcotest.(check int) "no unit reanalyzed" 0 stats.Pdt_serve.Snapshot.reanalyzed;
+       Alcotest.(check int) "every unit reused" n_units
+         stats.Pdt_serve.Snapshot.reused
+   | Error e -> Alcotest.failf "state files damaged: fresh reload failed: %s" e)
+
 (* ---------------- fault layer determinism ---------------- *)
 
 let test_fault_schedule_deterministic () =
@@ -853,6 +941,8 @@ let suite =
       test_scheduler_worker_fault_isolated;
     Alcotest.test_case "scheduler: cancellation marks remaining slots" `Quick
       test_scheduler_cancellation;
+    Alcotest.test_case "daemon killed mid-reload" `Quick
+      test_daemon_killed_mid_reload;
     Alcotest.test_case "fault schedules are seed-deterministic" `Quick
       test_fault_schedule_deterministic;
     Alcotest.test_case "disarmed fault layer is inert" `Quick

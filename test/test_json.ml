@@ -1,0 +1,184 @@
+(* Unit tests for the Json module's trust-boundary guarantees (PR 8).
+
+   Since pdbd, Json.parse consumes bytes straight off a Unix socket, so
+   the strictness fixes get direct coverage here: exactly-4-hex-digit
+   \uXXXX escapes, surrogate-pair combination, lone-surrogate rejection,
+   accurate offsets for raw control characters, the nesting-depth guard,
+   and the canonical printer the wire replies and goldens depend on. *)
+
+module J = Pdt_util.Json
+
+let ok (s : string) : J.t =
+  match J.parse s with
+  | Ok v -> v
+  | Error e -> Alcotest.failf "%S should parse, got: %s" s e
+
+let str_of (s : string) : string =
+  match ok s with J.Str v -> v | j -> Alcotest.failf "%S gave %s" s (J.to_string j)
+
+let err (s : string) : string =
+  match J.parse s with
+  | Ok _ -> Alcotest.failf "%S should NOT parse" s
+  | Error e -> e
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ---------------- \uXXXX strictness ---------------- *)
+
+let test_unicode_escape_basic () =
+  Alcotest.(check string) "ASCII escape" "A" (str_of {|"\u0041"|});
+  Alcotest.(check string) "two-byte UTF-8" "\xc3\xa9" (str_of {|"\u00e9"|});
+  Alcotest.(check string) "three-byte UTF-8" "\xe2\x82\xac" (str_of {|"\u20ac"|});
+  Alcotest.(check string) "NUL escape" "\x00" (str_of {|"\u0000"|});
+  Alcotest.(check string) "uppercase hex" "\xe2\x82\xac" (str_of {|"\u20AC"|})
+
+let test_unicode_escape_exactly_four_digits () =
+  ignore (err {|"\u12"|});
+  ignore (err {|"\u123"|});
+  ignore (err {|"\u123g"|});
+  (* int_of_string would happily take OCaml literal syntax; JSON must not *)
+  ignore (err {|"\u1_23"|});
+  ignore (err {|"\u+123"|});
+  ignore (err {|"\u0x12"|});
+  (* 4 good digits followed by another digit is fine — the extra is text *)
+  Alcotest.(check string) "no greedy digits" "A5" (str_of {|"\u00415"|})
+
+let test_surrogate_pairs () =
+  (* U+1F600, the canonical astral example *)
+  Alcotest.(check string) "astral pair combines" "\xf0\x9f\x98\x80"
+    (str_of {|"\uD83D\uDE00"|});
+  (* U+10000, the lowest astral code point *)
+  Alcotest.(check string) "lowest astral" "\xf0\x90\x80\x80"
+    (str_of {|"\uD800\uDC00"|});
+  (* U+10FFFF, the highest *)
+  Alcotest.(check string) "highest astral" "\xf4\x8f\xbf\xbf"
+    (str_of {|"\uDBFF\uDFFF"|})
+
+let test_lone_surrogates_rejected () =
+  Alcotest.(check bool) "lone high at end" true
+    (contains (err {|"\uD83D"|}) "surrogate");
+  Alcotest.(check bool) "high + ordinary text" true
+    (contains (err {|"\uD83Dxyz"|}) "surrogate");
+  Alcotest.(check bool) "high + non-surrogate escape" true
+    (contains (err {|"\uD83D\n"|}) "surrogate");
+  Alcotest.(check bool) "high + high" true
+    (contains (err {|"\uD83D\uD83D"|}) "surrogate");
+  Alcotest.(check bool) "lone low" true
+    (contains (err {|"\uDE00"|}) "surrogate")
+
+(* ---------------- control characters ---------------- *)
+
+let test_raw_control_char_rejected_with_offset () =
+  (* "ab<TAB>c" — the tab sits at offset 3 (after the opening quote) *)
+  let e = err "\"ab\tc\"" in
+  Alcotest.(check bool) "names the problem" true (contains e "control char");
+  Alcotest.(check bool) "points at the char, not past it" true
+    (contains e "offset 3");
+  let e2 = err "\"\x01\"" in
+  Alcotest.(check bool) "offset 1 for first char" true (contains e2 "offset 1")
+
+let test_escaped_control_chars_ok () =
+  Alcotest.(check string) "backslash escapes" "a\n\t\r\b\012\\\"/z"
+    (str_of {|"a\n\t\r\b\f\\\"\/z"|})
+
+(* ---------------- depth guard ---------------- *)
+
+let test_depth_guard () =
+  (* well under the bound: fine *)
+  let nest n = String.make n '[' ^ "1" ^ String.make n ']' in
+  (match J.parse (nest 100) with
+   | Ok _ -> ()
+   | Error e -> Alcotest.failf "depth 100 should parse: %s" e);
+  (* past the bound: a structured error, not a stack overflow *)
+  Alcotest.(check bool) "600 deep fails" true
+    (contains (err (nest 600)) "nesting too deep");
+  (* the classic bracket bomb: 100k opens, no closes *)
+  Alcotest.(check bool) "bracket bomb fails fast" true
+    (contains (err (String.make 100_000 '[')) "nesting too deep");
+  (* objects count too *)
+  let obombs = String.concat "" (List.init 600 (fun _ -> {|{"k":|})) in
+  Alcotest.(check bool) "object bomb fails" true
+    (contains (err (obombs ^ "1")) "nesting too deep");
+  (* the bound is a parameter *)
+  (match J.parse ~max_depth:8 (nest 20) with
+   | Ok _ -> Alcotest.fail "max_depth:8 should reject depth 20"
+   | Error _ -> ());
+  match J.parse ~max_depth:32 (nest 20) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "max_depth:32 should accept depth 20: %s" e
+
+(* ---------------- printer ---------------- *)
+
+let test_printer_canonical () =
+  let v =
+    J.Obj
+      [ ("id", J.Num 7.); ("ok", J.Bool true); ("who", J.Str "a\"b\nc");
+        ("xs", J.List [ J.Num 1.; J.Num 2.5; J.Null ]) ]
+  in
+  Alcotest.(check string) "one canonical line"
+    {|{"id":7,"ok":true,"who":"a\"b\nc","xs":[1,2.5,null]}|}
+    (J.to_string v)
+
+let test_printer_numbers () =
+  Alcotest.(check string) "integral, no fraction" "42" (J.to_string (J.Num 42.));
+  Alcotest.(check string) "negative integral" "-3" (J.to_string (J.Num (-3.)));
+  Alcotest.(check string) "zero" "0" (J.to_string (J.Num 0.));
+  Alcotest.(check string) "simple fraction" "2.5" (J.to_string (J.Num 2.5));
+  (* 0.1 is not exactly representable; the printer must still round-trip *)
+  List.iter
+    (fun f ->
+      match J.parse (J.to_string (J.Num f)) with
+      | Ok (J.Num g) when g = f -> ()
+      | Ok j -> Alcotest.failf "%h printed as %s" f (J.to_string j)
+      | Error e -> Alcotest.failf "%h print->parse failed: %s" f e)
+    [ 0.1; 1.0 /. 3.0; 1e-9; 6.02e23; -0.25; 123456789.125 ]
+
+let test_print_parse_roundtrip () =
+  let values =
+    [ J.Null; J.Bool false; J.Num 3.25; J.Str "plain";
+      J.Str "esc\"\\\n\t\x01\x1f";
+      J.List []; J.Obj [];
+      J.Obj [ ("nested", J.List [ J.Obj [ ("deep", J.Str "ok") ] ]) ] ]
+  in
+  List.iter
+    (fun v ->
+      match J.parse (J.to_string v) with
+      | Ok v' when v' = v -> ()
+      | Ok v' ->
+          Alcotest.failf "round-trip changed %s into %s" (J.to_string v)
+            (J.to_string v')
+      | Error e ->
+          Alcotest.failf "round-trip of %s failed: %s" (J.to_string v) e)
+    values
+
+let test_escaped_output_reparses () =
+  (* every byte 0..255 as a single-char string: print, reparse, compare *)
+  for code = 0 to 255 do
+    let s = String.make 1 (Char.chr code) in
+    match J.parse (J.to_string (J.Str s)) with
+    | Ok (J.Str s') when s' = s -> ()
+    | Ok j -> Alcotest.failf "byte %d reparsed as %s" code (J.to_string j)
+    | Error e -> Alcotest.failf "byte %d failed: %s" code e
+  done
+
+let suite =
+  [ Alcotest.test_case "unicode escape basics" `Quick test_unicode_escape_basic;
+    Alcotest.test_case "\\u needs exactly 4 hex digits" `Quick
+      test_unicode_escape_exactly_four_digits;
+    Alcotest.test_case "surrogate pairs combine" `Quick test_surrogate_pairs;
+    Alcotest.test_case "lone surrogates rejected" `Quick
+      test_lone_surrogates_rejected;
+    Alcotest.test_case "raw control chars: offset" `Quick
+      test_raw_control_char_rejected_with_offset;
+    Alcotest.test_case "escaped control chars ok" `Quick
+      test_escaped_control_chars_ok;
+    Alcotest.test_case "nesting depth guard" `Quick test_depth_guard;
+    Alcotest.test_case "canonical printer" `Quick test_printer_canonical;
+    Alcotest.test_case "number printing" `Quick test_printer_numbers;
+    Alcotest.test_case "print/parse round-trip" `Quick
+      test_print_parse_roundtrip;
+    Alcotest.test_case "all bytes escape+reparse" `Quick
+      test_escaped_output_reparses ]
