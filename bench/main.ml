@@ -1060,6 +1060,130 @@ let specialization_mapping () =
   Printf.printf "mapped, IL ids (proposed fix)  : %d\n" m_ids
 
 (* ------------------------------------------------------------------ *)
+(* B12: the process farm vs the Domain pool, and crash-recovery cost   *)
+(* ------------------------------------------------------------------ *)
+
+(* Two questions: what does process isolation cost over in-process
+   Domains on the same project (spawn + Config shipping + frame I/O),
+   and what does a mid-unit worker kill cost end-to-end (death detection
+   + respawn + requeued unit)?  Skipped-but-recorded when the worker
+   binary is not built, like the oversubscribed points of B7/B10. *)
+let b12_farm ~quick () =
+  section "B12: build farm (process workers) vs Domain pool";
+  let module Farm = Pdt_build.Farm in
+  let module F = Pdt_util.Fault in
+  match Farm.find_worker () with
+  | None ->
+      print_endline "pdbworker.exe not found next to the bench: skipped";
+      let oc = open_out "BENCH_farm.json" in
+      Printf.fprintf oc "{\n  \"bench\": \"farm\",\n  \"skipped\": true\n}\n";
+      close_out oc;
+      print_endline "wrote BENCH_farm.json"
+  | Some exe ->
+      Unix.putenv "PDT_PDBWORKER" exe;
+      let n_tus = if quick then 8 else 20 in
+      let workers = 4 in
+      let reps = if quick then 2 else 3 in
+      let best f = List.fold_left min infinity (List.init reps (fun _ -> f ())) in
+      let options =
+        { Pdt_build.Build.default_options with
+          domains = workers; cache_dir = None; retries = 4 }
+      in
+      let farm_config =
+        { Farm.default_config with
+          workers; heartbeat_ms = 10; liveness_timeout = 1.0;
+          backoff_initial = 0.01; backoff_max = 0.05 }
+      in
+      let pool_build () =
+        let vfs, sources = Pdt_workloads.Generator.project_vfs ~n_tus () in
+        let t0 = Unix.gettimeofday () in
+        let r = Pdt_build.Build.build ~options ~vfs sources in
+        assert (r.Pdt_build.Build.failed = 0);
+        Unix.gettimeofday () -. t0
+      in
+      let farm_build () =
+        let vfs, sources = Pdt_workloads.Generator.project_vfs ~n_tus () in
+        let t0 = Unix.gettimeofday () in
+        let r = Farm.build ~config:farm_config ~options ~vfs sources in
+        assert (r.Pdt_build.Build.failed = 0);
+        Unix.gettimeofday () -. t0
+      in
+      ignore (pool_build ());  (* warm up allocators and code paths *)
+      let pool_s = best pool_build in
+      let farm_s = best farm_build in
+      (* recovery latency: the same farm build under a seeded mid-unit
+         kill schedule (PDT_FAULT_SPEC reaches the workers through the
+         environment); the delta over the fault-free farm run prices
+         death detection + respawn + the requeued unit *)
+      let respawns_before =
+        match
+          List.find_opt (fun (n, _, _) -> n = "farm.respawn")
+            (Pdt_util.Perf.snapshot ())
+        with
+        | Some (_, calls, _) -> calls
+        | None -> 0
+      in
+      let kill_rate = 0.1 and kill_seed = 11 in
+      Unix.putenv F.env_var
+        (F.spec_string ~sites:[ "farm.worker.kill" ] ~seed:kill_seed
+           ~rate:kill_rate ());
+      let kill_clean, kill_s =
+        Fun.protect
+          ~finally:(fun () -> Unix.putenv F.env_var "")
+          (fun () ->
+            let vfs, sources = Pdt_workloads.Generator.project_vfs ~n_tus () in
+            let t0 = Unix.gettimeofday () in
+            let r = Farm.build ~config:farm_config ~options ~vfs sources in
+            (r.Pdt_build.Build.failed = 0, Unix.gettimeofday () -. t0))
+      in
+      let respawns =
+        (match
+           List.find_opt (fun (n, _, _) -> n = "farm.respawn")
+             (Pdt_util.Perf.snapshot ())
+         with
+         | Some (_, calls, _) -> calls
+         | None -> 0)
+        - respawns_before
+      in
+      let overhead_pct = (farm_s -. pool_s) /. pool_s *. 100.0 in
+      let recovery_pct = (kill_s -. farm_s) /. farm_s *. 100.0 in
+      Printf.printf "project: %d TUs + main, %d workers, no cache, best of %d\n\n"
+        n_tus workers reps;
+      Printf.printf "Domain pool               : %.3fs\n" pool_s;
+      Printf.printf "process farm              : %.3fs  (%+.1f%% vs pool)\n"
+        farm_s overhead_pct;
+      Printf.printf
+        "farm under kill schedule  : %.3fs  (%+.1f%% vs clean farm, rate %.2f, %d respawn%s, %s)\n"
+        kill_s recovery_pct kill_rate respawns
+        (if respawns = 1 then "" else "s")
+        (if kill_clean then "recovered clean" else "degraded");
+      let oc = open_out "BENCH_farm.json" in
+      Printf.fprintf oc
+        "{\n\
+        \  \"bench\": \"farm\",\n\
+        \  \"skipped\": false,\n\
+        \  \"quick\": %b,\n\
+        \  \"n_tus\": %d,\n\
+        \  \"workers\": %d,\n\
+        \  \"reps\": %d,\n\
+        \  \"pool_s\": %.4f,\n\
+        \  \"farm_s\": %.4f,\n\
+        \  \"farm_overhead_pct\": %.2f,\n\
+        \  \"kill\": {\n\
+        \    \"rate\": %.2f,\n\
+        \    \"seed\": %d,\n\
+        \    \"wall_s\": %.4f,\n\
+        \    \"recovery_overhead_pct\": %.2f,\n\
+        \    \"respawns\": %d,\n\
+        \    \"clean\": %b\n\
+        \  }\n\
+         }\n"
+        quick n_tus workers reps pool_s farm_s overhead_pct kill_rate kill_seed
+        kill_s recovery_pct respawns kill_clean;
+      close_out oc;
+      print_endline "wrote BENCH_farm.json"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
@@ -1079,6 +1203,7 @@ let () =
   b8_trace_overhead ~quick ();
   b9_incremental ~quick ();
   b10_pdb_scale ~quick ~domains ();
+  b12_farm ~quick ();
   specialization_mapping ();
   if not quick then bechamel_benches ();
   print_newline ()

@@ -51,8 +51,8 @@ let write_pprof path =
               r_inclusive = r.inclusive_ns })
           rows))
 
-let run sources includes output jobs cache_dir no_cache incremental retries
-    fail_fast verbose stats trace trace_pprof max_errors limit_specs
+let run sources includes output jobs farm cache_dir no_cache incremental
+    retries fail_fast verbose stats trace trace_pprof max_errors limit_specs
     pdb_format =
   let vfs = Pdt_util.Vfs.create ~include_paths:includes () in
   Pdt_util.Vfs.set_disk_fallback vfs true;
@@ -67,7 +67,30 @@ let run sources includes output jobs cache_dir no_cache incremental retries
       limits = resolve_budgets max_errors limit_specs;
       pdb_format }
   in
-  (* both drivers converge on the same epilogue: merged PDB + per-unit
+  (* --farm N: supervised worker processes instead of in-process domains.
+     Incompatible with --incremental (the delta driver is
+     orchestration-heavy, not compile-heavy) and unavailable without the
+     pdbworker binary — both degrade to the Domain pool with a warning,
+     never a refusal. *)
+  let farm_config =
+    match farm with
+    | Some n when n > 0 ->
+        if incremental then begin
+          Printf.eprintf
+            "pdbbuild: --farm is not supported with --incremental; using \
+             in-process domains\n%!";
+          None
+        end
+        else if Pdt_build.Farm.find_worker () = None then begin
+          Printf.eprintf
+            "pdbbuild: pdbworker binary not found; falling back to \
+             in-process domains\n%!";
+          None
+        end
+        else Some { Pdt_build.Farm.default_config with workers = n }
+    | _ -> None
+  in
+  (* all drivers converge on the same epilogue: merged PDB + per-unit
      failure report + summary line(s) + counts for the exit code *)
   let merged, summary_lines, n_failed, n_degraded, n_skipped, n_ok =
     if incremental then begin
@@ -111,7 +134,16 @@ let run sources includes output jobs cache_dir no_cache incremental retries
         List.length r.I.units - failed )
     end
     else begin
-      let r = Pdt_build.Build.build ~options ~vfs sources in
+      let r =
+        match farm_config with
+        | Some config -> (
+            try Pdt_build.Farm.build ~config ~options ~vfs sources
+            with Pdt_build.Farm.Farm_unavailable msg ->
+              Printf.eprintf
+                "pdbbuild: %s; falling back to in-process domains\n%!" msg;
+              Pdt_build.Build.build ~options ~vfs sources)
+        | None -> Pdt_build.Build.build ~options ~vfs sources
+      in
       List.iter
         (fun (source, msg) -> Printf.eprintf "pdbbuild: %s failed:\n%s\n" source msg)
         (Pdt_build.Build.failures r);
@@ -188,6 +220,17 @@ let output =
 let jobs =
   Arg.(value & opt int (Pdt_build.Scheduler.default_domains ())
        & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains (1 = sequential)")
+
+let farm =
+  Arg.(value & opt (some int) None
+       & info [ "farm" ] ~docv:"N"
+           ~doc:"Build on N supervised $(b,pdbworker) processes instead of \
+                 in-process domains.  Workers are crash-only: one killed, \
+                 wedged or crashing mid-unit is reaped and respawned (with \
+                 backoff) and its unit retried, so a misbehaving translation \
+                 unit cannot take the build down.  Falls back to domains \
+                 when the worker binary is unavailable or with \
+                 $(b,--incremental).")
 
 let cache_dir =
   Arg.(value & opt string Pdt_build.Cache.default_dir
@@ -276,8 +319,8 @@ let limit_specs =
 let cmd =
   let doc = "compile a project to one merged program database, in parallel and incrementally" in
   Cmd.v (Cmd.info "pdbbuild" ~doc)
-    Term.(const run $ sources $ includes $ output $ jobs $ cache_dir $ no_cache
-          $ incremental $ retries $ fail_fast $ verbose $ stats $ trace
-          $ trace_pprof $ max_errors $ limit_specs $ pdb_format)
+    Term.(const run $ sources $ includes $ output $ jobs $ farm $ cache_dir
+          $ no_cache $ incremental $ retries $ fail_fast $ verbose $ stats
+          $ trace $ trace_pprof $ max_errors $ limit_specs $ pdb_format)
 
 let () = exit (Cmd.eval' cmd)

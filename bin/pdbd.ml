@@ -18,8 +18,8 @@ open Cmdliner
 let is_pdb_path p =
   match Filename.extension p with ".pdb" | ".pdbb" -> true | _ -> false
 
-let run inputs socket domains max_line includes jobs cache_dir no_cache
-    trace stats =
+let run inputs socket domains max_line max_conns includes jobs cache_dir
+    no_cache trace stats =
   if inputs = [] then begin
     prerr_endline "pdbd: nothing to serve (give a PDB file or source files)";
     2
@@ -56,7 +56,8 @@ let run inputs socket domains max_line includes jobs cache_dir no_cache
         1
     | holder ->
         let config =
-          { Pdt_serve.Daemon.socket_path = socket; domains; max_line }
+          { Pdt_serve.Daemon.socket_path = socket; domains; max_line;
+            max_conns }
         in
         let t = Pdt_serve.Daemon.create ~config holder in
         let snap = Pdt_serve.Snapshot.current holder in
@@ -102,6 +103,14 @@ let max_line =
            ~doc:"Largest accepted request line; longer requests get a \
                  structured too-large error and the connection is closed")
 
+let max_conns =
+  Arg.(value & opt int Pdt_serve.Daemon.default_config.Pdt_serve.Daemon.max_conns
+       & info [ "max-conns" ] ~docv:"N"
+           ~doc:"Most simultaneous client connections accepted; extra \
+                 connections get a structured too-many-connections error \
+                 and are closed immediately, keeping the select loop under \
+                 the FD_SETSIZE ceiling")
+
 let includes =
   Arg.(value & opt_all string []
        & info [ "I"; "include" ] ~docv:"DIR"
@@ -133,7 +142,7 @@ let stats =
 let cmd =
   let doc = "serve DUCTAPE queries from an immutable PDB snapshot over a Unix socket" in
   Cmd.v (Cmd.info "pdbd" ~doc)
-    Term.(const run $ inputs $ socket $ domains $ max_line $ includes $ jobs
-          $ cache_dir $ no_cache $ trace $ stats)
+    Term.(const run $ inputs $ socket $ domains $ max_line $ max_conns
+          $ includes $ jobs $ cache_dir $ no_cache $ trace $ stats)
 
 let () = exit (Cmd.eval' cmd)

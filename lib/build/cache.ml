@@ -27,6 +27,27 @@
     workers and concurrent [pdbbuild] processes never expose a
     half-written entry, and the temp file is removed if the write dies.
 
+    {b Cross-process sharing} (format v4).  One cache directory is shared
+    by concurrent builder processes — farm workers, parallel [pdbbuild]
+    invocations, a live [pdbd --project] — so the layout and the
+    destructive operations are built for contention:
+
+    - entries live in 256 {e shards}, [objects/<hh>/<key>.pdb] with [hh]
+      the first two hex digits of the key, so no single directory grows
+      unboundedly and directory-level contention spreads out;
+    - {e quarantine is advisory-locked and re-verified}: before moving an
+      entry aside the mover takes the shard's [fcntl] lock
+      ([locks/<hh>.lock]) and re-checks that the bytes at the live path
+      are still bad.  A concurrent writer replacing the entry between a
+      reader's failed verification and its quarantine attempt therefore
+      never loses a fresh entry to a stale verdict — zero quarantine
+      false-positives by construction;
+    - {e stale temp files are swept, not trusted}: a worker process
+      SIGKILLed mid-store leaves its [*.tmp.<pid>.<domain>] file behind
+      (crash-only workers run no cleanup handlers).  {!sweep_stale_tmps}
+      removes temp files whose writing process is dead; the farm driver
+      runs it before and after every build.
+
     Fault-injection sites ({!Pdt_util.Fault}): ["cache.read"] (transient
     load I/O error), ["cache.load.corrupt"] (entry treated as bit-rotten),
     ["cache.write.crash"] (writer dies mid-write; temp file must not
@@ -35,7 +56,10 @@
 
 open Pdt_util
 
-let format_version = 3
+(* v4: sharded objects/<hh>/ layout (older flat-layout entries are simply
+   never probed; the first build over an old directory recompiles and
+   repopulates, which is the ordinary cold-cache path) *)
+let format_version = 4
 
 let magic = Printf.sprintf "PDT-CACHE v%d" format_version
 
@@ -154,12 +178,66 @@ let key ~vfs ~(options : string) (source : string) : string =
 (* Entries                                                             *)
 (* ------------------------------------------------------------------ *)
 
-let entry_path t key = Filename.concat t.dir (key ^ ".pdb")
+let rec mkdir_p dirname =
+  if dirname <> "" && not (Sys.file_exists dirname) then begin
+    let parent = Filename.dirname dirname in
+    if parent <> dirname then mkdir_p parent;
+    try Sys.mkdir dirname 0o755 with Sys_error _ -> ()
+  end
+
+(* Sharded layout: objects/<hh>/<key>.pdb, hh = first two hex digits of
+   the (MD5-hex) key.  256 shards bound directory size and give the
+   advisory locks below a natural granularity. *)
+let objects_dir t = Filename.concat t.dir "objects"
+
+let shard_of_key key = if String.length key >= 2 then String.sub key 0 2 else "00"
+
+let entry_path t key =
+  Filename.concat
+    (Filename.concat (objects_dir t) (shard_of_key key))
+    (key ^ ".pdb")
+
+let locks_dir t = Filename.concat t.dir "locks"
+
+(* Run [f] holding the shard's advisory fcntl lock.  The lock guards the
+   destructive move in {!quarantine_if} against concurrent processes; it
+   is strictly advisory and best-effort — a filesystem without lock
+   support degrades to unlocked operation, which only widens a window the
+   tmp+rename write discipline already keeps harmless.  Plain reads and
+   writes never take it (lock-free fast path). *)
+let with_shard_lock t key (f : unit -> 'a) : 'a =
+  mkdir_p (locks_dir t);
+  match
+    Unix.openfile
+      (Filename.concat (locks_dir t) (shard_of_key key ^ ".lock"))
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_CLOEXEC ]
+      0o644
+  with
+  | exception Unix.Unix_error _ -> f ()
+  | fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          (try Unix.lockf fd Unix.F_LOCK 0 with Unix.Unix_error _ -> ());
+          f ())
 
 (* The header binds version, key and body together: one string comparison
    on load rejects stale versions, misfiled entries and corrupt bodies
    alike (any body damage changes the digest). *)
 let header key digest = Printf.sprintf "%s key=%s digest=%s" magic key digest
+
+(* Structural verification of a whole entry file: header line matches the
+   key and the body digest.  No fault sites here — this is also the
+   re-judgement that runs under the shard lock, where an injected verdict
+   would fabricate exactly the false positive the lock exists to prevent. *)
+let verify_content key content : string option =
+  match String.index_opt content '\n' with
+  | None -> None
+  | Some i ->
+      let body = String.sub content (i + 1) (String.length content - i - 1) in
+      if String.sub content 0 i = header key (Hashutil.string body) then
+        Some body
+      else None
 
 let read_file path =
   Fault.check "cache.read";
@@ -174,25 +252,37 @@ let read_file path =
 
 let quarantine_dir t = Filename.concat t.dir "quarantine"
 
-let rec mkdir_p dirname =
-  if dirname <> "" && not (Sys.file_exists dirname) then begin
-    let parent = Filename.dirname dirname in
-    if parent <> dirname then mkdir_p parent;
-    try Sys.mkdir dirname 0o755 with Sys_error _ -> ()
-  end
-
-(* Move a failed-verification entry aside.  Best-effort: a concurrent
-   process may have quarantined or already replaced the entry; either way
-   the corrupt bytes are no longer at the live path, which is the
-   invariant load depends on. *)
-let quarantine t key =
-  if Trace.on () then
-    Trace.instant ~cat:"cache" ~args:[ ("key", Trace.Str key) ] "cache.quarantine";
-  Perf.record "cache.corrupt" 0;
-  mkdir_p (quarantine_dir t);
-  let path = entry_path t key in
-  let dest = Filename.concat (quarantine_dir t) (Filename.basename path) in
-  try Sys.rename path dest with Sys_error _ -> ()
+(* Move a bad entry aside — but only if the bytes now at the live path are
+   still bad.  The shard lock makes the re-read and the rename atomic with
+   respect to other movers, and the re-check ([still_bad], structural
+   only) means a concurrent writer that replaced the entry between the
+   caller's failed verification and this call wins: the fresh entry stays,
+   and no healthy bytes ever land in quarantine/. *)
+let quarantine_if t key (still_bad : string -> bool) : unit =
+  with_shard_lock t key (fun () ->
+      let path = entry_path t key in
+      let current =
+        match open_in_bin path with
+        | exception Sys_error _ -> None
+        | ic ->
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () ->
+                try Some (really_input_string ic (in_channel_length ic))
+                with End_of_file | Sys_error _ -> None)
+      in
+      match current with
+      | None -> () (* already quarantined or removed by someone else *)
+      | Some content when not (still_bad content) -> () (* replaced: healed *)
+      | Some _ ->
+          if Trace.on () then
+            Trace.instant ~cat:"cache"
+              ~args:[ ("key", Trace.Str key) ]
+              "cache.quarantine";
+          Perf.record "cache.corrupt" 0;
+          mkdir_p (quarantine_dir t);
+          let dest = Filename.concat (quarantine_dir t) (key ^ ".pdb") in
+          (try Sys.rename path dest with Sys_error _ -> ()))
 
 (** Look a key up.  [None] on: no entry, or an entry that fails
     verification — version mismatch, key mismatch (misfiled), digest
@@ -204,22 +294,13 @@ let load t key : Pdt_pdb.Pdb.t option =
   | None -> None
   | Some content -> (
       let verified =
-        match String.index_opt content '\n' with
-        | None -> None
-        | Some i ->
-            let hdr = String.sub content 0 i in
-            let body =
-              String.sub content (i + 1) (String.length content - i - 1)
-            in
-            if
-              hdr = header key (Hashutil.string body)
-              && not (Fault.should "cache.load.corrupt")
-            then Some body
-            else None
+        match verify_content key content with
+        | Some body when not (Fault.should "cache.load.corrupt") -> Some body
+        | _ -> None
       in
       match verified with
       | None ->
-          quarantine t key;
+          quarantine_if t key (fun c -> verify_content key c = None);
           None
       | Some body -> (
           (* digest-verified bytes should always parse; if they somehow
@@ -233,7 +314,18 @@ let load t key : Pdt_pdb.Pdb.t option =
           with
           | Fault.Injected _ as e -> raise e
           | _ ->
-              quarantine t key;
+              (* still_bad = verifies but still won't parse.  A transient
+                 injection inside the re-parse reads as "can't tell" and
+                 leaves the entry alone — the next deterministic look
+                 settles it. *)
+              quarantine_if t key (fun c ->
+                  match verify_content key c with
+                  | None -> true
+                  | Some b -> (
+                      match Pdt_pdb.Pdb_io.of_string b with
+                      | _ -> false
+                      | exception Fault.Injected _ -> false
+                      | exception _ -> true));
               None))
 
 (** Store an already-serialized PDB body.  Callers that hold the bytes
@@ -243,8 +335,8 @@ let load t key : Pdt_pdb.Pdb.t option =
     {e and} concurrent pdbbuild processes sharing a cache dir never write
     the same temp path; the temp file is removed if the write fails. *)
 let store_serialized t key (body : string) : unit =
-  mkdir_p t.dir;
   let final = entry_path t key in
+  mkdir_p (Filename.dirname final);
   let tmp =
     Printf.sprintf "%s.tmp.%d.%d" final (Unix.getpid ())
       (Domain.self () :> int)
@@ -276,3 +368,66 @@ let store_serialized t key (body : string) : unit =
 
 let store t key (pdb : Pdt_pdb.Pdb.t) : unit =
   store_serialized t key (Pdt_pdb.Pdb_write.to_string pdb)
+
+(* ------------------------------------------------------------------ *)
+(* Stale temp sweeping                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Temp names are "<key>.pdb.tmp.<pid>.<domain>".  Extract the pid so the
+   sweeper can distinguish a live writer's temp (untouchable) from the
+   debris of a crashed one. *)
+let tmp_pid (name : string) : int option =
+  let marker = ".tmp." in
+  let mlen = String.length marker in
+  let n = String.length name in
+  let rec find i =
+    if i + mlen > n then None
+    else if String.sub name i mlen = marker then Some (i + mlen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some j -> (
+      match String.split_on_char '.' (String.sub name j (n - j)) with
+      | pid :: _ -> int_of_string_opt pid
+      | [] -> None)
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error _ -> true (* EPERM etc: exists, not ours *)
+
+(** Remove temp files whose writing process is dead; returns how many were
+    removed.  Crash-only workers (a SIGKILLed farm worker, a pdbbuild hit
+    by OOM) run no cleanup handlers, so their half-written temps persist
+    until someone sweeps; the pid-liveness gate makes the sweep safe to
+    run while other builders are actively writing.  The farm driver runs
+    this before and after every build. *)
+let sweep_stale_tmps t : int =
+  let removed = ref 0 in
+  let sweep_dir dir =
+    match Sys.readdir dir with
+    | exception Sys_error _ -> ()
+    | names ->
+        Array.iter
+          (fun name ->
+            match tmp_pid name with
+            | Some pid when not (pid_alive pid) -> (
+                match Sys.remove (Filename.concat dir name) with
+                | () ->
+                    incr removed;
+                    Perf.record "cache.tmp_swept" 0
+                | exception Sys_error _ -> ())
+            | _ -> ())
+          names
+  in
+  (match Sys.readdir (objects_dir t) with
+  | exception Sys_error _ -> ()
+  | shards ->
+      Array.iter
+        (fun s -> sweep_dir (Filename.concat (objects_dir t) s))
+        shards);
+  (* legacy flat layout and any root-level state temps *)
+  sweep_dir t.dir;
+  !removed

@@ -18,6 +18,40 @@ open Pdt_util
 exception Cancelled
 (** The slot's job was never run: [should_stop] turned true first. *)
 
+exception Worker_lost of string
+(** A worker (domain or farm process) died holding this slot's job and no
+    crash exception could be attributed to it.  The payload says which
+    pool lost the slot. *)
+
+(** The one lost-slot policy, shared by the in-process Domain pool below
+    and the multi-process {!Farm}: a slot left [None] by a dead worker
+    becomes [Error] — attributed to [witness] (the first exception that
+    escaped a worker's loop) when there is one, [Worker_lost] otherwise —
+    and is {e never} silently dropped.  Conversely a [witness] with no
+    missing slot is attributable to no job at all: surfacing it per-slot
+    would mislabel a finished job, so it re-raises after the join barrier
+    — for the Domain pool a worker death outside a task is a scheduler or
+    runtime bug, never a normal outcome. *)
+let reconcile ?(witness : exn option) ~(pool : string)
+    (results : ('a, exn) result option array) : ('a, exn) result array =
+  let lost = ref false in
+  let out =
+    Array.map
+      (function
+        | Some r -> r
+        | None ->
+            lost := true;
+            Error
+              (match witness with
+               | Some e -> e
+               | None -> Worker_lost (pool ^ ": lost job")))
+      results
+  in
+  (match witness with
+   | Some e when not !lost -> raise e
+   | _ -> ());
+  out
+
 type 'a queue = {
   jobs : 'a Queue.t;
   mutex : Mutex.t;
@@ -118,24 +152,5 @@ let parallel_map ?domains ?(should_stop = fun () -> false) (f : 'a -> 'b)
     in
     let ds = List.init domains (fun _ -> Domain.spawn worker) in
     List.iter (fun d -> try Domain.join d with e -> note_crash e) ds;
-    let lost = ref false in
-    let out =
-      Array.map
-        (function
-          | Some r -> r
-          | None ->
-              lost := true;
-              Error
-                (match Atomic.get crashed with
-                 | Some e -> e
-                 | None -> Failure "scheduler: lost job"))
-        results
-    in
-    (match Atomic.get crashed with
-     | Some e when not !lost ->
-         (* every slot completed, so the crash is attributable to no unit:
-            surfacing it per-slot would mislabel a finished job — re-raise *)
-         raise e
-     | _ -> ());
-    out
+    reconcile ?witness:(Atomic.get crashed) ~pool:"scheduler" results
   end

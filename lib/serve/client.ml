@@ -8,11 +8,31 @@ type t = {
   ic : in_channel;
 }
 
-let connect (socket_path : string) : t =
+let connect_once (socket_path : string) : t =
   let fd = Unix.socket PF_UNIX SOCK_STREAM 0 in
   (try Unix.connect fd (ADDR_UNIX socket_path)
    with e -> (try Unix.close fd with Unix.Unix_error _ -> ()); raise e);
   { fd; ic = Unix.in_channel_of_descr fd }
+
+(** Connect with a bounded retry-with-backoff loop.  A daemon that is
+    still binding its socket (or restarting after a crash) surfaces as
+    [ECONNREFUSED]/[ENOENT] for a moment; retrying those briefly makes
+    every harness robust to startup races without hiding a daemon that is
+    genuinely absent — after [tries] attempts (~2.5 s at the defaults)
+    the last error propagates unchanged.  Other errors never retry. *)
+let connect ?(tries = 8) ?(backoff = 0.02) (socket_path : string) : t =
+  let rec go attempt delay =
+    match connect_once socket_path with
+    | c -> c
+    | exception
+        (Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) as e) ->
+        if attempt >= tries then raise e
+        else begin
+          ignore (Unix.select [] [] [] delay);
+          go (attempt + 1) (Float.min (delay *. 2.0) 0.8)
+        end
+  in
+  go 1 backoff
 
 let send_line (c : t) (line : string) : unit =
   let payload = line ^ "\n" in

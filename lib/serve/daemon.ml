@@ -22,12 +22,17 @@
     fds are closed exactly once.
 
     [select] bounds the daemon to file descriptors below [FD_SETSIZE]
-    (1024 on Linux): a dedicated pdbd process comfortably serves the
-    512-client load point of bench B11, but an in-process daemon shares
-    the fd space with its clients — harnesses that need hundreds of
-    concurrent connections should fork the daemon (workloadgen does).
-    If the limit is ever hit the reader fails the [select], closes every
-    connection (clients see EOF, not a hang), and the daemon drains. *)
+    (1024 on Linux).  That bound is a {e handled condition}, not a latent
+    crash: the reader admits at most [max_conns] concurrent connections
+    (default 900 — headroom under FD_SETSIZE for the listen/wake fds and
+    anything else the process holds); a connection beyond that is
+    accepted, answered with a structured [too-many-connections] error,
+    and closed immediately (counted under [serve.rejected]), so a client
+    storm degrades to clean refusals instead of a failed [select].  A
+    dedicated pdbd process comfortably serves the 512-client load point
+    of bench B11; harnesses that need hundreds of concurrent connections
+    should still fork the daemon (workloadgen does) since an in-process
+    daemon shares its fd space with the clients. *)
 
 module S = Pdt_build.Scheduler
 
@@ -35,11 +40,14 @@ type config = {
   socket_path : string;
   domains : int;       (** worker pool size; the reader is one more *)
   max_line : int;      (** request size bound, bytes *)
+  max_conns : int;     (** concurrent-connection bound; connections past
+                           it get a [too-many-connections] error + close
+                           instead of risking the [select] fd limit *)
 }
 
 let default_config =
   { socket_path = "pdbd.sock"; domains = S.default_domains ();
-    max_line = 1 lsl 20 }
+    max_line = 1 lsl 20; max_conns = 900 }
 
 type item =
   | Line of string
@@ -179,6 +187,22 @@ let reader_loop (t : t) () =
   let rbuf = Bytes.create 65536 in
   let accept_one () =
     match Unix.accept t.listen_fd with
+    | fd, _ when Hashtbl.length conns >= t.cfg.max_conns ->
+        (* over the admission bound: a clean structured refusal, never a
+           blown FD_SETSIZE.  The reply is best-effort — the client may
+           already be gone — and the fd closes either way. *)
+        Pdt_util.Trace.instant ~cat:"serve" "serve.reject";
+        Pdt_util.Perf.record "serve.rejected" 0;
+        let gen = (Snapshot.current t.holder).Snapshot.gen in
+        let reply =
+          Pdt_util.Json.to_string
+            (Query.error_reply ~id:Pdt_util.Json.Null ~gen
+               "too-many-connections"
+               (Printf.sprintf "daemon at its %d-connection limit"
+                  t.cfg.max_conns))
+        in
+        ignore (write_all fd (reply ^ "\n"));
+        (try Unix.close fd with Unix.Unix_error _ -> ())
     | fd, _ ->
         Pdt_util.Trace.instant ~cat:"serve" "serve.accept";
         Pdt_util.Perf.record "serve.accept" 0;

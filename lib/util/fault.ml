@@ -33,6 +33,12 @@ type config = {
   rate_ppm : int;       (** per-occurrence fault probability, parts/million *)
   sites : string list option;  (** [None] = every site may fault *)
   max_faults : int;     (** total injection budget; [max_int] = unbounded *)
+  skip : int;           (** occurrence-index offset: site occurrence [n]
+                            is judged as occurrence [n + skip].  Lets a
+                            respawned farm worker — whose counters
+                            necessarily restart at zero — continue the
+                            seeded stream instead of replaying the exact
+                            prefix that killed its predecessor *)
 }
 
 let enabled = Atomic.make false
@@ -46,10 +52,10 @@ let injected = ref 0
     [0, 1]; [sites] restricts injection to the named sites; [max_faults]
     bounds the total number of injections (handy to fault exactly the
     first occurrence: [~rate:1.0 ~max_faults:1]). *)
-let arm ?sites ?(max_faults = max_int) ~seed ~rate () =
+let arm ?sites ?(max_faults = max_int) ?(skip = 0) ~seed ~rate () =
   Mutex.lock mutex;
   current :=
-    Some { seed; rate_ppm = int_of_float (rate *. 1e6); sites; max_faults };
+    Some { seed; rate_ppm = int_of_float (rate *. 1e6); sites; max_faults; skip };
   Hashtbl.reset counters;
   injected := 0;
   Atomic.set enabled true;
@@ -105,6 +111,7 @@ let hit (site : string) : string option =
                 Hashtbl.replace counters site (ref 1);
                 1
           in
+          let n = n + c.skip in
           if !injected < c.max_faults && decides c site n then begin
             incr injected;
             Some (Printf.sprintf "%s#%d" site n)
@@ -141,3 +148,100 @@ let is_transient = function
 let with_faults ?sites ?max_faults ~seed ~rate (f : unit -> 'a) : 'a =
   arm ?sites ?max_faults ~seed ~rate ();
   Fun.protect ~finally:disarm f
+
+(* ------------------------------------------------------------------ *)
+(* Environment-carried schedules                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** The environment variable the worker binaries read a schedule from.
+    Crash-only process workers cannot be armed through a function call —
+    they are fresh processes — so the build farm's fault matrix ships the
+    schedule in the environment and every [pdbworker] arms itself from it
+    at startup. *)
+let env_var = "PDT_FAULT_SPEC"
+
+(** Render a schedule as the [PDT_FAULT_SPEC] syntax:
+    [seed=N;rate=F;sites=a,b;max=M;skip=K] — [sites], [max] and [skip]
+    optional.  Later fields win on duplicates, so the farm driver can
+    append a fresh [skip=] per worker spawn without parsing the spec. *)
+let spec_string ?sites ?max_faults ?skip ~seed ~rate () : string =
+  String.concat ";"
+    ([ Printf.sprintf "seed=%d" seed; Printf.sprintf "rate=%f" rate ]
+    @ (match sites with
+       | Some l -> [ "sites=" ^ String.concat "," l ]
+       | None -> [])
+    @ (match max_faults with
+       | Some m -> [ Printf.sprintf "max=%d" m ]
+       | None -> [])
+    @ (match skip with
+       | Some k -> [ Printf.sprintf "skip=%d" k ]
+       | None -> []))
+
+(** Parse a [PDT_FAULT_SPEC] string.  [Error] names the offending field;
+    an empty string parses as "no schedule". *)
+let parse_spec (s : string) :
+    ((int * float * string list option * int option * int) option, string)
+    result =
+  if String.trim s = "" then Ok None
+  else
+    let seed = ref None and rate = ref None in
+    let sites = ref None and max_faults = ref None and skip = ref 0 in
+    let bad = ref None in
+    List.iter
+      (fun field ->
+        let field = String.trim field in
+        if field <> "" then
+          match String.index_opt field '=' with
+          | None -> bad := Some field
+          | Some i -> (
+              let k = String.sub field 0 i in
+              let v = String.sub field (i + 1) (String.length field - i - 1) in
+              match k with
+              | "seed" -> (
+                  match int_of_string_opt v with
+                  | Some n -> seed := Some n
+                  | None -> bad := Some field)
+              | "rate" -> (
+                  match float_of_string_opt v with
+                  | Some r when r >= 0.0 && r <= 1.0 -> rate := Some r
+                  | _ -> bad := Some field)
+              | "sites" ->
+                  sites :=
+                    Some
+                      (List.filter
+                         (fun s -> s <> "")
+                         (String.split_on_char ',' v))
+              | "max" -> (
+                  match int_of_string_opt v with
+                  | Some n -> max_faults := Some n
+                  | None -> bad := Some field)
+              | "skip" -> (
+                  match int_of_string_opt v with
+                  | Some n when n >= 0 -> skip := n
+                  | _ -> bad := Some field)
+              | _ -> bad := Some field))
+      (String.split_on_char ';' s);
+    match (!bad, !seed, !rate) with
+    | Some f, _, _ -> Error (Printf.sprintf "bad field %S" f)
+    | None, None, _ -> Error "missing seed="
+    | None, _, None -> Error "missing rate="
+    | None, Some seed, Some rate ->
+        Ok (Some (seed, rate, !sites, !max_faults, !skip))
+
+(** Arm from [PDT_FAULT_SPEC] if it is set and non-empty; returns whether
+    a schedule was armed.  A malformed spec is reported on stderr and
+    ignored — a typo in a test harness must degrade to "no injection",
+    never crash the worker it was aimed at. *)
+let arm_from_env () : bool =
+  match Sys.getenv_opt env_var with
+  | None -> false
+  | Some s -> (
+      match parse_spec s with
+      | Ok None -> false
+      | Ok (Some (seed, rate, sites, max_faults, skip)) ->
+          arm ?sites ?max_faults ~skip ~seed ~rate ();
+          true
+      | Error msg ->
+          Printf.eprintf "fault: ignoring malformed %s (%s): %S\n%!" env_var
+            msg s;
+          false)

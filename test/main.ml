@@ -21,6 +21,7 @@ let () =
       ("il", Test_il.suite);
       ("build", Test_build.suite);
       ("faults", Test_faults.suite);
+      ("farm", Test_farm.suite);
       ("diag", Test_diag.suite);
       ("fuzz", Test_fuzz.suite);
       ("integration", Test_integration.suite);

@@ -271,14 +271,21 @@ let test_header_edit_invalidates_includers () =
 let test_corrupt_cache_recompiles () =
   let cache_dir = fresh_dir () in
   let cold = build ~cache_dir ~domains:2 (project ()) in
-  (* truncate / garble every entry on disk *)
-  Array.iter
-    (fun f ->
-      let path = Filename.concat cache_dir f in
-      let oc = open_out_bin path in
-      output_string oc "garbage, not a cache entry";
-      close_out oc)
-    (Sys.readdir cache_dir);
+  (* truncate / garble every entry on disk — recursively, since v4
+     shards entries under objects/<hh>/ *)
+  let rec garble dir =
+    Array.iter
+      (fun f ->
+        let path = Filename.concat dir f in
+        if Sys.is_directory path then garble path
+        else if Filename.check_suffix path ".pdb" then begin
+          let oc = open_out_bin path in
+          output_string oc "garbage, not a cache entry";
+          close_out oc
+        end)
+      (Sys.readdir dir)
+  in
+  garble cache_dir;
   let r = build ~cache_dir ~domains:2 (project ()) in
   Alcotest.(check int) "corrupt entries recompiled" (n_tus + 1) r.B.compiled;
   Alcotest.(check int) "no corrupt entry served" 0 r.B.cached;
@@ -299,7 +306,7 @@ let test_cache_load_rejects_stale_version () =
          (pdb_string loaded)
    | None -> Alcotest.fail "freshly stored entry must load");
   (* rewrite the entry with a wrong-version header: stale, not crash *)
-  let path = Filename.concat cache_dir (key ^ ".pdb")
+  let path = C.entry_path cache key
   and body = pdb_string pdb in
   let oc = open_out_bin path in
   Printf.fprintf oc "PDT-CACHE v%d key=%s\n%s" (C.format_version + 1) key body;

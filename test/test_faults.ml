@@ -42,20 +42,32 @@ let rec rm_rf path =
     end
     else Sys.remove path
 
-let copy_dir src dst =
+(* recursive: v4 caches shard entries under objects/<hh>/, and a flat
+   copy would seed an empty warm template *)
+let rec copy_dir src dst =
   C.mkdir_p dst;
   Array.iter
     (fun f ->
       let s = Filename.concat src f in
-      if not (Sys.is_directory s) then begin
+      let d = Filename.concat dst f in
+      if Sys.is_directory s then copy_dir s d
+      else begin
         let ic = open_in_bin s in
         let c = really_input_string ic (in_channel_length ic) in
         close_in ic;
-        let oc = open_out_bin (Filename.concat dst f) in
+        let oc = open_out_bin d in
         output_string oc c;
         close_out oc
       end)
     (Sys.readdir src)
+
+(* every regular file under [dir], any depth *)
+let rec walk_files dir acc =
+  Array.fold_left
+    (fun acc f ->
+      let p = Filename.concat dir f in
+      if Sys.is_directory p then walk_files p acc else p :: acc)
+    acc (Sys.readdir dir)
 
 (* keep the matrix project small: n_tus + 1 = 4 units per build *)
 let n_tus = 3
@@ -112,17 +124,19 @@ let seeds =
   List.init (if List.length matrix_domains = 1 then 13 else 7) (fun i -> i + 1)
 
 let no_residual_tmp dir =
-  Array.for_all
-    (fun f ->
-      (* a live entry is <key>.pdb; quarantine/ holds failed entries;
-         nothing else may survive a build *)
+  List.for_all
+    (fun path ->
+      (* a live entry is objects/<hh>/<key>.pdb; quarantine/ holds failed
+         entries; locks/ holds shard locks; nothing else may survive a
+         build — checked recursively since v4 shards the entry tree *)
+      let f = Filename.basename path in
       let has_sub sub s =
         let ls = String.length sub and ln = String.length s in
         let rec go i = i + ls <= ln && (String.sub s i ls = sub || go (i + 1)) in
         go 0
       in
       not (has_sub ".tmp." f))
-    (Sys.readdir dir)
+    (walk_files dir [])
 
 (* Run one schedule and return how many faults it injected.  [F.disarm]
    clears the injection counter, so it is captured inside the armed
@@ -497,6 +511,8 @@ let test_corrupt_wrong_key () =
   let k1 = C.key ~vfs ~options:"opts" s1 in
   let k2 = C.key ~vfs ~options:"opts" s2 in
   C.store cache k1 pdb;
+  (* k2 may land in a shard no store has created yet *)
+  C.mkdir_p (Filename.dirname (C.entry_path cache k2));
   write_file (C.entry_path cache k2) (read_file (C.entry_path cache k1));
   Alcotest.(check bool) "misfiled entry is a miss" true
     (C.load cache k2 = None);
@@ -616,9 +632,9 @@ let test_mkdir_p_nested () =
   Alcotest.(check int) "build into a/b/c cache is clean" 0 r.B.failed;
   Alcotest.(check bool) "entries actually stored" true
     (Sys.file_exists deep
-     && Array.exists
+     && List.exists
           (fun f -> Filename.check_suffix f ".pdb")
-          (Sys.readdir deep));
+          (walk_files deep []));
   let warm = build ~cache_dir:deep ~domains:1 (project ()) in
   Alcotest.(check int) "warm build all cached" (n_tus + 1) warm.B.cached;
   rm_rf base
@@ -891,6 +907,53 @@ let test_fault_disarmed_is_inert () =
       Alcotest.(check bool) "unarmed site is inert" false (F.should "other");
       Alcotest.(check bool) "armed site fires" true (F.should "only.this"))
 
+(* ---------------- environment-carried schedules ---------------- *)
+
+let test_fault_spec_roundtrip () =
+  let spec =
+    F.spec_string ~sites:[ "a"; "b" ] ~max_faults:3 ~skip:17 ~seed:42
+      ~rate:0.25 ()
+  in
+  (match F.parse_spec spec with
+  | Ok (Some (42, r, Some [ "a"; "b" ], Some 3, 17))
+    when Float.abs (r -. 0.25) < 1e-9 ->
+      ()
+  | _ -> Alcotest.failf "spec did not round-trip: %s" spec);
+  (match F.parse_spec "" with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "empty spec must parse as no schedule");
+  (match F.parse_spec "seed=1;rate=0.5" with
+  | Ok (Some (1, _, None, None, 0)) -> ()
+  | _ -> Alcotest.fail "minimal spec defaults skip to 0");
+  List.iter
+    (fun bad ->
+      match F.parse_spec bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "malformed spec %S accepted" bad)
+    [ "rate=0.5"; "seed=1"; "seed=1;rate=2.0"; "seed=x;rate=0.5";
+      "seed=1;rate=0.5;skip=-1"; "seed=1;rate=0.5;bogus=1" ];
+  (* later fields win on duplicates — the farm driver relies on this to
+     append a fresh skip= per worker spawn without parsing the spec *)
+  match F.parse_spec "seed=1;rate=0.5;skip=3;skip=9" with
+  | Ok (Some (_, _, _, _, 9)) -> ()
+  | _ -> Alcotest.fail "later skip= must win"
+
+let test_fault_skip_shifts_window () =
+  (* arming with skip=k must judge occurrence n as occurrence n+k: the
+     respawned-worker contract that keeps a seeded kill schedule from
+     replaying its fatal prefix on every successor process *)
+  let sample ~skip n =
+    F.arm ~sites:[ "w" ] ~skip ~seed:5 ~rate:0.3 ();
+    let l = List.init n (fun _ -> F.should "w") in
+    F.disarm ();
+    l
+  in
+  let full = sample ~skip:0 30 in
+  let shifted = sample ~skip:10 20 in
+  let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+  Alcotest.(check (list bool)) "skip k == occurrences k+1.." (drop 10 full)
+    shifted
+
 let suite =
   [ Alcotest.test_case "injection matrix: >=200 seeded schedules" `Slow
       test_fault_matrix;
@@ -946,4 +1009,8 @@ let suite =
     Alcotest.test_case "fault schedules are seed-deterministic" `Quick
       test_fault_schedule_deterministic;
     Alcotest.test_case "disarmed fault layer is inert" `Quick
-      test_fault_disarmed_is_inert ]
+      test_fault_disarmed_is_inert;
+    Alcotest.test_case "PDT_FAULT_SPEC round-trips and rejects garbage" `Quick
+      test_fault_spec_roundtrip;
+    Alcotest.test_case "skip= offsets the occurrence window" `Quick
+      test_fault_skip_shifts_window ]

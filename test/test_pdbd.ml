@@ -89,9 +89,10 @@ let rec connect_retry ?(tries = 200) path =
       connect_retry ~tries:(tries - 1) path
 
 let with_daemon ?(domains = test_domains 2) ?(max_line = Dm.default_config.Dm.max_line)
-    (holder : Snap.t) (f : string -> unit) : unit =
+    ?(max_conns = Dm.default_config.Dm.max_conns) (holder : Snap.t)
+    (f : string -> unit) : unit =
   let socket_path = fresh_socket () in
-  let t = Dm.start ~config:{ Dm.socket_path; domains; max_line } holder in
+  let t = Dm.start ~config:{ Dm.socket_path; domains; max_line; max_conns } holder in
   Fun.protect ~finally:(fun () -> Dm.stop t) (fun () -> f socket_path)
 
 let reply_ok (j : J.t) = J.member "ok" j = Some (J.Bool true)
@@ -334,6 +335,52 @@ let test_oversized_line () =
   in
   Alcotest.(check bool) "daemon alive" true (reply_ok ping);
   Cl.close c3
+
+let test_too_many_connections () =
+  (* connections past max_conns get a structured rejection and a close;
+     established clients are untouched, and a freed slot readmits *)
+  with_daemon ~max_conns:2 (stack_holder ()) @@ fun socket ->
+  let ping c name =
+    reply_ok (get_reply name (Cl.request_json c (J.Obj [ ("verb", J.Str "ping") ])))
+  in
+  let c1 = connect_retry socket in
+  let c2 = connect_retry socket in
+  Alcotest.(check bool) "first client serves" true (ping c1 "c1 ping");
+  Alcotest.(check bool) "second client serves" true (ping c2 "c2 ping");
+  let c3 = connect_retry socket in
+  (match Cl.recv_line c3 with
+   | None -> Alcotest.fail "rejected connection got no reply before close"
+   | Some line -> (
+       match J.parse line with
+       | Ok j ->
+           Alcotest.(check bool) "rejection is an error" false (reply_ok j);
+           (match
+              Option.bind (J.member "error" j) (fun e -> J.member "code" e)
+            with
+            | Some (J.Str "too-many-connections") -> ()
+            | _ -> Alcotest.failf "expected code too-many-connections: %s" line)
+       | Error e -> Alcotest.failf "rejection reply unparseable: %s" e));
+  Alcotest.(check bool) "rejected connection closed" true
+    (Cl.recv_line c3 = None);
+  Cl.close c3;
+  Alcotest.(check bool) "established client unharmed" true (ping c1 "c1 again");
+  Cl.close c1;
+  (* the daemon reaps the disconnect on its next loop turn; retry until
+     the freed slot readmits *)
+  let rec readmitted tries =
+    let c = connect_retry socket in
+    match Cl.request_json c (J.Obj [ ("verb", J.Str "ping") ]) with
+    | Some j when reply_ok j -> Cl.close c
+    | _ ->
+        Cl.close c;
+        if tries = 0 then Alcotest.fail "slot never freed after disconnect"
+        else begin
+          ignore (Unix.select [] [] [] 0.02);
+          readmitted (tries - 1)
+        end
+  in
+  readmitted 200;
+  Cl.close c2
 
 (* ---------------- concurrency: snapshot isolation under reloads ----- *)
 
@@ -578,6 +625,8 @@ let suite =
     Alcotest.test_case "socket smoke" `Quick test_socket_smoke;
     Alcotest.test_case "pipelined requests keep order" `Quick
       test_pipelined_ordering;
+    Alcotest.test_case "too many connections: structured rejection" `Quick
+      test_too_many_connections;
     Alcotest.test_case "oversized line: error then close" `Quick
       test_oversized_line;
     Alcotest.test_case "stress: snapshot isolation under reloads" `Slow
