@@ -15,6 +15,8 @@
          readable record in BENCH_pdb_io.json)
      B10 container scaling, ASCII vs PDB-B binary mmap         (machine-
          readable record in BENCH_pdb_scale.json)
+     B13 semantic analyses: define-use chains and MHP          (machine-
+         readable record in BENCH_pdb_semantic.json)
 
    The merge benchmarks honor a --domains 1,2,4,8 request (comma list);
    counts the host cannot really parallelize are recorded as skipped.
@@ -1184,6 +1186,153 @@ let b12_farm ~quick () =
       print_endline "wrote BENCH_farm.json"
 
 (* ------------------------------------------------------------------ *)
+(* B13: semantic analyses — define-use chains and MHP                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Two costs.  The define-use pass runs inside the analyzer (there is no
+   off switch), so the build side reports attribute volume and the query
+   side reports chain-rendering throughput over every (routine, variable)
+   pair of a generated project.  The MHP relation is never stored — it is
+   derived per query by Mhp.compute — so we sweep spawn-ladder programs
+   of growing width and price the derivation against the size of the
+   pair set it produces. *)
+let b13_semantic ~quick () =
+  section "B13: semantic analyses (define-use chains, MHP)";
+  let module M = Pdt_analyzer.Mhp in
+  let module Duct = Pdt_tools.Duct in
+  let reps = if quick then 2 else 3 in
+  let best f = List.fold_left min infinity (List.init reps (fun _ -> f ())) in
+  (* define-use: one single-Domain build of a generated project; the
+     attribute totals make regressions in pass coverage visible *)
+  let n_tus = if quick then 6 else 16 in
+  let options =
+    { Pdt_build.Build.default_options with domains = 1; cache_dir = None }
+  in
+  let vfs, sources = Pdt_workloads.Generator.project_vfs ~n_tus () in
+  let build_once () =
+    let t0 = Unix.gettimeofday () in
+    let r = Pdt_build.Build.build ~options ~vfs sources in
+    assert (r.Pdt_build.Build.failed = 0);
+    (r.Pdt_build.Build.merged, Unix.gettimeofday () -. t0)
+  in
+  let merged, _ = build_once () in
+  let build_s = best (fun () -> snd (build_once ())) in
+  let du_vars, du_uses, du_uninit =
+    List.fold_left
+      (fun acc (r : P.routine_item) ->
+        List.fold_left
+          (fun (v, u, un) (dv : P.du_var) ->
+            ( v + 1,
+              u + List.length dv.P.v_uses,
+              un
+              + List.length
+                  (List.filter (fun (x : P.du_use) -> x.P.u_uninit) dv.P.v_uses)
+            ))
+          acc r.P.ro_du)
+      (0, 0, 0) merged.P.routines
+  in
+  let d = D.index merged in
+  let chain_queries = ref 0 in
+  let chain_pass () =
+    let t0 = Unix.gettimeofday () in
+    chain_queries := 0;
+    List.iter
+      (fun (r : P.routine_item) ->
+        List.iter
+          (fun (dv : P.du_var) ->
+            ignore (Duct.chain_text d r dv);
+            incr chain_queries)
+          r.P.ro_du)
+      merged.P.routines;
+    Unix.gettimeofday () -. t0
+  in
+  let chain_s = best chain_pass in
+  let chain_us =
+    if !chain_queries = 0 then 0.0
+    else chain_s *. 1e6 /. float_of_int !chain_queries
+  in
+  Printf.printf
+    "define-use: %d TUs + main, single Domain, best of %d\n\n" n_tus reps;
+  Printf.printf "build (front end + analyzer + DU) : %.3fs\n" build_s;
+  Printf.printf "attribute volume                  : %d vars, %d uses (%d possibly uninitialized)\n"
+    du_vars du_uses du_uninit;
+  Printf.printf "chain queries (all routine/var)   : %d in %.4fs  (%.1f us/query)\n"
+    !chain_queries chain_s chain_us;
+  (* MHP: spawn ladders — main spawns k routines, all windows overlap,
+     then joins them all; pairs grow ~k^2/2, so the sweep prices the
+     query-time derivation against its own output size *)
+  let spawn_program ~k =
+    let b = Buffer.create 1024 in
+    let pr fmt =
+      Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n')
+        fmt
+    in
+    for i = 0 to k - 1 do pr "int f%d() { return %d; }" i i done;
+    pr "int main() {";
+    for i = 0 to k - 1 do pr "  spawn f%d();" i done;
+    for i = 0 to k - 1 do pr "  join f%d;" i done;
+    pr "  return 0;";
+    pr "}";
+    Buffer.contents b
+  in
+  let ks = if quick then [ 4; 16 ] else [ 4; 16; 64; 128 ] in
+  let mhp_points =
+    List.map
+      (fun k ->
+        let c = Pdt.compile_string (spawn_program ~k) in
+        assert (not (Pdt_util.Diag.has_errors c.Pdt.diags));
+        let pdb = Pdt_analyzer.Analyzer.run c.Pdt.program in
+        let compute_s = best (fun () ->
+          let t0 = Unix.gettimeofday () in
+          ignore (M.compute pdb);
+          Unix.gettimeofday () -. t0)
+        in
+        let m = M.compute pdb in
+        let sites =
+          List.fold_left
+            (fun acc (r : P.routine_item) -> acc + List.length r.P.ro_spawns)
+            0 pdb.P.routines
+        in
+        (k, List.length pdb.P.routines, sites, List.length (M.pairs m),
+         compute_s))
+      ks
+  in
+  sub "Mhp.compute over spawn ladders";
+  List.iter
+    (fun (k, routines, sites, pairs, s) ->
+      Printf.printf "k=%3d : %3d routines, %3d sites -> %5d pairs in %.5fs\n"
+        k routines sites pairs s)
+    mhp_points;
+  let oc = open_out "BENCH_pdb_semantic.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"pdb_semantic\",\n\
+    \  \"quick\": %b,\n\
+    \  \"du\": {\n\
+    \    \"n_tus\": %d,\n\
+    \    \"build_s\": %.4f,\n\
+    \    \"vars\": %d,\n\
+    \    \"uses\": %d,\n\
+    \    \"uninit\": %d,\n\
+    \    \"chain_queries\": %d,\n\
+    \    \"chain_wall_s\": %.5f,\n\
+    \    \"chain_us_per_query\": %.2f\n\
+    \  },\n\
+    \  \"mhp\": [\n"
+    quick n_tus build_s du_vars du_uses du_uninit !chain_queries chain_s
+    chain_us;
+  List.iteri
+    (fun i (k, routines, sites, pairs, s) ->
+      Printf.fprintf oc
+        "    { \"k\": %d, \"routines\": %d, \"spawn_sites\": %d, \"pairs\": %d, \"compute_s\": %.6f }%s\n"
+        k routines sites pairs s
+        (if i = List.length mhp_points - 1 then "" else ","))
+    mhp_points;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  print_endline "wrote BENCH_pdb_semantic.json"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
@@ -1204,6 +1353,7 @@ let () =
   b9_incremental ~quick ();
   b10_pdb_scale ~quick ~domains ();
   b12_farm ~quick ();
+  b13_semantic ~quick ();
   specialization_mapping ();
   if not quick then bechamel_benches ();
   print_newline ()

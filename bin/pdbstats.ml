@@ -15,6 +15,7 @@ let run pdb_file =
       Printf.eprintf "pdbstats: %s\n" msg;
       1
   | d ->
+  Option.iter prerr_endline (Pdt_tools.Duct.semantics_note d);
   print_string (Pdt_tools.Pdbstats.report d);
   0
 

@@ -16,6 +16,7 @@ let run pdb_file which root =
       1
   | d ->
   Option.iter prerr_endline (Pdt_tools.Pdbtree.incomplete_note d);
+  Option.iter prerr_endline (Pdt_tools.Duct.semantics_note d);
   let root_routine =
     Option.bind root (fun name ->
         List.find_opt

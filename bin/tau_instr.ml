@@ -7,7 +7,7 @@
 
 open Cmdliner
 
-let run source includes outdir do_run trace select =
+let run source includes outdir do_run trace select mhp_only =
   let vfs = Pdt_util.Vfs.create ~include_paths:includes () in
   Pdt_util.Vfs.set_disk_fallback vfs true;
   Pdt_workloads.Ministl.mount vfs;
@@ -19,6 +19,15 @@ let run source includes outdir do_run trace select =
     let pdb = Pdt_analyzer.Analyzer.run c.Pdt.program in
     let d = Pdt_ductape.Ductape.index pdb in
     let plan = Pdt_tau.Instrument.plan d in
+    let plan =
+      if mhp_only then begin
+        let filtered = Pdt_tau.Instrument.mhp_only d plan in
+        Printf.printf "mhp-only: %d of %d instrumentation points concurrent\n"
+          (List.length filtered) (List.length plan);
+        filtered
+      end
+      else plan
+    in
     let plan =
       match select with
       | None -> plan
@@ -90,9 +99,15 @@ let select =
        & info [ "select" ] ~docv:"FILE"
            ~doc:"Selective instrumentation file (BEGIN_EXCLUDE_LIST / BEGIN_INCLUDE_LIST)")
 
+let mhp_only =
+  Arg.(value & flag
+       & info [ "mhp-only" ]
+           ~doc:"Instrument only routines the may-happen-in-parallel analysis \
+                 marks as possibly concurrent (spawn/join extension)")
+
 let cmd =
   let doc = "instrument C++ source with TAU measurement macros via PDT" in
   Cmd.v (Cmd.info "tau_instr" ~doc)
-    Term.(const run $ source $ includes $ outdir $ do_run $ trace $ select)
+    Term.(const run $ source $ includes $ outdir $ do_run $ trace $ select $ mhp_only)
 
 let () = exit (Cmd.eval' cmd)

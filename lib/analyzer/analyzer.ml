@@ -281,6 +281,17 @@ let traverse_routines st =
                   c_virt = cs.cs_virtual;
                   c_loc = mk_loc st cs.cs_loc })
               (Il.calls r);
+          ro_spawns =
+            List.filter_map
+              (fun (ss : Il.spawn_site) ->
+                Option.map
+                  (fun callee ->
+                    { P.sp_callee = callee;
+                      sp_loc = mk_loc st ss.ss_loc;
+                      sp_join = Option.map (mk_loc st) ss.ss_join })
+                  (Hashtbl.find_opt st.routine_map ss.ss_callee))
+              (Il.spawns r);
+          ro_du = Duchain.compute ~loc_of:(mk_loc st) r;
           ro_pos = mk_extent st r.ro_extent;
           ro_defined = r.ro_defined })
       (Il.routines st.prog)

@@ -1,0 +1,326 @@
+(** Intra-routine define-use chains (reaching definitions).
+
+    A structural dataflow pass over the routine body AST: no CFG is built.
+    The abstract state maps each tracked variable (parameter or local
+    declared in the body) to the set of definition sites that may reach the
+    current program point, plus a flag recording whether some path reaches
+    the point with no definition at all (the "possibly uninitialized"
+    verdict the PDB stores on the use).
+
+    Control flow is handled by interpretation: branches fork the state and
+    join by union; loops iterate to a fixpoint (the state lattice is finite
+    — definition sites are syntactic — so iteration terminates).  Uses are
+    recorded into per-location accumulators that union across iterations,
+    which makes re-walking a loop body idempotent.
+
+    Only simple unqualified names are tracked.  Member accesses, globals
+    and qualified names fall outside the intra-routine relation and are
+    ignored, exactly like the address-taken escape hatch: [&x] counts as a
+    use and conservatively also as a definition (the pointer may write
+    back). *)
+
+open Pdt_util
+open Pdt_il
+module Ast = Pdt_ast.Ast
+module P = Pdt_pdb.Pdb
+
+module Smap = Map.Make (String)
+module Lset = Set.Make (struct
+  type t = Srcloc.t
+
+  let compare = Stdlib.compare
+end)
+
+(* per-variable reaching state: definition sites that may reach here, and
+   whether an undefined path also reaches here *)
+type vstate = { reach : Lset.t; maybe_undef : bool }
+
+type use_acc = {
+  ua_loc : Srcloc.t;
+  mutable ua_reach : Lset.t;
+  mutable ua_undef : bool;
+}
+
+type var_acc = {
+  va_name : string;
+  mutable va_defs : Srcloc.t list;  (* first-seen order, reversed *)
+  mutable va_uses : use_acc list;   (* first-seen order, reversed *)
+  mutable va_use_at : (Srcloc.t, use_acc) Hashtbl.t;
+}
+
+type ctx = {
+  vars : (string, var_acc) Hashtbl.t;
+  mutable order : string list;  (* registration order, reversed *)
+}
+
+let var_acc ctx name =
+  match Hashtbl.find_opt ctx.vars name with
+  | Some va -> va
+  | None ->
+      let va =
+        { va_name = name; va_defs = []; va_uses = []; va_use_at = Hashtbl.create 4 }
+      in
+      Hashtbl.replace ctx.vars name va;
+      ctx.order <- name :: ctx.order;
+      va
+
+let note_def ctx name loc =
+  let va = var_acc ctx name in
+  if not (List.exists (fun l -> Stdlib.compare l loc = 0) va.va_defs) then
+    va.va_defs <- loc :: va.va_defs
+
+let note_use ctx name loc (st : vstate) =
+  let va = var_acc ctx name in
+  let ua =
+    match Hashtbl.find_opt va.va_use_at loc with
+    | Some ua -> ua
+    | None ->
+        let ua = { ua_loc = loc; ua_reach = Lset.empty; ua_undef = false } in
+        Hashtbl.replace va.va_use_at loc ua;
+        va.va_uses <- ua :: va.va_uses;
+        ua
+  in
+  ua.ua_reach <- Lset.union ua.ua_reach st.reach;
+  ua.ua_undef <- ua.ua_undef || st.maybe_undef
+
+(* ------------------------------------------------------------------ *)
+(* Abstract state                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let merge_state (a : vstate Smap.t) (b : vstate Smap.t) : vstate Smap.t =
+  Smap.union
+    (fun _ x y ->
+      Some
+        { reach = Lset.union x.reach y.reach;
+          maybe_undef = x.maybe_undef || y.maybe_undef })
+    a b
+
+let state_equal (a : vstate Smap.t) (b : vstate Smap.t) : bool =
+  Smap.equal
+    (fun x y -> Lset.equal x.reach y.reach && x.maybe_undef = y.maybe_undef)
+    a b
+
+let define env name loc = Smap.add name { reach = Lset.singleton loc; maybe_undef = false } env
+
+let declare_undef env name = Smap.add name { reach = Lset.empty; maybe_undef = true } env
+
+(* a use of [name] observes the current state; untracked names (not in the
+   environment: globals, members, shadowing oddities) are ignored *)
+let observe ctx env name loc =
+  match Smap.find_opt name env with
+  | Some st -> note_use ctx name loc st
+  | None -> ()
+
+let simple (q : Ast.qual_name) : string option =
+  match q with
+  | { Ast.global = false; parts = [ { Ast.id; targs = None } ] } -> Some id
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Walk                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec walk_expr ctx env (e : Ast.expr) : vstate Smap.t =
+  match e.Ast.e with
+  | Ast.IntE _ | Ast.FloatE _ | Ast.CharE _ | Ast.StringE _ | Ast.BoolE _
+  | Ast.ThisE | Ast.SizeofT _ ->
+      env
+  | Ast.IdE q ->
+      (match simple q with Some n -> observe ctx env n e.Ast.eloc | None -> ());
+      env
+  | Ast.Assign (op, ({ Ast.e = Ast.IdE q; eloc = lloc } as _lhs), rhs) -> (
+      match simple q with
+      | Some n when Smap.mem n env ->
+          let env = walk_expr ctx env rhs in
+          (* compound assignment reads the target before writing it *)
+          if not (String.equal op "=") then observe ctx env n lloc;
+          note_def ctx n lloc;
+          define env n lloc
+      | _ ->
+          let env = walk_expr ctx env rhs in
+          env)
+  | Ast.Assign (_, lhs, rhs) ->
+      let env = walk_expr ctx env rhs in
+      walk_expr ctx env lhs
+  | Ast.Unary (("++" | "--"), { Ast.e = Ast.IdE q; eloc = lloc }) -> (
+      match simple q with
+      | Some n when Smap.mem n env ->
+          observe ctx env n lloc;
+          note_def ctx n lloc;
+          define env n lloc
+      | _ -> env)
+  | Ast.Postfix (_, { Ast.e = Ast.IdE q; eloc = lloc }) -> (
+      match simple q with
+      | Some n when Smap.mem n env ->
+          observe ctx env n lloc;
+          note_def ctx n lloc;
+          define env n lloc
+      | _ -> env)
+  | Ast.Unary ("&", ({ Ast.e = Ast.IdE q; eloc = lloc } as a)) -> (
+      (* address-taken: a use, and conservatively a definition (the callee
+         may write through the pointer) *)
+      match simple q with
+      | Some n when Smap.mem n env ->
+          observe ctx env n lloc;
+          note_def ctx n lloc;
+          define env n lloc
+      | _ -> walk_expr ctx env a)
+  | Ast.Unary (_, a) | Ast.Postfix (_, a) -> walk_expr ctx env a
+  | Ast.Binary (_, a, b) ->
+      let env = walk_expr ctx env a in
+      walk_expr ctx env b
+  | Ast.Cond (c, a, b) ->
+      let env = walk_expr ctx env c in
+      let ea = walk_expr ctx env a in
+      let eb = walk_expr ctx env b in
+      merge_state ea eb
+  | Ast.Call (f, args) ->
+      let env = walk_expr ctx env f in
+      List.fold_left (fun env a -> walk_expr ctx env a) env args
+  | Ast.Member (o, _, _) -> walk_expr ctx env o
+  | Ast.Index (a, i) ->
+      let env = walk_expr ctx env a in
+      walk_expr ctx env i
+  | Ast.CCast (_, a) | Ast.NamedCast (_, _, a) | Ast.SizeofE a -> walk_expr ctx env a
+  | Ast.Construct (_, args) ->
+      List.fold_left (fun env a -> walk_expr ctx env a) env args
+  | Ast.New (_, args, size) ->
+      let env =
+        match args with
+        | Some args -> List.fold_left (fun env a -> walk_expr ctx env a) env args
+        | None -> env
+      in
+      (match size with Some sz -> walk_expr ctx env sz | None -> env)
+  | Ast.Delete (_, a) -> walk_expr ctx env a
+  | Ast.ThrowE a -> ( match a with Some a -> walk_expr ctx env a | None -> env)
+  | Ast.Comma (a, b) ->
+      let env = walk_expr ctx env a in
+      walk_expr ctx env b
+
+and walk_stmt ctx env (s : Ast.stmt) : vstate Smap.t =
+  match s.Ast.s with
+  | Ast.SExpr None -> env
+  | Ast.SExpr (Some e) -> walk_expr ctx env e
+  | Ast.SDecl vds ->
+      List.fold_left
+        (fun env (vd : Ast.var_decl) ->
+          match vd.Ast.v_init with
+          | Ast.NoInit ->
+              ignore (var_acc ctx vd.Ast.v_name);
+              declare_undef env vd.Ast.v_name
+          | Ast.EqInit e ->
+              let env = walk_expr ctx env e in
+              note_def ctx vd.Ast.v_name vd.Ast.v_loc;
+              define env vd.Ast.v_name vd.Ast.v_loc
+          | Ast.CtorInit args ->
+              let env = List.fold_left (fun env a -> walk_expr ctx env a) env args in
+              note_def ctx vd.Ast.v_name vd.Ast.v_loc;
+              define env vd.Ast.v_name vd.Ast.v_loc)
+        env vds
+  | Ast.SCompound ss -> List.fold_left (fun env s -> walk_stmt ctx env s) env ss
+  | Ast.SIf (c, a, b) ->
+      let env = walk_expr ctx env c in
+      let ea = walk_stmt ctx env a in
+      let eb = match b with Some b -> walk_stmt ctx env b | None -> env in
+      merge_state ea eb
+  | Ast.SWhile (c, b) ->
+      let head env = walk_expr ctx env c in
+      fixpoint ctx (head env) (fun env -> head (walk_stmt ctx env b))
+  | Ast.SDoWhile (b, c) ->
+      let once env = walk_expr ctx (walk_stmt ctx env b) c in
+      fixpoint ctx (once env) once
+  | Ast.SFor (i, c, st, b) ->
+      let env = match i with Some i -> walk_stmt ctx env i | None -> env in
+      let head env =
+        match c with Some c -> walk_expr ctx env c | None -> env
+      in
+      let iter env =
+        let env = walk_stmt ctx env b in
+        let env = match st with Some st -> walk_expr ctx env st | None -> env in
+        head env
+      in
+      fixpoint ctx (head env) iter
+  | Ast.SReturn e -> ( match e with Some e -> walk_expr ctx env e | None -> env)
+  | Ast.SBreak | Ast.SContinue -> env
+  | Ast.SSwitch (e, cases) ->
+      let env = walk_expr ctx env e in
+      List.fold_left
+        (fun acc (c : Ast.switch_case) ->
+          let env =
+            match c.Ast.case_guard with
+            | Some g -> walk_expr ctx env g
+            | None -> env
+          in
+          let env =
+            List.fold_left (fun env s -> walk_stmt ctx env s) env c.Ast.case_body
+          in
+          merge_state acc env)
+        env cases
+  | Ast.STry (b, hs) ->
+      let eb = walk_stmt ctx env b in
+      List.fold_left
+        (fun acc (h : Ast.handler) -> merge_state acc (walk_stmt ctx eb h.Ast.h_body))
+        eb hs
+  | Ast.SSpawn e -> walk_expr ctx env e
+  | Ast.SJoin _ -> env
+
+(* iterate [step] from [env] until the state stops growing; the use
+   accumulators union across iterations, so repeated walks are safe *)
+and fixpoint _ctx (env : vstate Smap.t) (step : vstate Smap.t -> vstate Smap.t) :
+    vstate Smap.t =
+  let rec go env n =
+    if n > 64 then env  (* belt and braces: the lattice is finite anyway *)
+    else
+      let env' = merge_state env (step env) in
+      if state_equal env env' then env' else go env' (n + 1)
+  in
+  go env 0
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Compute the define-use chains for one routine, rendering source
+    locations through [loc_of] (the analyzer's file-id mapping).  Routines
+    without a body yield the empty relation. *)
+let compute ~(loc_of : Srcloc.t -> P.loc) (r : Il.routine_entity) : P.du_var list =
+  match r.Il.ro_body with
+  | None -> []
+  | Some body ->
+      Fault.check "analyzer.du";
+      let ctx = { vars = Hashtbl.create 16; order = [] } in
+      (* parameters are definitions at their declaration site *)
+      let env =
+        List.fold_left
+          (fun env (p : Il.param_info) ->
+            match p.Il.pi_name with
+            | Some n ->
+                note_def ctx n p.Il.pi_loc;
+                define env n p.Il.pi_loc
+            | None -> env)
+          Smap.empty r.Il.ro_params
+      in
+      ignore (walk_stmt ctx env body);
+      List.rev_map
+        (fun name ->
+          let va = Hashtbl.find ctx.vars name in
+          let defs = List.rev va.va_defs in
+          let index_of loc =
+            let rec go i = function
+              | [] -> None
+              | d :: rest -> if Stdlib.compare d loc = 0 then Some i else go (i + 1) rest
+            in
+            go 0 defs
+          in
+          { P.v_name = name;
+            v_defs = List.map loc_of defs;
+            v_uses =
+              List.rev_map
+                (fun ua ->
+                  { P.u_loc = loc_of ua.ua_loc;
+                    u_reach =
+                      List.sort_uniq Stdlib.compare
+                        (List.filter_map index_of (Lset.elements ua.ua_reach));
+                    u_uninit = ua.ua_undef })
+                va.va_uses })
+        ctx.order

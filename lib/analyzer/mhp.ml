@@ -1,0 +1,139 @@
+(** May-happen-in-parallel over the PDB's spawn sites.
+
+    The PDB stores the concurrency {e primitives} — per-routine spawn sites
+    with their optional join locations ([rspawn]) — because primitives merge
+    deterministically across translation units.  The MHP {e relation} is
+    derived on demand from a merged database, here.
+
+    The model is the paper's tool-framework one, kept deliberately simple:
+
+    - [spawn f(...)] launches [f] on a new thread; everything [f] may
+      transitively call (its call closure) runs concurrently with the
+      spawning routine's continuation;
+    - the continuation extends from the spawn site to the matching [join]
+      (or to the end of the routine for a [live] spawn), so the host
+      routine itself and every callee it invokes inside that window may
+      happen in parallel with the spawned closure;
+    - two spawns whose windows overlap make their two spawned closures
+      concurrent with each other (this is what puts a routine in parallel
+      with {e itself} when the same routine is spawned twice).
+
+    Nesting is single-level: a spawn inside a spawned routine contributes
+    its own pairs the same way, but no transitive "parallel with my
+    spawner's spawner" closure is taken.  The relation is a sound
+    over-approximation for the subset's structured spawn/join idiom and is
+    exactly what drives [tau_instr --mhp-only] instrumentation selection. *)
+
+open Pdt_util
+module P = Pdt_pdb.Pdb
+
+module Iset = Set.Make (Int)
+
+module Pset = Set.Make (struct
+  type t = int * int
+
+  let compare = Stdlib.compare
+end)
+
+let norm a b = if a <= b then (a, b) else (b, a)
+
+(* location ordering inside one source file; cross-file locations are
+   incomparable and treated conservatively (inside the window) *)
+let loc_le (a : P.loc) (b : P.loc) =
+  a.P.lfile = b.P.lfile
+  && (a.P.lline < b.P.lline || (a.P.lline = b.P.lline && a.P.lcol <= b.P.lcol))
+
+let loc_lt (a : P.loc) (b : P.loc) = loc_le a b && a <> b
+
+(* is [l] within the continuation window (sp_loc, join]? *)
+let in_window (s : P.spawn) (l : P.loc) =
+  if l = P.null_loc then true  (* unknown location: keep, stay sound *)
+  else
+    let after = if l.P.lfile = s.P.sp_loc.P.lfile then loc_lt s.P.sp_loc l else true in
+    let before =
+      match s.P.sp_join with
+      | None -> true
+      | Some j -> if l.P.lfile = j.P.lfile then loc_le l j else true
+    in
+    after && before
+
+type t = {
+  pairs : Pset.t;
+  routines : (int, P.routine_item) Hashtbl.t;
+}
+
+(* transitive call closure of a routine, including itself *)
+let closure (routines : (int, P.routine_item) Hashtbl.t) (root : int) : Iset.t =
+  let seen = ref Iset.empty in
+  let rec go id =
+    if not (Iset.mem id !seen) then begin
+      seen := Iset.add id !seen;
+      match Hashtbl.find_opt routines id with
+      | Some r -> List.iter (fun (c : P.call) -> go c.P.c_callee) r.P.ro_calls
+      | None -> ()
+    end
+  in
+  go root;
+  !seen
+
+(** Build the MHP relation for a (merged) database. *)
+let compute (pdb : P.t) : t =
+  Fault.check "analyzer.mhp";
+  let routines = Hashtbl.create 64 in
+  List.iter (fun (r : P.routine_item) -> Hashtbl.replace routines r.P.ro_id r) pdb.P.routines;
+  let pairs = ref Pset.empty in
+  let add a b = pairs := Pset.add (norm a b) !pairs in
+  let cross a_set b_set =
+    Iset.iter (fun a -> Iset.iter (fun b -> add a b) b_set) a_set
+  in
+  List.iter
+    (fun (host : P.routine_item) ->
+      match host.P.ro_spawns with
+      | [] -> ()
+      | spawns ->
+          let spawned = List.map (fun (s : P.spawn) -> (s, closure routines s.P.sp_callee)) spawns in
+          List.iter
+            (fun ((s : P.spawn), cls) ->
+              (* the spawned closure runs in parallel with the host's
+                 continuation: the host routine itself... *)
+              Iset.iter (fun x -> add x host.P.ro_id) cls;
+              (* ...and every callee invoked inside the window — except the
+                 spawned call edge itself, which the front end records on
+                 the spawn statement's line *)
+              List.iter
+                (fun (c : P.call) ->
+                  let is_spawn_edge =
+                    c.P.c_callee = s.P.sp_callee
+                    && c.P.c_loc.P.lfile = s.P.sp_loc.P.lfile
+                    && c.P.c_loc.P.lline = s.P.sp_loc.P.lline
+                  in
+                  if (not is_spawn_edge) && in_window s c.P.c_loc then
+                    cross cls (closure routines c.P.c_callee))
+                host.P.ro_calls)
+            spawned;
+          (* overlapping spawns: s2 launched inside s1's window *)
+          let rec overlaps = function
+            | [] -> ()
+            | ((s1 : P.spawn), cls1) :: rest ->
+                List.iter
+                  (fun ((s2 : P.spawn), cls2) ->
+                    if in_window s1 s2.P.sp_loc || in_window s2 s1.P.sp_loc then
+                      cross cls1 cls2)
+                  rest;
+                overlaps rest
+          in
+          overlaps spawned)
+    pdb.P.routines;
+  { pairs = !pairs; routines }
+
+(** May routines [a] and [b] (PDB routine ids) happen in parallel? *)
+let may_parallel (t : t) (a : int) (b : int) : bool = Pset.mem (norm a b) t.pairs
+
+(** All pairs, sorted, each normalized [(lo, hi)]. *)
+let pairs (t : t) : (int * int) list = Pset.elements t.pairs
+
+(** Routine ids that participate in any MHP pair, sorted ascending — the
+    instrumentation set for [tau_instr --mhp-only]. *)
+let concurrent_routines (t : t) : int list =
+  Iset.elements
+    (Pset.fold (fun (a, b) acc -> Iset.add a (Iset.add b acc)) t.pairs Iset.empty)

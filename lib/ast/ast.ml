@@ -99,6 +99,11 @@ and stmt_kind =
   | SContinue
   | SSwitch of expr * switch_case list
   | STry of stmt * handler list
+  | SSpawn of expr
+      (** [spawn f(args);] — run the call concurrently (threads extension) *)
+  | SJoin of qual_name option
+      (** [join;] waits for every outstanding spawn, [join f;] for the
+          threads running [f] *)
 
 and switch_case = { case_guard : expr option; case_body : stmt list }
 (** [case_guard = None] is the [default:] label. *)

@@ -600,6 +600,26 @@ let merge (pdbs : P.t list) : P.t =
                         { c with P.c_callee = callee; c_loc = remap_loc c.P.c_loc })
                       (Hashtbl.find_opt rmap c.P.c_callee))
                   r.P.ro_calls;
+              ro_spawns =
+                List.filter_map
+                  (fun (s : P.spawn) ->
+                    Option.map
+                      (fun callee ->
+                        { P.sp_callee = callee; sp_loc = remap_loc s.P.sp_loc;
+                          sp_join = Option.map remap_loc s.P.sp_join })
+                      (Hashtbl.find_opt rmap s.P.sp_callee))
+                  r.P.ro_spawns;
+              ro_du =
+                List.map
+                  (fun (v : P.du_var) ->
+                    { v with
+                      P.v_defs = List.map remap_loc v.P.v_defs;
+                      v_uses =
+                        List.map
+                          (fun (u : P.du_use) ->
+                            { u with P.u_loc = remap_loc u.P.u_loc })
+                          v.P.v_uses })
+                  r.P.ro_du;
               ro_pos = remap_extent r.P.ro_pos }
           in
           match Hashtbl.find_opt mroutines newid with
@@ -762,6 +782,22 @@ let merge (pdbs : P.t list) : P.t =
               (fun (c : P.call) ->
                 { c with P.c_callee = rid rmap c.P.c_callee; c_loc = rloc c.P.c_loc })
               r.P.ro_calls;
+          ro_spawns =
+            List.map
+              (fun (s : P.spawn) ->
+                { P.sp_callee = rid rmap s.P.sp_callee; sp_loc = rloc s.P.sp_loc;
+                  sp_join = Option.map rloc s.P.sp_join })
+              r.P.ro_spawns;
+          ro_du =
+            List.map
+              (fun (v : P.du_var) ->
+                { v with
+                  P.v_defs = List.map rloc v.P.v_defs;
+                  v_uses =
+                    List.map
+                      (fun (u : P.du_use) -> { u with P.u_loc = rloc u.P.u_loc })
+                      v.P.v_uses })
+              r.P.ro_du;
           ro_pos = rextent r.P.ro_pos })
       sroutines;
   out.P.types <-

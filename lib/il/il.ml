@@ -117,6 +117,15 @@ type call_site = {
   cs_loc : Srcloc.t;
 }
 
+type spawn_site = {
+  ss_callee : routine_id;
+  ss_loc : Srcloc.t;
+  ss_join : Srcloc.t option;
+      (** the [join] statement that post-dominates this spawn at the same
+          nesting depth, when there is one; [None] = thread outlives the
+          spawning routine *)
+}
+
 type param_info = {
   pi_name : string option;
   pi_type : type_id;
@@ -141,6 +150,7 @@ type routine_entity = {
   mutable ro_kind : routine_kind;
   mutable ro_template : template_id option;
   mutable ro_calls : call_site list;   (** reversed; see {!calls} *)
+  mutable ro_spawns : spawn_site list; (** reversed; see {!spawns} *)
   mutable ro_extent : Srcloc.extent;
   mutable ro_params : param_info list;
   mutable ro_body : Pdt_ast.Ast.stmt option;
@@ -293,6 +303,9 @@ let globals p = List.rev p.globals
 (** Call sites of a routine, in source order. *)
 let calls (r : routine_entity) = List.rev r.ro_calls
 
+(** Spawn sites of a routine, in source order. *)
+let spawns (r : routine_entity) = List.rev r.ro_spawns
+
 (* constructors *)
 
 let add_file p name =
@@ -336,7 +349,7 @@ let add_routine p ~name ~loc ~parent ~access ~sig_ =
       ro_access = access; ro_sig = sig_; ro_link = "C++"; ro_store = "NA";
       ro_virt = Virt_no; ro_static = false; ro_inline = false;
       ro_const = false; ro_kind = Rk_normal; ro_template = None;
-      ro_calls = []; ro_extent = Srcloc.no_extent; ro_params = [];
+      ro_calls = []; ro_spawns = []; ro_extent = Srcloc.no_extent; ro_params = [];
       ro_body = None; ro_inits = []; ro_defined = false }
   in
   Hashtbl.replace p.routines id r;

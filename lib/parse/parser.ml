@@ -899,6 +899,46 @@ and parse_statement_body t : stmt =
       let e = parse_expression t in
       expect_punct t ";";
       mk (SExpr (Some e))
+  | Token.Ident "spawn"
+    when (match (peek_at t 0).tok with
+          | Token.Ident _ | Token.Punct "::" -> true
+          | _ -> false) -> (
+      (* contextual keyword: [spawn f(args);] launches the call on a new
+         thread.  'spawn' remains a valid ordinary identifier everywhere
+         else, so commit only when the remainder parses as a call statement
+         and fall back to declaration/expression parsing otherwise. *)
+      let m = save t in
+      match
+        speculating t @@ fun () ->
+        advance t;
+        let e = parse_expression t in
+        if check_punct t ";" && (match e.e with Call _ -> true | _ -> false)
+        then (advance t; Some e)
+        else None
+      with
+      | Some e -> mk (SSpawn e)
+      | None | (exception Parse_error _) ->
+          restore t m;
+          parse_decl_or_expr_stmt t)
+  | Token.Ident "join"
+    when (match (peek_at t 0).tok with
+          | Token.Punct ";" | Token.Ident _ | Token.Punct "::" -> true
+          | _ -> false) -> (
+      (* contextual keyword: [join;] waits for every outstanding spawn in
+         the routine, [join f;] for the threads running [f]. *)
+      let m = save t in
+      match
+        speculating t @@ fun () ->
+        advance t;
+        if eat_punct t ";" then Some None
+        else
+          let q = parse_qual_name ~in_expr:true t in
+          if eat_punct t ";" then Some (Some q) else None
+      with
+      | Some target -> mk (SJoin target)
+      | None | (exception Parse_error _) ->
+          restore t m;
+          parse_decl_or_expr_stmt t)
   | _ -> parse_decl_or_expr_stmt t
 
 and parse_condition t : expr = parse_expression t

@@ -97,6 +97,45 @@ type class_item = {
 
 type call = { c_callee : int; c_virt : bool; c_loc : loc }
 
+type spawn = { sp_callee : int; sp_loc : loc; sp_join : loc option }
+(** A [spawn f(...)] site inside a routine body: the spawned routine, the
+    spawn position, and — when a [join] statement post-dominates it at the
+    same nesting depth — the join position.  [sp_join = None] means the
+    thread is still live when the routine returns ("escaping" spawn). *)
+
+type du_use = { u_loc : loc; u_reach : int list; u_uninit : bool }
+(** One use of a variable: its position, the indices (into the owning
+    {!du_var}'s [v_defs]) of the definitions that reach it, and whether an
+    uninitialized path reaches it too. *)
+
+type du_var = { v_name : string; v_defs : loc list; v_uses : du_use list }
+(** Intra-routine define-use chains for one local variable (or parameter):
+    every definition site in source order, every use with its reaching-def
+    index set. *)
+
+(* The [rduuse] reach spec: definition indices ascending, then a trailing
+   "u" when an uninitialized path also reaches the use; "-" when empty.
+   Shared by both ASCII parsers so their semantics cannot drift. *)
+let du_spec_of_use (u : du_use) : string =
+  let parts =
+    List.map string_of_int u.u_reach @ if u.u_uninit then [ "u" ] else []
+  in
+  match parts with [] -> "-" | _ -> String.concat "," parts
+
+let du_use_of_spec (s : string) : (int list * bool) option =
+  if s = "-" then Some ([], false)
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc uninit = function
+      | [] -> Some (List.rev acc, uninit)
+      | "u" :: rest -> go acc true rest
+      | p :: rest -> (
+          match int_of_string_opt p with
+          | Some n when n >= 0 -> go (n :: acc) uninit rest
+          | _ -> None)
+    in
+    go [] false parts
+
 type routine_item = {
   ro_id : int;
   ro_name : string;
@@ -112,6 +151,8 @@ type routine_item = {
   mutable ro_inline : bool;
   mutable ro_templ : int option;
   mutable ro_calls : call list;
+  mutable ro_spawns : spawn list;
+  mutable ro_du : du_var list;
   mutable ro_pos : extent;
   mutable ro_defined : bool;
 }
@@ -164,8 +205,18 @@ type t = {
   mutable pdb_macros : macro_item list;
 }
 
+(* Version history: "1.0" = structure dump (entities, call edges,
+   templates); "1.1" adds the semantic attributes rspawn / rdu / rdudef /
+   rduuse.  Readers accept both; tools warn (and render nothing) when a
+   "1.0" PDB is asked for semantic data. *)
+let current_version = "1.1"
+
+(** True when [t] predates the semantic attributes (define-use chains and
+    spawn sites) — i.e. was produced by a "1.0" writer. *)
+let lacks_semantics t = t.version = "1.0"
+
 let create () =
-  { version = "1.0"; incomplete = false; diag_count = 0;
+  { version = current_version; incomplete = false; diag_count = 0;
     files = []; types = []; classes = []; routines = [];
     templates = []; namespaces = []; pdb_macros = [] }
 

@@ -1,4 +1,4 @@
-(** PDB-B: the binary, mmap-friendly PDB container (format version 1).
+(** PDB-B: the binary, mmap-friendly PDB container (format version 2).
 
     The ASCII PDB of Figure 3 stays the golden interchange format — this
     module is the speed layer behind it.  A PDB-B file holds the exact
@@ -16,7 +16,7 @@
     {v
     offset  size  field
     0       4     magic "PDBB"
-    4       4     format version (1)
+    4       4     format version (2; version-1 files still decode)
     8       4     flags (bit 0: incomplete)
     12      4     diag_count
     16      4     version string id
@@ -40,7 +40,15 @@
 open Pdb
 
 let magic = "PDBB"
-let format_version = 1
+
+(* Version 2 widens the ro record by four words — a spawn-list aux
+   reference (fixed 8-word elements) and a define-use aux reference
+   (variable-width payload, stored as word offset + word length).  The
+   reader still accepts version-1 files: their narrower ro records decode
+   with empty [ro_spawns]/[ro_du], which is exactly what a pre-semantic
+   producer meant. *)
+let format_version = 2
+let min_format_version = 1
 let none_sentinel = 0xFFFFFFFF
 let header_bytes = 24
 
@@ -61,7 +69,8 @@ let section_count = 9
 let so_words = 4
 let na_words = 10
 let te_words = 22
-let ro_words = 30
+let ro_words = 34
+let ro_words_v1 = 30  (* version-1 ro records lack the spawn/du refs *)
 let cl_words = 31
 let ty_words = 12
 let ma_words = 7
@@ -183,6 +192,32 @@ let encode_te w (b : Buffer.t) (te : template_item) =
   w32 b (sid w.pool te.te_text);
   wextent b te.te_pos
 
+(* The define-use payload is variable-width (like ty_info), so it is
+   referenced as (word offset, word length) and cursor-decoded.  Layout:
+   [nvars], then per variable [name sid] [ndefs] ndefs*loc [nuses]
+   nuses*([loc] [uninit] [nreach] nreach*[def index]). *)
+let encode_du w (vars : du_var list) : int * int =
+  match vars with
+  | [] -> (0, 0)
+  | _ ->
+      let off = w.aux_n in
+      aux_word w (List.length vars);
+      List.iter
+        (fun v ->
+          aux_word w (sid w.pool v.v_name);
+          aux_word w (List.length v.v_defs);
+          List.iter (aux_loc w) v.v_defs;
+          aux_word w (List.length v.v_uses);
+          List.iter
+            (fun u ->
+              aux_loc w u.u_loc;
+              aux_word w (if u.u_uninit then 1 else 0);
+              aux_word w (List.length u.u_reach);
+              List.iter (aux_word w) u.u_reach)
+            v.v_uses)
+        vars;
+      (off, w.aux_n - off)
+
 let encode_ro w (b : Buffer.t) (r : routine_item) =
   let coff, cn =
     aux_list w
@@ -192,6 +227,21 @@ let encode_ro w (b : Buffer.t) (r : routine_item) =
         aux_loc w c.c_loc)
       r.ro_calls
   in
+  let soff, sn =
+    aux_list w
+      (fun s ->
+        aux_word w s.sp_callee;
+        aux_loc w s.sp_loc;
+        match s.sp_join with
+        | None ->
+            aux_word w 0;
+            aux_loc w null_loc
+        | Some j ->
+            aux_word w 1;
+            aux_loc w j)
+      r.ro_spawns
+  in
+  let duoff, dulen = encode_du w r.ro_du in
   w32 b r.ro_id;
   w32 b (sid w.pool r.ro_name);
   wloc b r.ro_loc;
@@ -208,7 +258,9 @@ let encode_ro w (b : Buffer.t) (r : routine_item) =
      lor if r.ro_defined then 4 else 0);
   wopt b r.ro_templ;
   w32 b coff; w32 b cn;
-  wextent b r.ro_pos
+  wextent b r.ro_pos;
+  w32 b soff; w32 b sn;
+  w32 b duoff; w32 b dulen
 
 let encode_cl w (b : Buffer.t) (c : class_item) =
   let boff, bn =
@@ -419,6 +471,7 @@ type reader = {
          strings its records actually reference *)
   aux_base : int;   (* byte offset of the first aux word *)
   aux_count : int;  (* words in the aux section *)
+  rver : int;       (* the file's format version (1 or 2) *)
 }
 
 let fetch_string (r : reader) (id : int) (what : string) : string =
@@ -509,6 +562,52 @@ let decode_te (r : reader) off : template_item =
     te_text = fetch_string r (u32 b (off + 36)) "te text";
     te_pos = rextent b (off + 40) }
 
+(* Cursor-decoded define-use payload; see {!encode_du} for the layout. *)
+let decode_du (r : reader) off len : du_var list =
+  if len = 0 then []
+  else begin
+    let base = aux_ref r off len "ro du" in
+    let stop = len in
+    let pos = ref 0 in
+    let need k =
+      if !pos + k > stop then
+        err "ro du: payload of %d words truncated at word %d" stop !pos
+    in
+    let word () =
+      need 1;
+      let v = u32 r.buf (base + (4 * !pos)) in
+      incr pos;
+      v
+    in
+    let dloc () =
+      need 3;
+      let l = rloc r.buf (base + (4 * !pos)) in
+      pos := !pos + 3;
+      l
+    in
+    let count what =
+      let n = word () in
+      if n > stop then err "ro du: bad %s count %d" what n;
+      n
+    in
+    let read_list n f =
+      let rec go i acc = if i = 0 then List.rev acc else go (i - 1) (f () :: acc) in
+      go n []
+    in
+    let nvars = count "var" in
+    read_list nvars (fun () ->
+        let name = fetch_string r (word ()) "du var name" in
+        let defs = read_list (count "def") dloc in
+        let uses =
+          read_list (count "use") (fun () ->
+              let l = dloc () in
+              let uninit = word () <> 0 in
+              let reach = read_list (count "reach") word in
+              { u_loc = l; u_reach = reach; u_uninit = uninit })
+        in
+        { v_name = name; v_defs = defs; v_uses = uses })
+  end
+
 let decode_ro (r : reader) off : routine_item =
   let b = r.buf in
   let flags = u32 b (off + 56) in
@@ -532,6 +631,18 @@ let decode_ro (r : reader) off : routine_item =
           { c_callee = i32 b o;
             c_virt = u32 b (o + 4) <> 0;
             c_loc = rloc b (o + 8) });
+    ro_spawns =
+      (if r.rver < 2 then []
+       else
+         aux_items r (u32 b (off + 120)) (u32 b (off + 124)) 8 "ro spawns"
+           (fun b o ->
+             { sp_callee = i32 b o;
+               sp_loc = rloc b (o + 4);
+               sp_join =
+                 (if u32 b (o + 16) = 0 then None else Some (rloc b (o + 20))) }));
+    ro_du =
+      (if r.rver < 2 then []
+       else decode_du r (u32 b (off + 128)) (u32 b (off + 132)));
     ro_pos = rextent b (off + 72) }
 
 let decode_cl (r : reader) off : class_item =
@@ -708,7 +819,13 @@ let kind_tags = [| sec_so; sec_na; sec_te; sec_ro; sec_cl; sec_ty; sec_ma |]
 let kind_words = [| so_words; na_words; te_words; ro_words; cl_words; ty_words; ma_words |]
 let kind_names = [| "so"; "na"; "te"; "ro"; "cl"; "ty"; "ma" |]
 
+(* Record width of kind [k] in a file of format version [ver]: only the
+   ro record changed shape between versions. *)
+let kind_words_v ver k =
+  if k = k_ro && ver < 2 then ro_words_v1 else kind_words.(k)
+
 type layout = {
+  lay_ver : int;
   lay_flags : int;
   lay_diag_count : int;
   lay_version_sid : int;
@@ -730,9 +847,9 @@ let layout (b : buf) : layout =
       err "bad magic: not a PDB-B file"
   done;
   let ver = u32 b 4 in
-  if ver <> format_version then
-    err "unsupported PDB-B format version %d (reader supports %d)" ver
-      format_version;
+  if ver < min_format_version || ver > format_version then
+    err "unsupported PDB-B format version %d (reader supports %d..%d)" ver
+      min_format_version format_version;
   let flags = u32 b 8 in
   let diag_count = i32 b 12 in
   let version_sid = u32 b 16 in
@@ -780,7 +897,7 @@ let layout (b : buf) : layout =
     err "aux section: count %d does not fit in %d bytes" aux_count aux_len;
   let sects =
     Array.init n_kinds (fun k ->
-        let what = kind_names.(k) and words = kind_words.(k) in
+        let what = kind_names.(k) and words = kind_words_v ver k in
         let off, len = section kind_tags.(k) what in
         if len < 4 then err "%s section: %d bytes is too short" what len;
         let count = u32 b off in
@@ -789,7 +906,7 @@ let layout (b : buf) : layout =
             count words len;
         (off + 4, count))
   in
-  { lay_flags = flags; lay_diag_count = diag_count;
+  { lay_ver = ver; lay_flags = flags; lay_diag_count = diag_count;
     lay_version_sid = version_sid; lay_str_count = str_count;
     lay_str_cum_base = cum_base; lay_str_blob_base = blob_base;
     lay_aux_base = aux_off + 4; lay_aux_count = aux_count;
@@ -803,14 +920,15 @@ let strings_of_layout (b : buf) (lay : layout) : string Lazy.t array =
 
 let reader_of_layout (b : buf) (lay : layout) : reader =
   { buf = b; strings = strings_of_layout b lay;
-    aux_base = lay.lay_aux_base; aux_count = lay.lay_aux_count }
+    aux_base = lay.lay_aux_base; aux_count = lay.lay_aux_count;
+    rver = lay.lay_ver }
 
 let decode (b : buf) : Pdb.t =
   let lay = layout b in
   let r = reader_of_layout b lay in
   let items k decode_one =
     let base, count = lay.lay_sects.(k) in
-    let words = kind_words.(k) in
+    let words = kind_words_v lay.lay_ver k in
     let rec go i acc =
       if i < 0 then acc
       else go (i - 1) (decode_one r (base + (4 * words * i)) :: acc)
@@ -915,7 +1033,7 @@ module View = struct
     let ids =
       Array.init n_kinds (fun k ->
           let base, count = lay.lay_sects.(k) in
-          let words = kind_words.(k) in
+          let words = kind_words_v lay.lay_ver k in
           let h = Hashtbl.create (max 16 count) in
           for i = 0 to count - 1 do
             let off = base + (4 * words * i) in
@@ -956,7 +1074,7 @@ module View = struct
     let base, n = v.lay.lay_sects.(k) in
     if i < 0 || i >= n then
       err "%s record index %d out of range (%d records)" kind_names.(k) i n;
-    decode_one v.r (base + (4 * kind_words.(k) * i))
+    decode_one v.r (base + (4 * kind_words_v v.lay.lay_ver k * i))
 
   let file_at v i = at v k_so decode_so i
   let namespace_at v i = at v k_na decode_na i
@@ -1009,7 +1127,7 @@ module View = struct
     | None -> None
     | Some sid ->
         let base, n = v.lay.lay_sects.(k) in
-        let words = kind_words.(k) in
+        let words = kind_words_v v.lay.lay_ver k in
         let rec go i =
           if i >= n then None
           else

@@ -250,7 +250,7 @@ type building =
   | Bso of source_file
   | Bna of namespace_item
   | Bte of template_item
-  | Bro of routine_item
+  | Bro of routine_item * du_var option ref  (* the pending rdu variable *)
   | Bcl of class_item * member option ref  (* the pending cmem member *)
   | Bty of type_item * ty_acc
   | Bma of macro_item
@@ -285,8 +285,18 @@ let of_string (src : string) : t =
               n.na_members <- List.rev n.na_members;
               namespaces := n :: !namespaces
           | Bte te -> templates := te :: !templates
-          | Bro r ->
+          | Bro (r, pv) ->
+              (match !pv with
+               | Some v ->
+                   r.ro_du <-
+                     { v with v_defs = List.rev v.v_defs;
+                              v_uses = List.rev v.v_uses }
+                     :: r.ro_du
+               | None -> ());
+              pv := None;
               r.ro_calls <- List.rev r.ro_calls;
+              r.ro_spawns <- List.rev r.ro_spawns;
+              r.ro_du <- List.rev r.ro_du;
               routines := r :: !routines
           | Bcl (c, pm) ->
               (match !pm with
@@ -352,7 +362,7 @@ let of_string (src : string) : t =
         else if key "ttext" then te.te_text <- Pdb_write.unescape_text (sub src vs ve)
         else if key "tpos" then te.te_pos <- parse_extent_value src ln vs ve
         else unknown "te"
-    | Some (Bro r) -> (
+    | Some (Bro (r, pv)) -> (
         match c2 with
         | 'l' ->
             if key "rloc" then r.ro_loc <- parse_loc_value src ln vs ve
@@ -385,6 +395,24 @@ let of_string (src : string) : t =
             if key "rsig" then r.ro_sig <- parse_typeref src ln vs ve
             else if key "rstore" then r.ro_store <- intern_sub vs ve
             else if key "rstatic" then r.ro_static <- true
+            else if key "rspawn" then begin
+              let fl = fields src vs ve in
+              if not (next_field fl) then fail2 ln "malformed rspawn";
+              let a = fl.fs and a' = fl.fe in
+              let h, callee = split_id_at ~structural:false src ln a a' in
+              if not (word_is src a h "ro") then
+                fail2 ln "rspawn expects ro# reference";
+              let l = parse_loc_fields src ln fl in
+              if not (next_field fl) then fail2 ln "malformed rspawn";
+              let j =
+                if word_is src fl.fs fl.fe "joined" then
+                  Some (parse_loc_fields src ln fl)
+                else if word_is src fl.fs fl.fe "live" then None
+                else fail2 ln "rspawn expects 'joined <loc>' or 'live'"
+              in
+              r.ro_spawns <-
+                { sp_callee = callee; sp_loc = l; sp_join = j } :: r.ro_spawns
+            end
             else unknown "ro"
         | 'v' ->
             if key "rvirt" then r.ro_virt <- intern_sub vs ve else unknown "ro"
@@ -399,7 +427,41 @@ let of_string (src : string) : t =
               else fail2 ln "rtempl expects te# reference"
             end
             else unknown "ro"
-        | 'd' -> if key "rdef" then r.ro_defined <- true else unknown "ro"
+        | 'd' ->
+            if key "rdef" then r.ro_defined <- true
+            else if key "rdu" then begin
+              (match !pv with
+               | Some v ->
+                   r.ro_du <-
+                     { v with v_defs = List.rev v.v_defs;
+                              v_uses = List.rev v.v_uses }
+                     :: r.ro_du
+               | None -> ());
+              pv := Some { v_name = intern_sub vs ve; v_defs = []; v_uses = [] }
+            end
+            else if key "rdudef" || key "rduuse" then begin
+              match !pv with
+              | None -> fail2 ln "define-use attribute without rdu"
+              | Some v ->
+                  if key "rdudef" then
+                    pv :=
+                      Some { v with v_defs = parse_loc_value src ln vs ve :: v.v_defs }
+                  else begin
+                    let fl = fields src vs ve in
+                    let l = parse_loc_fields src ln fl in
+                    if not (next_field fl) then fail2 ln "malformed rduuse";
+                    match du_use_of_spec (sub src fl.fs fl.fe) with
+                    | None -> fail2 ln "malformed rduuse reach spec"
+                    | Some (reach, uninit) ->
+                        pv :=
+                          Some
+                            { v with
+                              v_uses =
+                                { u_loc = l; u_reach = reach; u_uninit = uninit }
+                                :: v.v_uses }
+                  end
+            end
+            else unknown "ro"
         | 'p' ->
             if key "rpos" then r.ro_pos <- parse_extent_value src ln vs ve
             else unknown "ro"
@@ -593,11 +655,13 @@ let of_string (src : string) : t =
         Bte { te_id = id; te_name = nm; te_loc = null_loc; te_parent = Pnone;
               te_acs = "NA"; te_kind = "class"; te_text = ""; te_pos = null_extent }
       else if word_is src hs h "ro" then
-        Bro { ro_id = id; ro_name = nm; ro_loc = null_loc; ro_parent = Pnone;
-              ro_acs = "NA"; ro_sig = Tyref 0; ro_link = "C++"; ro_store = "NA";
-              ro_virt = "no"; ro_kind = "NA"; ro_static = false; ro_inline = false;
-              ro_templ = None; ro_calls = []; ro_pos = null_extent;
-              ro_defined = false }
+        Bro
+          ({ ro_id = id; ro_name = nm; ro_loc = null_loc; ro_parent = Pnone;
+             ro_acs = "NA"; ro_sig = Tyref 0; ro_link = "C++"; ro_store = "NA";
+             ro_virt = "no"; ro_kind = "NA"; ro_static = false; ro_inline = false;
+             ro_templ = None; ro_calls = []; ro_spawns = []; ro_du = [];
+             ro_pos = null_extent; ro_defined = false },
+           ref None)
       else if word_is src hs h "cl" then
         Bcl
           ({ cl_id = id; cl_name = nm; cl_loc = null_loc; cl_kind = "class";

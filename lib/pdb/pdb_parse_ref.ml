@@ -183,8 +183,16 @@ let of_string (src : string) : t =
             { ro_id = b.b_id; ro_name = b.b_name; ro_loc = null_loc;
               ro_parent = Pnone; ro_acs = "NA"; ro_sig = Tyref 0; ro_link = "C++";
               ro_store = "NA"; ro_virt = "no"; ro_kind = "NA"; ro_static = false;
-              ro_inline = false; ro_templ = None; ro_calls = []; ro_pos = null_extent;
-              ro_defined = false }
+              ro_inline = false; ro_templ = None; ro_calls = []; ro_spawns = [];
+              ro_du = []; ro_pos = null_extent; ro_defined = false }
+          in
+          let pending_du : du_var option ref = ref None in
+          let flush_du () =
+            match !pending_du with
+            | Some v ->
+                r.ro_du <- r.ro_du @ [ v ];
+                pending_du := None
+            | None -> ()
           in
           List.iter
             (fun (ln, k, v) ->
@@ -214,10 +222,58 @@ let of_string (src : string) : t =
                             r.ro_calls @ [ { c_callee = n; c_virt = virt = "virt"; c_loc = l } ]
                       | _ -> fail ln "rcall expects ro# reference")
                   | _ -> fail ln "malformed rcall")
+              | "rspawn" -> (
+                  match String.split_on_char ' ' v with
+                  | callee :: rest -> (
+                      match split_id ln callee with
+                      | "ro", n -> (
+                          let l, rest = parse_loc_words ln rest in
+                          let sp =
+                            match rest with
+                            | [] -> fail ln "malformed rspawn"
+                            | "joined" :: rest2 ->
+                                let j, _ = parse_loc_words ln rest2 in
+                                { sp_callee = n; sp_loc = l; sp_join = Some j }
+                            | "live" :: _ ->
+                                { sp_callee = n; sp_loc = l; sp_join = None }
+                            | _ ->
+                                fail ln "rspawn expects 'joined <loc>' or 'live'"
+                          in
+                          r.ro_spawns <- r.ro_spawns @ [ sp ])
+                      | _ -> fail ln "rspawn expects ro# reference")
+                  | [] -> fail ln "malformed rspawn")
+              | "rdu" ->
+                  flush_du ();
+                  pending_du := Some { v_name = v; v_defs = []; v_uses = [] }
+              | "rdudef" | "rduuse" -> (
+                  match !pending_du with
+                  | None -> fail ln "define-use attribute without rdu"
+                  | Some dv ->
+                      if k = "rdudef" then
+                        pending_du :=
+                          Some { dv with v_defs = dv.v_defs @ [ parse_loc ln v ] }
+                      else
+                        let l, rest =
+                          parse_loc_words ln (String.split_on_char ' ' v)
+                        in
+                        (match rest with
+                         | [] -> fail ln "malformed rduuse"
+                         | spec :: _ -> (
+                             match du_use_of_spec spec with
+                             | None -> fail ln "malformed rduuse reach spec"
+                             | Some (reach, uninit) ->
+                                 pending_du :=
+                                   Some
+                                     { dv with
+                                       v_uses =
+                                         dv.v_uses
+                                         @ [ { u_loc = l; u_reach = reach;
+                                               u_uninit = uninit } ] })))
               | "rdef" -> r.ro_defined <- true
               | "rpos" -> r.ro_pos <- parse_extent ln v
               | _ -> fail ln "unknown ro attribute '%s'" k)
             b.b_attrs;
+          flush_du ();
           routines := r :: !routines
       | "cl" ->
           let c =

@@ -183,6 +183,32 @@ let write_to_buffer (t : t) (b : Buffer.t) : unit =
           add_loc b c.c_loc;
           nl ())
         r.ro_calls;
+      List.iter
+        (fun s ->
+          str "rspawn ro#";
+          add_int b s.sp_callee;
+          ch ' ';
+          add_loc b s.sp_loc;
+          (match s.sp_join with
+           | Some j ->
+               str " joined ";
+               add_loc b j
+           | None -> str " live");
+          nl ())
+        r.ro_spawns;
+      List.iter
+        (fun v ->
+          kv "rdu" v.v_name;
+          List.iter (fun l -> kloc "rdudef" l) v.v_defs;
+          List.iter
+            (fun u ->
+              str "rduuse ";
+              add_loc b u.u_loc;
+              ch ' ';
+              str (du_spec_of_use u);
+              nl ())
+            v.v_uses)
+        r.ro_du;
       if r.ro_defined then flag "rdef";
       if r.ro_pos <> null_extent then kextent "rpos" r.ro_pos;
       nl ())

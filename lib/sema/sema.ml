@@ -1974,6 +1974,39 @@ and elab_stmt t benv (s : Ast.stmt) : unit =
            | None -> ());
           elab_stmt t { benv with be_scope = hsc } h.h_body)
         hs
+  | Ast.SSpawn e ->
+      (* [spawn f(args);] — type the call normally (recording the call edge
+         and requesting the callee body), then mirror the outermost resolved
+         call as a spawn site on the enclosing routine. *)
+      let before = benv.be_routine.ro_calls in
+      ignore (ty_expr t benv e);
+      (match benv.be_routine.ro_calls with
+       | cs :: _ when benv.be_routine.ro_calls != before ->
+           benv.be_routine.ro_spawns <-
+             { Il.ss_callee = cs.cs_callee; ss_loc = s.Ast.sloc; ss_join = None }
+             :: benv.be_routine.ro_spawns
+       | _ -> Diag.warn t.diags s.Ast.sloc "spawned call does not resolve to a routine")
+  | Ast.SJoin target ->
+      (* [join;] closes every open spawn in the routine; [join f;] only
+         those spawning [f].  A join with no matching open spawn is
+         reported but harmless. *)
+      let name_matches id =
+        match target with
+        | None -> true
+        | Some q -> (Il.routine t.prog id).ro_name = (Ast.last_part q).Ast.id
+      in
+      let matched = ref false in
+      benv.be_routine.ro_spawns <-
+        List.map
+          (fun (ss : Il.spawn_site) ->
+            if ss.ss_join = None && name_matches ss.ss_callee then begin
+              matched := true;
+              { ss with ss_join = Some s.Ast.sloc }
+            end
+            else ss)
+          benv.be_routine.ro_spawns;
+      if (not !matched) && target <> None then
+        Diag.warn t.diags s.Ast.sloc "join does not match any outstanding spawn"
 
 and elab_block t benv (ss : Ast.stmt list) : unit =
   let bsc = Scope.create ~parent:benv.be_scope Scope.Sk_block in

@@ -112,6 +112,8 @@ and subst_stmt env (s : stmt) : stmt =
                { h_param = Option.map (subst_param env) h.h_param;
                  h_body = subst_stmt env h.h_body })
              hs)
+    | SSpawn e -> SSpawn (subst_expr env e)
+    | SJoin _ as k -> k
   in
   { s with s = k }
 

@@ -29,8 +29,8 @@ let protocol_version = 1
 (** Verb catalogue, in the order [hello] advertises it. *)
 let verbs =
   [ "hello"; "ping"; "info"; "list"; "find"; "item"; "callees"; "callers";
-    "callgraph"; "instantiations"; "templateof"; "tree"; "stats"; "reload";
-    "shutdown" ]
+    "callgraph"; "instantiations"; "templateof"; "defs"; "uses"; "duchain";
+    "tree"; "stats"; "reload"; "shutdown" ]
 
 (* ------------------------------------------------------------------ *)
 (* JSON helpers                                                        *)
@@ -140,7 +140,9 @@ let detail (d : D.t) (it : D.item) : J.t =
           ("static", J.Bool r.P.ro_static);
           ("inline", J.Bool r.P.ro_inline);
           ("defined", J.Bool r.P.ro_defined);
-          ("calls", num (List.length r.P.ro_calls)) ]
+          ("calls", num (List.length r.P.ro_calls));
+          ("spawns", num (List.length r.P.ro_spawns));
+          ("du_vars", num (List.length r.P.ro_du)) ]
   in
   J.Obj (common @ extra)
 
@@ -372,6 +374,66 @@ let do_templateof (s : Snapshot.snap) req =
       in
       [ ("item", summary s.dt it); ("template", Option.value ~default:J.Null te) ]
 
+(* ---- define-use chain verbs (PDB >= 1.1 semantic attributes) ---- *)
+
+let require_var (r : P.routine_item) req =
+  match str_arg req "var" with
+  | None -> raise (Bad_args "missing \"var\"")
+  | Some name -> (
+      match List.find_opt (fun (v : P.du_var) -> v.P.v_name = name) r.P.ro_du with
+      | Some v -> v
+      | None ->
+          raise
+            (Bad_args
+               (Printf.sprintf "no define-use data for %S in ro#%d" name r.P.ro_id)))
+
+let du_use_json (d : D.t) (u : P.du_use) : J.t =
+  J.Obj
+    [ ("loc", loc_json d u.P.u_loc);
+      ("reach", J.List (List.map num u.P.u_reach));
+      ("uninit", J.Bool u.P.u_uninit) ]
+
+let du_def_json (d : D.t) i (l : P.loc) : J.t =
+  J.Obj [ ("index", num i); ("loc", loc_json d l) ]
+
+let do_defs (s : Snapshot.snap) req =
+  let r = require_routine s.dt req in
+  let v = require_var r req in
+  [ ("routine", routine_summary s.dt r);
+    ("var", J.Str v.P.v_name);
+    ("defs", J.List (List.mapi (du_def_json s.dt) v.P.v_defs));
+    ("text", J.Str (Pdt_tools.Duct.defs_text s.dt r v)) ]
+
+let do_uses (s : Snapshot.snap) req =
+  let r = require_routine s.dt req in
+  let v = require_var r req in
+  [ ("routine", routine_summary s.dt r);
+    ("var", J.Str v.P.v_name);
+    ("uses", J.List (List.map (du_use_json s.dt) v.P.v_uses));
+    ("text", J.Str (Pdt_tools.Duct.uses_text s.dt r v)) ]
+
+let do_duchain (s : Snapshot.snap) req =
+  let r = require_routine s.dt req in
+  let v = require_var r req in
+  [ ("routine", routine_summary s.dt r);
+    ("var", J.Str v.P.v_name);
+    ("chains",
+     J.List
+       (List.mapi
+          (fun i l ->
+            J.Obj
+              [ ("def", du_def_json s.dt i l);
+                ("uses",
+                 J.List (List.map (du_use_json s.dt) (Pdt_tools.Duct.uses_of_def v i))) ])
+          v.P.v_defs));
+    ("uninit_uses",
+     J.List
+       (List.filter_map
+          (fun (u : P.du_use) ->
+            if u.P.u_uninit then Some (loc_json s.dt u.P.u_loc) else None)
+          v.P.v_uses));
+    ("text", J.Str (Pdt_tools.Duct.chain_text s.dt r v)) ]
+
 let do_tree (s : Snapshot.snap) req =
   let which =
     match str_arg req "which" with
@@ -433,6 +495,9 @@ let handle_request (holder : Snapshot.t) (req : J.t) : J.t * disposition =
         | "callgraph" -> (run (do_callgraph snap req), Continue)
         | "instantiations" -> (run (do_instantiations snap req), Continue)
         | "templateof" -> (run (do_templateof snap req), Continue)
+        | "defs" -> (run (do_defs snap req), Continue)
+        | "uses" -> (run (do_uses snap req), Continue)
+        | "duchain" -> (run (do_duchain snap req), Continue)
         | "tree" -> (run (do_tree snap req), Continue)
         | "stats" -> (run (do_stats snap req), Continue)
         | "shutdown" -> (run [ ("stopping", J.Bool true) ], Shutdown)

@@ -137,6 +137,28 @@ let plan ?file (d : D.t) : item_ref list =
   in
   List.sort loc_cmp deduped   (* sort(itemvec.begin(), itemvec.end(), locCmp) *)
 
+(** Restrict a plan to routines the MHP analysis marks as possibly
+    concurrent ([tau_instr --mhp-only]): instrument exactly where thread
+    interleavings can happen, nothing else.  The filter matches plan
+    entries by body location, so template patterns whose instantiations
+    participate in MHP pairs are kept too. *)
+let mhp_only (d : D.t) (plan : item_ref list) : item_ref list =
+  let m = Pdt_analyzer.Mhp.compute (D.pdb d) in
+  let keep = Hashtbl.create 32 in
+  List.iter
+    (fun id ->
+      match D.routine d id with
+      | Some r -> (
+          match body_start r.P.ro_pos with
+          | Some b -> (
+              match D.file d b.P.lfile with
+              | Some f -> Hashtbl.replace keep (f.P.so_name, b.P.lline, b.P.lcol) ()
+              | None -> ())
+          | None -> ())
+      | None -> ())
+    (Pdt_analyzer.Mhp.concurrent_routines m);
+  List.filter (fun ir -> Hashtbl.mem keep (ir.ir_file, ir.ir_line, ir.ir_col)) plan
+
 (** The text inserted after a routine's opening brace. *)
 let macro_text (ir : item_ref) : string =
   let type_arg =

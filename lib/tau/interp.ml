@@ -1262,6 +1262,11 @@ and exec_stmt t (f : frame) (s : Ast.stmt) : unit =
                   | _ -> ());
                  exec_stmt t f h.h_body)
          | None -> raise (Cpp_exception v)))
+  | Ast.SSpawn e ->
+      (* deterministic sequential schedule: the spawned call executes
+         eagerly at the spawn site, so join is a no-op *)
+      ignore (eval t f e)
+  | Ast.SJoin _ -> ()
 
 and exec_local_decl t (f : frame) (vd : Ast.var_decl) : unit =
   (* recursive default for a declared type, handling nested arrays *)

@@ -1,0 +1,154 @@
+(** pdbduct: navigation over the semantic attributes (define-use chains
+    and spawn sites) the analyzer stores in the PDB.
+
+    The renderings here are the single source for both the [pdbduct] CLI
+    and the pdbd [defs]/[uses]/[duchain] verbs' [text] fields, so the two
+    can never drift apart — the same discipline pdbstats uses for its
+    summary numbers. *)
+
+module P = Pdt_pdb.Pdb
+module D = Pdt_ductape.Ductape
+
+(** [Some note] when the database predates the semantic attributes
+    (version 1.0): tools print the caveat and show empty relations
+    instead of failing on old files. *)
+let semantics_note (d : D.t) : string option =
+  if P.lacks_semantics (D.pdb d) then
+    Some
+      "WARNING: PDB predates semantic attributes (version 1.0); define-use \
+       chains and spawn sites are absent, not empty"
+  else None
+
+let loc_str (d : D.t) (l : P.loc) : string =
+  if l = P.null_loc then "?"
+  else
+    let file =
+      match D.file d l.P.lfile with
+      | Some f -> f.P.so_name
+      | None -> Printf.sprintf "so#%d" l.P.lfile
+    in
+    Printf.sprintf "%s:%d:%d" file l.P.lline l.P.lcol
+
+(** Routine lookup by ["ro#N"], plain name, or qualified full name. *)
+let find_routine (d : D.t) (key : string) : P.routine_item option =
+  match
+    if String.length key > 3 && String.sub key 0 3 = "ro#" then
+      int_of_string_opt (String.sub key 3 (String.length key - 3))
+    else None
+  with
+  | Some id -> D.routine d id
+  | None ->
+      List.find_opt
+        (fun (r : P.routine_item) ->
+          r.P.ro_name = key || D.routine_full_name d r = key)
+        (D.routines d)
+
+let var_in (r : P.routine_item) (name : string) : P.du_var option =
+  List.find_opt (fun (v : P.du_var) -> v.P.v_name = name) r.P.ro_du
+
+(** Uses reached by definition [i] of [v] (the forward chain walk). *)
+let uses_of_def (v : P.du_var) (i : int) : P.du_use list =
+  List.filter (fun (u : P.du_use) -> List.mem i u.P.u_reach) v.P.v_uses
+
+(** Definitions reaching use [u] (the backward walk). *)
+let defs_of_use (v : P.du_var) (u : P.du_use) : (int * P.loc) list =
+  List.filter_map
+    (fun i -> Option.map (fun l -> (i, l)) (List.nth_opt v.P.v_defs i))
+    u.P.u_reach
+
+(* ------------------------------------------------------------------ *)
+(* Text renderings (shared CLI / pdbd)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let vars_text (d : D.t) (r : P.routine_item) : string =
+  let b = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  pr "define-use variables of %s:" (D.routine_full_name d r);
+  if r.P.ro_du = [] then pr "  (none)"
+  else
+    List.iter
+      (fun (v : P.du_var) ->
+        pr "  %s: %d def%s, %d use%s" v.P.v_name (List.length v.P.v_defs)
+          (if List.length v.P.v_defs = 1 then "" else "s")
+          (List.length v.P.v_uses)
+          (if List.length v.P.v_uses = 1 then "" else "s"))
+      r.P.ro_du;
+  Buffer.contents b
+
+let defs_text (d : D.t) (r : P.routine_item) (v : P.du_var) : string =
+  let b = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  pr "defs of %s in %s:" v.P.v_name (D.routine_full_name d r);
+  if v.P.v_defs = [] then pr "  (never defined)"
+  else List.iteri (fun i l -> pr "  [%d] %s" i (loc_str d l)) v.P.v_defs;
+  Buffer.contents b
+
+let use_suffix (u : P.du_use) : string =
+  if u.P.u_uninit then " (maybe uninitialized)" else ""
+
+let uses_text (d : D.t) (r : P.routine_item) (v : P.du_var) : string =
+  let b = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  pr "uses of %s in %s:" v.P.v_name (D.routine_full_name d r);
+  if v.P.v_uses = [] then pr "  (never used)"
+  else
+    List.iter
+      (fun (u : P.du_use) ->
+        pr "  %s <- defs [%s]%s" (loc_str d u.P.u_loc)
+          (String.concat "," (List.map string_of_int u.P.u_reach))
+          (use_suffix u))
+      v.P.v_uses;
+  Buffer.contents b
+
+let chain_text (d : D.t) (r : P.routine_item) (v : P.du_var) : string =
+  let b = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  pr "define-use chains of %s in %s:" v.P.v_name (D.routine_full_name d r);
+  List.iteri
+    (fun i l ->
+      pr "  [%d] %s" i (loc_str d l);
+      match uses_of_def v i with
+      | [] -> pr "    (no uses reached)"
+      | us -> List.iter (fun (u : P.du_use) -> pr "    -> %s%s" (loc_str d u.P.u_loc) (use_suffix u)) us)
+    v.P.v_defs;
+  List.iter
+    (fun (u : P.du_use) ->
+      if u.P.u_uninit then pr "  ! %s may be used uninitialized" (loc_str d u.P.u_loc))
+    v.P.v_uses;
+  Buffer.contents b
+
+let spawns_text (d : D.t) (r : P.routine_item) : string =
+  let b = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  pr "spawn sites of %s:" (D.routine_full_name d r);
+  if r.P.ro_spawns = [] then pr "  (none)"
+  else
+    List.iter
+      (fun (s : P.spawn) ->
+        let callee =
+          match D.routine d s.P.sp_callee with
+          | Some c -> D.routine_full_name d c
+          | None -> Printf.sprintf "ro#%d" s.P.sp_callee
+        in
+        match s.P.sp_join with
+        | Some j -> pr "  %s at %s, joined at %s" callee (loc_str d s.P.sp_loc) (loc_str d j)
+        | None -> pr "  %s at %s, live" callee (loc_str d s.P.sp_loc))
+      r.P.ro_spawns;
+  Buffer.contents b
+
+let mhp_text (d : D.t) : string =
+  let b = Buffer.create 256 in
+  let pr fmt = Printf.ksprintf (fun s -> Buffer.add_string b s; Buffer.add_char b '\n') fmt in
+  let m = Pdt_analyzer.Mhp.compute (D.pdb d) in
+  let name id =
+    match D.routine d id with
+    | Some r -> D.routine_full_name d r
+    | None -> Printf.sprintf "ro#%d" id
+  in
+  let pairs = Pdt_analyzer.Mhp.pairs m in
+  pr "may-happen-in-parallel pairs: %d" (List.length pairs);
+  List.iter (fun (a, b) -> pr "  %s <-> %s" (name a) (name b)) pairs;
+  (match Pdt_analyzer.Mhp.concurrent_routines m with
+   | [] -> ()
+   | ids -> pr "concurrent routines: %s" (String.concat ", " (List.map name ids)));
+  Buffer.contents b

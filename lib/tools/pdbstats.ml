@@ -38,6 +38,11 @@ type summary = {
   max_fan_in : int;
   max_inheritance_depth : int;
   unreachable_from_main : int;  (** defined routines not reachable from main *)
+  n_spawn_sites : int;
+  n_du_vars : int;
+  n_du_uses : int;
+  n_uninit_uses : int;          (** uses flagged possibly-uninitialized *)
+  n_mhp_pairs : int;            (** may-happen-in-parallel routine pairs *)
 }
 
 let dedup lst = List.sort_uniq compare lst
@@ -135,7 +140,33 @@ let summary (d : D.t) : summary =
     max_fan_out = List.fold_left (fun a r -> max a r.rs_fan_out) 0 rs;
     max_fan_in = List.fold_left (fun a r -> max a r.rs_fan_in) 0 rs;
     max_inheritance_depth = List.fold_left (fun a c -> max a c.cs_depth) 0 cs;
-    unreachable_from_main = unreachable }
+    unreachable_from_main = unreachable;
+    n_spawn_sites =
+      List.fold_left
+        (fun acc (r : P.routine_item) -> acc + List.length r.P.ro_spawns)
+        0 (D.routines d);
+    n_du_vars =
+      List.fold_left
+        (fun acc (r : P.routine_item) -> acc + List.length r.P.ro_du)
+        0 (D.routines d);
+    n_du_uses =
+      List.fold_left
+        (fun acc (r : P.routine_item) ->
+          acc
+          + List.fold_left
+              (fun a (v : P.du_var) -> a + List.length v.P.v_uses)
+              0 r.P.ro_du)
+        0 (D.routines d);
+    n_uninit_uses =
+      List.fold_left
+        (fun acc (r : P.routine_item) ->
+          acc
+          + List.fold_left
+              (fun a (v : P.du_var) ->
+                a + List.length (List.filter (fun (u : P.du_use) -> u.P.u_uninit) v.P.v_uses))
+              0 r.P.ro_du)
+        0 (D.routines d);
+    n_mhp_pairs = List.length (Pdt_analyzer.Mhp.pairs (Pdt_analyzer.Mhp.compute (D.pdb d))) }
 
 (** The summary as labeled fields, in report order — the single source
     both the text {!report} and machine consumers (the pdbd [stats] verb)
@@ -149,7 +180,12 @@ let summary_fields (s : summary) : (string * int) list =
     ("max_fan_out", s.max_fan_out);
     ("max_fan_in", s.max_fan_in);
     ("max_inheritance_depth", s.max_inheritance_depth);
-    ("unreachable_from_main", s.unreachable_from_main) ]
+    ("unreachable_from_main", s.unreachable_from_main);
+    ("spawn_sites", s.n_spawn_sites);
+    ("du_vars", s.n_du_vars);
+    ("du_uses", s.n_du_uses);
+    ("uninit_uses", s.n_uninit_uses);
+    ("mhp_pairs", s.n_mhp_pairs) ]
 
 let report (d : D.t) : string =
   let b = Buffer.create 2048 in
@@ -172,6 +208,17 @@ let report (d : D.t) : string =
   pr "max fan-in        : %d" s.max_fan_in;
   pr "max inherit depth : %d" s.max_inheritance_depth;
   pr "dead (defined, unreachable from main): %d" s.unreachable_from_main;
+  (* semantic analyses (define-use, spawn/MHP): absent — not zero — on
+     databases written before version 1.1 *)
+  if P.lacks_semantics (D.pdb d) then
+    pr "semantic analyses  : not present (PDB version %s predates them)"
+      (D.pdb d).P.version
+  else begin
+    pr "spawn sites       : %d" s.n_spawn_sites;
+    pr "define-use        : %d vars, %d uses (%d possibly uninitialized)"
+      s.n_du_vars s.n_du_uses s.n_uninit_uses;
+    pr "MHP pairs         : %d" s.n_mhp_pairs
+  end;
   pr "";
   pr "%-36s %7s %7s" "routine" "fan-out" "fan-in";
   List.iter

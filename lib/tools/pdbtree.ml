@@ -36,6 +36,16 @@ let rec print_func_tree buf (d : D.t) (flags : (int, flag) Hashtbl.t)
         if level <> 0 then Buffer.add_string buf "`--> ";
         Buffer.add_string buf (D.routine_full_name d rr);              (* (2) *)
         if call.P.c_virt then Buffer.add_string buf " (VIRTUAL)";
+        (* semantic attribute (PDB >= 1.1): call edges mirrored by a spawn
+           site run on their own thread *)
+        if
+          List.exists
+            (fun (s : P.spawn) ->
+              s.P.sp_callee = rr.P.ro_id
+              && s.P.sp_loc.P.lfile = call.P.c_loc.P.lfile
+              && s.P.sp_loc.P.lline = call.P.c_loc.P.lline)
+            r.P.ro_spawns
+        then Buffer.add_string buf " (SPAWN)";
         if Hashtbl.find_opt flags rr.P.ro_id = Some Active then
           Buffer.add_string buf " ...\n"
         else begin

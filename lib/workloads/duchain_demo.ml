@@ -1,0 +1,38 @@
+(** A workload written for the define-use chain analysis: small routines
+    whose chains are easy to check by hand (the oracle lives in
+    [test_duchains.ml]) yet cover the interesting shapes — parameters as
+    initial definitions, a possibly-uninitialized use, definitions merging
+    across an [if], a loop-carried compound assignment, and increment
+    operators acting as use-then-define. *)
+
+let duchain_demo_cpp =
+  {|int source( ) { return 42; }
+
+int branchy( int a, int b ) {
+    int x = a;
+    int y;
+    if( a > b ) {
+        x = b;
+        y = 1;
+    }
+    int z = x + y;
+    for( int i = 0; i < a; i++ )
+        z += i;
+    return z;
+}
+
+int main( ) {
+    int s = source( );
+    int t = branchy( s, 3 );
+    return t;
+}
+|}
+
+let files = [ ("duchain_demo.cpp", duchain_demo_cpp) ]
+
+let main_file = "duchain_demo.cpp"
+
+let vfs () =
+  let vfs = Pdt_util.Vfs.create () in
+  List.iter (fun (p, c) -> Pdt_util.Vfs.add_file vfs p c) files;
+  vfs

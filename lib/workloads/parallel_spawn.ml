@@ -1,0 +1,47 @@
+(** A workload written for the may-happen-in-parallel analysis: the
+    spawn/join extension in all its shapes — a joined spawn with work on the
+    main thread inside the window, two overlapping spawns (making the
+    spawned closures concurrent with each other, and [work] concurrent with
+    itself), a bare [join;] closing everything, and a strictly sequential
+    tail that must {e not} appear in any MHP pair (the precision half of
+    the test oracle). *)
+
+let parallel_spawn_cpp =
+  {|int work( int n ) {
+    int s = 0;
+    for( int i = 0; i < n; i++ )
+        s += i;
+    return s;
+}
+
+int helper( int n ) {
+    return work( n ) + 1;
+}
+
+void logline( int v ) {
+}
+
+int serial_part( int n ) {
+    return n * 2;
+}
+
+int main( ) {
+    spawn work( 10 );
+    logline( 1 );
+    join work;
+    spawn helper( 4 );
+    spawn work( 8 );
+    join;
+    int tail = serial_part( 5 );
+    return tail;
+}
+|}
+
+let files = [ ("parallel_spawn.cpp", parallel_spawn_cpp) ]
+
+let main_file = "parallel_spawn.cpp"
+
+let vfs () =
+  let vfs = Pdt_util.Vfs.create () in
+  List.iter (fun (p, c) -> Pdt_util.Vfs.add_file vfs p c) files;
+  vfs

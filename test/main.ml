@@ -6,6 +6,8 @@ let () =
       ("sema", Test_sema.suite);
       ("templates", Test_templates.suite);
       ("analyzer", Test_analyzer.suite);
+      ("duchains", Test_duchains.suite);
+      ("mhp", Test_mhp.suite);
       ("pdb", Test_pdb.suite);
       ("ductape", Test_ductape.suite);
       ("interp", Test_interp.suite);

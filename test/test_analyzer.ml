@@ -160,7 +160,7 @@ let test_table1_coverage () =
   let pdb = stack_pdb () in
   let s = Pdt_pdb.Pdb_write.to_string pdb in
   Alcotest.(check bool) "header" true
-    (String.length s > 10 && String.sub s 0 9 = "<PDB 1.0>");
+    (String.length s > 10 && String.sub s 0 9 = "<PDB 1.1>");
   List.iter
     (fun prefix ->
       let re = Str.regexp (Str.quote (prefix ^ "#")) in

@@ -212,7 +212,7 @@ let test_parallel_merge_decl_def () =
           ro_parent = P.Pnone; ro_acs = "NA"; ro_sig = P.Tyref 3;
           ro_link = "C++"; ro_store = "NA"; ro_virt = "no"; ro_kind = "NA";
           ro_static = false; ro_inline = false; ro_templ = None;
-          ro_calls = []; ro_pos = P.null_extent; ro_defined = defined } ];
+          ro_calls = []; ro_spawns = []; ro_du = []; ro_pos = P.null_extent; ro_defined = defined } ];
     p
   in
   let decl = mini ~defined:false and def = mini ~defined:true in

@@ -1,0 +1,529 @@
+(* Define-use chain battery (the static half of the semantic analyses).
+
+   The reaching-definitions pass in lib/analyzer/duchain.ml is pinned
+   three ways: hand-checked oracles over the duchain_demo workload (every
+   def site, every use, every reach set, the maybe-uninitialized flag),
+   a QCheck property over generated programs (every recorded use is
+   reached by at least one definition or carries the uninitialized flag,
+   and the pass is deterministic), and byte-identity of the attribute
+   through every persistence and build path: ASCII (both parsers), PDB-B,
+   Ductape.merge, the Domain pool, the process farm, and the incremental
+   engine.  The pdbduct renderings are byte-pinned inline because they
+   are also the pdbd [text] fields — the wire protocol in another hat. *)
+
+module P = Pdt_pdb.Pdb
+module D = Pdt_ductape.Ductape
+module A = Pdt_analyzer.Analyzer
+module W = Pdt_pdb.Pdb_write
+module B = Pdt_build.Build
+module I = Pdt_build.Incremental
+module Farm = Pdt_build.Farm
+module F = Pdt_util.Fault
+module G = Pdt_workloads.Generator
+module Demo = Pdt_workloads.Duchain_demo
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let demo_pdb () =
+  let c = Pdt.compile_exn ~vfs:(Demo.vfs ()) Demo.main_file in
+  A.run c.Pdt.program
+
+let demo_d () = D.index (demo_pdb ())
+
+let routine pdb name =
+  match
+    List.find_opt (fun (r : P.routine_item) -> r.P.ro_name = name) pdb.P.routines
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "routine %s not in PDB" name
+
+let var (r : P.routine_item) name =
+  match List.find_opt (fun (v : P.du_var) -> v.P.v_name = name) r.P.ro_du with
+  | Some v -> v
+  | None -> Alcotest.failf "no define-use data for %s in %s" name r.P.ro_name
+
+(* every location in duchain_demo is in the single source file, so a
+   (line, col) pair identifies it *)
+let lc (l : P.loc) = (l.P.lline, l.P.lcol)
+
+let use_at (v : P.du_var) (line, col) =
+  match
+    List.find_opt (fun (u : P.du_use) -> lc u.P.u_loc = (line, col)) v.P.v_uses
+  with
+  | Some u -> u
+  | None -> Alcotest.failf "%s has no use at %d:%d" v.P.v_name line col
+
+(* ---------------- hand-checked oracles (duchain_demo) ---------------- *)
+
+let test_inventory () =
+  let branchy = routine (demo_pdb ()) "branchy" in
+  Alcotest.(check (list string)) "variables in declaration order"
+    [ "a"; "b"; "x"; "y"; "z"; "i" ]
+    (List.map (fun (v : P.du_var) -> v.P.v_name) branchy.P.ro_du);
+  let counts =
+    List.map
+      (fun (v : P.du_var) ->
+        (v.P.v_name, List.length v.P.v_defs, List.length v.P.v_uses))
+      branchy.P.ro_du
+  in
+  Alcotest.(check (list (triple string int int))) "def/use counts"
+    [ ("a", 1, 3); ("b", 1, 2); ("x", 2, 1); ("y", 1, 1); ("z", 2, 2);
+      ("i", 2, 3) ]
+    counts
+
+let test_param_defs () =
+  let a = var (routine (demo_pdb ()) "branchy") "a" in
+  Alcotest.(check (list (pair int int))) "parameter is a def at its pi_loc"
+    [ (3, 14) ] (List.map lc a.P.v_defs);
+  List.iter
+    (fun (u : P.du_use) ->
+      Alcotest.(check (list int)) "every use reaches only the parameter def"
+        [ 0 ] u.P.u_reach;
+      Alcotest.(check bool) "parameters are never uninitialized" false
+        u.P.u_uninit)
+    a.P.v_uses;
+  Alcotest.(check (list (pair int int))) "use sites of a"
+    [ (4, 13); (6, 9); (11, 25) ]
+    (List.map (fun (u : P.du_use) -> lc u.P.u_loc) a.P.v_uses)
+
+let test_branch_merge () =
+  (* x is defined unconditionally at 4:9 and conditionally at 7:9; the
+     use after the if sees both (union at the merge point) *)
+  let x = var (routine (demo_pdb ()) "branchy") "x" in
+  Alcotest.(check (list (pair int int))) "defs of x"
+    [ (4, 9); (7, 9) ] (List.map lc x.P.v_defs);
+  let u = use_at x (10, 13) in
+  Alcotest.(check (list int)) "both arms reach the merge" [ 0; 1 ] u.P.u_reach;
+  Alcotest.(check bool) "x is never uninitialized" false u.P.u_uninit
+
+let test_uninit_flag () =
+  (* y is declared without an initializer and only assigned in one branch:
+     the use after the if is reached by that def AND may be uninitialized *)
+  let y = var (routine (demo_pdb ()) "branchy") "y" in
+  Alcotest.(check (list (pair int int))) "single conditional def of y"
+    [ (8, 9) ] (List.map lc y.P.v_defs);
+  let u = use_at y (10, 17) in
+  Alcotest.(check (list int)) "conditional def reaches the use" [ 0 ] u.P.u_reach;
+  Alcotest.(check bool) "flagged maybe-uninitialized" true u.P.u_uninit;
+  (* and y is the only flagged variable in the whole workload *)
+  List.iter
+    (fun (r : P.routine_item) ->
+      List.iter
+        (fun (v : P.du_var) ->
+          List.iter
+            (fun (u : P.du_use) ->
+              if u.P.u_uninit then
+                Alcotest.(check string) "only y is flagged" "y" v.P.v_name)
+            v.P.v_uses)
+        r.P.ro_du)
+    (demo_pdb ()).P.routines
+
+let test_compound_assign () =
+  (* z += i reads z before writing it: 12:9 is both a use (reached by the
+     init and the loop's own def, via the fixpoint) and a def *)
+  let z = var (routine (demo_pdb ()) "branchy") "z" in
+  Alcotest.(check (list (pair int int))) "defs of z"
+    [ (10, 9); (12, 9) ] (List.map lc z.P.v_defs);
+  let u = use_at z (12, 9) in
+  Alcotest.(check (list int)) "loop-carried reach includes both defs"
+    [ 0; 1 ] u.P.u_reach;
+  let ret = use_at z (13, 12) in
+  Alcotest.(check (list int)) "return sees init and loop def" [ 0; 1 ]
+    ret.P.u_reach
+
+let test_loop_fixpoint () =
+  (* i's increment def (11:28) flows around the loop back edge into the
+     condition and body uses — only a fixpoint finds that *)
+  let i = var (routine (demo_pdb ()) "branchy") "i" in
+  Alcotest.(check (list (pair int int))) "init and increment defs"
+    [ (11, 14); (11, 28) ] (List.map lc i.P.v_defs);
+  List.iter
+    (fun at ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "use at %d:%d sees both defs" (fst at) (snd at))
+        [ 0; 1 ] (use_at i at).P.u_reach)
+    [ (11, 21); (12, 14); (11, 28) ]
+
+let test_straight_line () =
+  let main = routine (demo_pdb ()) "main" in
+  let s = var main "s" and t = var main "t" in
+  Alcotest.(check (list (pair int int))) "s: one def" [ (17, 9) ]
+    (List.map lc s.P.v_defs);
+  Alcotest.(check (list int)) "s use reaches it" [ 0 ]
+    (use_at s (18, 22)).P.u_reach;
+  Alcotest.(check (list int)) "t use reaches its def" [ 0 ]
+    (use_at t (19, 12)).P.u_reach
+
+let test_no_locals_no_attribute () =
+  Alcotest.(check int) "source has no tracked variables" 0
+    (List.length (routine (demo_pdb ()) "source").P.ro_du)
+
+(* ---------------- persistence ---------------- *)
+
+let test_ascii_roundtrip_both_parsers () =
+  let text = W.to_string (demo_pdb ()) in
+  Alcotest.(check bool) "rdu block emitted" true (contains text "rdu y\n");
+  Alcotest.(check bool) "uninit spec emitted" true
+    (contains text "rduuse so#1 10 17 0,u");
+  let fast = Pdt_pdb.Pdb_parse.of_string text in
+  let ref_ = Pdt_pdb.Pdb_parse_ref.of_string text in
+  Alcotest.(check string) "fast parser round-trips" text (W.to_string fast);
+  Alcotest.(check string) "reference parser agrees" text (W.to_string ref_);
+  Alcotest.(check bool) "du survives the trip" true
+    ((routine fast "branchy").P.ro_du = (routine (demo_pdb ()) "branchy").P.ro_du)
+
+let test_pdbb_roundtrip () =
+  let pdb = demo_pdb () in
+  let bin = Pdt_pdb.Pdb_bin.to_string pdb in
+  let back = Pdt_pdb.Pdb_bin.of_string bin in
+  Alcotest.(check string) "PDB-B preserves the semantic attributes"
+    (W.to_string pdb) (W.to_string back)
+
+let test_old_pdb_reads_empty () =
+  (* a 1.0 file (no rdu lines) still loads; the attribute is absent, not
+     an error, and tools surface the caveat instead of crashing *)
+  let text = W.to_string (demo_pdb ()) in
+  let stripped =
+    String.split_on_char '\n' text
+    |> List.filter (fun l ->
+           not
+             (contains l "rdu" || contains l "rspawn"))
+    |> List.map (fun l -> if l = "<PDB 1.1>" then "<PDB 1.0>" else l)
+    |> String.concat "\n"
+  in
+  let pdb = Pdt_pdb.Pdb_parse.of_string stripped in
+  Alcotest.(check bool) "version marks missing semantics" true
+    (P.lacks_semantics pdb);
+  List.iter
+    (fun (r : P.routine_item) ->
+      Alcotest.(check int) "no du read" 0 (List.length r.P.ro_du))
+    pdb.P.routines;
+  let d = D.index pdb in
+  (match Pdt_tools.Duct.semantics_note d with
+   | None -> Alcotest.fail "old PDB must carry the semantics caveat"
+   | Some note ->
+       Alcotest.(check bool) "note names the version" true
+         (contains note "version 1.0"));
+  Alcotest.(check bool) "pdbstats reports absence, not zeros" true
+    (contains (Pdt_tools.Pdbstats.report d) "not present");
+  ignore (Pdt_tools.Pdbtree.call_graph d);
+  Alcotest.(check bool) "current PDBs carry no caveat" true
+    (Pdt_tools.Duct.semantics_note (demo_d ()) = None)
+
+let test_merge_preserves_and_is_deterministic () =
+  let a = demo_pdb () in
+  let b =
+    A.run (Pdt.compile_exn ~vfs:(Pdt_workloads.Stack.vfs ())
+             Pdt_workloads.Stack.main_file).Pdt.program
+  in
+  let merged = D.merge [ a; b ] in
+  let m1 = W.to_string merged in
+  let m2 = W.to_string (D.merge [ demo_pdb (); b ]) in
+  Alcotest.(check string) "merge is deterministic" m1 m2;
+  (* file ids are remapped by the merge; the chain itself survives *)
+  let y = var (routine merged "branchy") "y" in
+  let u = use_at y (10, 17) in
+  Alcotest.(check (list int)) "reach survives the merge" [ 0 ] u.P.u_reach;
+  Alcotest.(check bool) "uninit flag survives the merge" true u.P.u_uninit;
+  Alcotest.(check string) "use location file still duchain_demo.cpp"
+    "duchain_demo.cpp"
+    (Option.get (P.find_file merged u.P.u_loc.P.lfile)).P.so_name
+
+(* ---------------- pdbduct renderings (= pdbd text fields) ------------ *)
+
+let test_duct_find_routine () =
+  let d = demo_d () in
+  let branchy = routine (demo_pdb ()) "branchy" in
+  (match Pdt_tools.Duct.find_routine d "branchy" with
+   | Some r -> Alcotest.(check int) "by name" branchy.P.ro_id r.P.ro_id
+   | None -> Alcotest.fail "find by name");
+  (match Pdt_tools.Duct.find_routine d (Printf.sprintf "ro#%d" branchy.P.ro_id) with
+   | Some r -> Alcotest.(check int) "by id" branchy.P.ro_id r.P.ro_id
+   | None -> Alcotest.fail "find by ro#N");
+  Alcotest.(check bool) "unknown name is None" true
+    (Pdt_tools.Duct.find_routine d "nonexistent" = None)
+
+let test_duct_vars_text () =
+  let d = demo_d () in
+  let branchy = Option.get (Pdt_tools.Duct.find_routine d "branchy") in
+  Alcotest.(check string) "vars rendering"
+    "define-use variables of branchy:\n\
+    \  a: 1 def, 3 uses\n\
+    \  b: 1 def, 2 uses\n\
+    \  x: 2 defs, 1 use\n\
+    \  y: 1 def, 1 use\n\
+    \  z: 2 defs, 2 uses\n\
+    \  i: 2 defs, 3 uses\n"
+    (Pdt_tools.Duct.vars_text d branchy)
+
+let test_duct_defs_uses_text () =
+  let d = demo_d () in
+  let branchy = Option.get (Pdt_tools.Duct.find_routine d "branchy") in
+  let x = Option.get (Pdt_tools.Duct.var_in branchy "x") in
+  Alcotest.(check string) "defs rendering"
+    "defs of x in branchy:\n\
+    \  [0] duchain_demo.cpp:4:9\n\
+    \  [1] duchain_demo.cpp:7:9\n"
+    (Pdt_tools.Duct.defs_text d branchy x);
+  let y = Option.get (Pdt_tools.Duct.var_in branchy "y") in
+  Alcotest.(check string) "uses rendering carries the uninit marker"
+    "uses of y in branchy:\n\
+    \  duchain_demo.cpp:10:17 <- defs [0] (maybe uninitialized)\n"
+    (Pdt_tools.Duct.uses_text d branchy y)
+
+let test_duct_chain_text () =
+  let d = demo_d () in
+  let branchy = Option.get (Pdt_tools.Duct.find_routine d "branchy") in
+  let y = Option.get (Pdt_tools.Duct.var_in branchy "y") in
+  Alcotest.(check string) "chain rendering"
+    "define-use chains of y in branchy:\n\
+    \  [0] duchain_demo.cpp:8:9\n\
+    \    -> duchain_demo.cpp:10:17 (maybe uninitialized)\n\
+    \  ! duchain_demo.cpp:10:17 may be used uninitialized\n"
+    (Pdt_tools.Duct.chain_text d branchy y)
+
+let test_duct_walks_agree () =
+  (* the forward walk (uses_of_def) and backward walk (defs_of_use) are
+     inverse views of the same relation *)
+  List.iter
+    (fun (r : P.routine_item) ->
+      List.iter
+        (fun (v : P.du_var) ->
+          List.iteri
+            (fun i _ ->
+              List.iter
+                (fun (u : P.du_use) ->
+                  Alcotest.(check bool) "forward = backward" true
+                    (List.mem i u.P.u_reach
+                     = List.exists (fun (j, _) -> j = i)
+                         (Pdt_tools.Duct.defs_of_use v u)))
+                (Pdt_tools.Duct.uses_of_def v i))
+            v.P.v_defs)
+        r.P.ro_du)
+    (demo_pdb ()).P.routines
+
+let test_pdbstats_du_lines () =
+  let out = Pdt_tools.Pdbstats.report (demo_d ()) in
+  Alcotest.(check bool) "var/use totals" true
+    (contains out "define-use        : 8 vars, 14 uses (1 possibly uninitialized)")
+
+(* ---------------- the property ---------------- *)
+
+(* Over generated workloads: every recorded use is reached by at least
+   one definition or flagged maybe-uninitialized; reach indices are
+   well-formed; and the pass is deterministic (two runs, equal bytes). *)
+let prop_uses_reached =
+  QCheck.Test.make ~count:20 ~name:"duchain: every use reached or flagged"
+    QCheck.(make Gen.(int_range 1 1000))
+    (fun seed ->
+      let cfg = { G.default_config with G.seed } in
+      let vfs = Pdt_util.Vfs.create () in
+      Pdt_util.Vfs.add_file vfs "gen.cpp" (G.single_file_program ~cfg ());
+      let c = Pdt.compile ~vfs "gen.cpp" in
+      let pdb = A.run c.Pdt.program in
+      let pdb2 = A.run c.Pdt.program in
+      if W.to_string pdb <> W.to_string pdb2 then
+        QCheck.Test.fail_report "du pass is nondeterministic";
+      List.iter
+        (fun (r : P.routine_item) ->
+          List.iter
+            (fun (v : P.du_var) ->
+              let ndefs = List.length v.P.v_defs in
+              List.iter
+                (fun (u : P.du_use) ->
+                  if u.P.u_reach = [] && not u.P.u_uninit then
+                    QCheck.Test.fail_reportf
+                      "%s.%s use at %d:%d reached by nothing and not flagged"
+                      r.P.ro_name v.P.v_name u.P.u_loc.P.lline u.P.u_loc.P.lcol;
+                  List.iter
+                    (fun i ->
+                      if i < 0 || i >= ndefs then
+                        QCheck.Test.fail_reportf "%s.%s: reach index %d out of %d"
+                          r.P.ro_name v.P.v_name i ndefs)
+                    u.P.u_reach)
+                v.P.v_uses)
+            r.P.ro_du)
+        pdb.P.routines;
+      true)
+
+(* ---------------- build-path byte identity ---------------- *)
+
+let fresh_dir () =
+  let f = Filename.temp_file "pdt-du-test" ".cache" in
+  Sys.remove f;
+  f
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let test_build_paths_byte_identical () =
+  let reference =
+    Pdt_pdb.Pdb_write.to_string
+      (B.build ~options:{ B.default_options with domains = 1 }
+         ~vfs:(Demo.vfs ()) [ Demo.main_file ])
+        .B.merged
+  in
+  let pool =
+    B.build ~options:{ B.default_options with domains = 2 }
+      ~vfs:(Demo.vfs ()) [ Demo.main_file ]
+  in
+  Alcotest.(check string) "Domain pool bytes" reference
+    (Pdt_pdb.Pdb_write.to_string pool.B.merged);
+  let farm =
+    Farm.build
+      ~config:{ Farm.default_config with Farm.workers = 2 }
+      ~options:B.default_options ~vfs:(Demo.vfs ()) [ Demo.main_file ]
+  in
+  Alcotest.(check string) "farm bytes" reference
+    (Pdt_pdb.Pdb_write.to_string farm.B.merged);
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let incr =
+    I.build
+      ~options:
+        { I.default_options with
+          build = { B.default_options with domains = 1; cache_dir = Some dir } }
+      ~vfs:(Demo.vfs ()) [ Demo.main_file ]
+  in
+  Alcotest.(check string) "incremental cold bytes" reference
+    (Pdt_pdb.Pdb_write.to_string incr.I.merged);
+  let warm =
+    I.build
+      ~options:
+        { I.default_options with
+          build = { B.default_options with domains = 1; cache_dir = Some dir } }
+      ~vfs:(Demo.vfs ()) [ Demo.main_file ]
+  in
+  Alcotest.(check string) "incremental warm bytes" reference
+    (Pdt_pdb.Pdb_write.to_string warm.I.merged)
+
+(* ---------------- the pdbduct executable ---------------- *)
+
+let pdbduct_exe () =
+  Filename.concat
+    (Filename.dirname (Filename.dirname Sys.executable_name))
+    (Filename.concat "bin" "pdbduct.exe")
+
+let run_pdbduct args =
+  let out = Filename.temp_file "pdt-duct" ".out" in
+  Fun.protect ~finally:(fun () -> Sys.remove out) @@ fun () ->
+  let cmd =
+    Printf.sprintf "%s %s > %s 2>/dev/null"
+      (Filename.quote (pdbduct_exe ()))
+      (String.concat " " (List.map Filename.quote args))
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  (code, Test_golden.read_file out)
+
+let test_cli_smoke_over_corpus () =
+  if not (Sys.file_exists (pdbduct_exe ())) then
+    Alcotest.failf "pdbduct.exe not built at %s" (pdbduct_exe ());
+  (* every golden PDB answers vars/spawns/mhp for its first routine *)
+  List.iter
+    (fun (name, _) ->
+      let path = Test_golden.golden_read_path name in
+      if Sys.file_exists path then begin
+        let pdb = Pdt_pdb.Pdb_parse.of_string (Test_golden.read_file path) in
+        match pdb.P.routines with
+        | [] -> ()
+        | r :: _ ->
+            let key = Printf.sprintf "ro#%d" r.P.ro_id in
+            List.iter
+              (fun cmd ->
+                let code, _ = run_pdbduct [ path; cmd; key ] in
+                Alcotest.(check int)
+                  (Printf.sprintf "%s %s %s exits 0" name cmd key)
+                  0 code)
+              [ "vars"; "spawns" ];
+            let code, _ = run_pdbduct [ path; "mhp" ] in
+            Alcotest.(check int) (name ^ " mhp exits 0") 0 code
+      end)
+    Test_golden.corpus
+
+let test_cli_answers_match_oracle () =
+  let path = Test_golden.golden_read_path "duchain_demo" in
+  if not (Sys.file_exists path) then
+    Alcotest.fail "duchain_demo golden missing — regenerate the corpus";
+  let code, out = run_pdbduct [ path; "chain"; "branchy"; "y" ] in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check string) "CLI output = library rendering"
+    "define-use chains of y in branchy:\n\
+    \  [0] duchain_demo.cpp:8:9\n\
+    \    -> duchain_demo.cpp:10:17 (maybe uninitialized)\n\
+    \  ! duchain_demo.cpp:10:17 may be used uninitialized\n"
+    out
+
+let test_cli_errors () =
+  let path = Test_golden.golden_read_path "duchain_demo" in
+  if not (Sys.file_exists path) then
+    Alcotest.fail "duchain_demo golden missing — regenerate the corpus";
+  let code, _ = run_pdbduct [ path; "vars"; "nonexistent" ] in
+  Alcotest.(check int) "unknown routine exits 1" 1 code;
+  let code, _ = run_pdbduct [ path; "defs"; "branchy"; "nosuchvar" ] in
+  Alcotest.(check int) "unknown variable exits 1" 1 code;
+  let code, _ = run_pdbduct [ path; "frobnicate" ] in
+  Alcotest.(check int) "unknown command exits 1" 1 code
+
+(* ---------------- the fault site ---------------- *)
+
+let test_du_fault_is_clean () =
+  (* a crash mid-pass surfaces as the injection exception — never a
+     half-written attribute: the retry produces reference bytes *)
+  let reference = W.to_string (demo_pdb ()) in
+  (match
+     F.with_faults ~sites:[ "analyzer.du" ] ~seed:3 ~rate:1.0 ~max_faults:1
+       (fun () -> demo_pdb ())
+   with
+  | exception F.Injected _ -> ()
+  | _ -> Alcotest.fail "armed du fault did not fire");
+  Alcotest.(check string) "retry converges to reference bytes" reference
+    (W.to_string (demo_pdb ()))
+
+let suite =
+  [ Alcotest.test_case "oracle: variable inventory" `Quick test_inventory;
+    Alcotest.test_case "oracle: parameters are defs" `Quick test_param_defs;
+    Alcotest.test_case "oracle: branch merge unions reach" `Quick
+      test_branch_merge;
+    Alcotest.test_case "oracle: maybe-uninitialized flag" `Quick
+      test_uninit_flag;
+    Alcotest.test_case "oracle: compound assign is use-then-def" `Quick
+      test_compound_assign;
+    Alcotest.test_case "oracle: loop back edge (fixpoint)" `Quick
+      test_loop_fixpoint;
+    Alcotest.test_case "oracle: straight-line main" `Quick test_straight_line;
+    Alcotest.test_case "no locals, no attribute" `Quick
+      test_no_locals_no_attribute;
+    Alcotest.test_case "ASCII round-trip, both parsers" `Quick
+      test_ascii_roundtrip_both_parsers;
+    Alcotest.test_case "PDB-B round-trip" `Quick test_pdbb_roundtrip;
+    Alcotest.test_case "1.0 PDBs read as absent, tools warn" `Quick
+      test_old_pdb_reads_empty;
+    Alcotest.test_case "merge preserves du, deterministically" `Quick
+      test_merge_preserves_and_is_deterministic;
+    Alcotest.test_case "pdbduct routine lookup" `Quick test_duct_find_routine;
+    Alcotest.test_case "pdbduct vars rendering" `Quick test_duct_vars_text;
+    Alcotest.test_case "pdbduct defs/uses renderings" `Quick
+      test_duct_defs_uses_text;
+    Alcotest.test_case "pdbduct chain rendering" `Quick test_duct_chain_text;
+    Alcotest.test_case "forward and backward walks agree" `Quick
+      test_duct_walks_agree;
+    Alcotest.test_case "pdbstats du summary" `Quick test_pdbstats_du_lines;
+    QCheck_alcotest.to_alcotest prop_uses_reached;
+    Alcotest.test_case "pool/farm/incremental byte identity" `Quick
+      test_build_paths_byte_identical;
+    Alcotest.test_case "CLI smoke over the golden corpus" `Quick
+      test_cli_smoke_over_corpus;
+    Alcotest.test_case "CLI answers match the oracle" `Quick
+      test_cli_answers_match_oracle;
+    Alcotest.test_case "CLI error paths" `Quick test_cli_errors;
+    Alcotest.test_case "fault mid-pass stays clean" `Quick
+      test_du_fault_is_clean ]

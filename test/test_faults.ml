@@ -107,6 +107,11 @@ let site_sets =
     ("scheduler.worker", Some [ "scheduler.worker" ], Warm);
     ("cache.write.torn", Some [ "cache.write.torn" ], Cold);
     ("cache.write.crash", Some [ "cache.write.crash" ], Cold);
+    (* crash mid define-use pass: fires on the compile path, so a cold
+       cache is required; the invariant is the usual one — retry to the
+       reference bytes or a structured diagnostic, never a half-written
+       attribute *)
+    ("analyzer.du", Some [ "analyzer.du" ], Cold);
     ("all", None, Cold) ]
 
 let rates = [ 0.05; 0.25 ]
@@ -118,7 +123,7 @@ let matrix_domains =
   | Some n when n > 0 -> [ n ]
   | _ -> [ 1; 4 ]
 
-(* 8 site sets x 2 rates x seeds x domain counts; sized so a sweep is
+(* 9 site sets x 2 rates x seeds x domain counts; sized so a sweep is
    always >= 200 schedules even when CI forces a single domain count *)
 let seeds =
   List.init (if List.length matrix_domains = 1 then 13 else 7) (fun i -> i + 1)

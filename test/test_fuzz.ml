@@ -41,7 +41,8 @@ let nasty_tokens =
     "/*"; "*/"; "//"; "template <class T>"; "template <";
     "#include \"StackAr.h\""; "#include \"nosuch.h\"";
     "#define X X X"; "#define"; "#if"; "#endif"; "#error boom";
-    "((((((((("; ")))))"; "<<<<<"; ">>"; "operator"; "~" ]
+    "((((((((("; ")))))"; "<<<<<"; ">>"; "operator"; "~";
+    "spawn"; "join"; "spawn f("; "join ;"; "spawn spawn"; "join join f" ]
 
 let mutate_once r s =
   let n = String.length s in
@@ -93,7 +94,12 @@ let corpus () =
   [ ("stack-main", Stack.files, Stack.main_file, Stack.main_file);
     ("stack-header", Stack.files, Stack.main_file, "StackAr.h");
     ("gen-tu", gen_files, "tu0.cpp", "tu0.cpp");
-    ("gen-header", gen_files, "main.cpp", "generated.h") ]
+    ("gen-header", gen_files, "main.cpp", "generated.h");
+    (* spawn/join in the seed puts every mutation on top of the
+       contextual-keyword productions *)
+    ("spawn", Pdt_workloads.Parallel_spawn.files,
+     Pdt_workloads.Parallel_spawn.main_file,
+     Pdt_workloads.Parallel_spawn.main_file) ]
 
 let build_vfs files =
   let vfs = Pdt_util.Vfs.create () in
@@ -250,6 +256,38 @@ let test_max_errors_stops_recovery () =
          d.Pdt_util.Diag.severity = Pdt_util.Diag.Fatal)
        diags)
 
+(* every mangled shape of the contextual spawn/join syntax: the parser
+   must fall back to ordinary statement parsing (degrade), never raise —
+   and a recovered compilation must still serialize and re-parse *)
+let test_spawn_join_mutants_degrade () =
+  let shapes =
+    [ "spawn;"; "spawn"; "spawn ("; "spawn f("; "spawn f()"; "spawn 42;";
+      "spawn f(;"; "spawn f() g();"; "spawn spawn f();"; "spawn ::;";
+      "join"; "join ("; "join f"; "join f();"; "join 42;"; "join ::;";
+      "join f g;"; "join; join; join;"; "spawn f(); join f; join f;";
+      "spawn f(1,;"; "spawn class;"; "join template;" ]
+  in
+  List.iter
+    (fun shape ->
+      let src =
+        Printf.sprintf "int f() { return 1; }\nint main() { %s return 0; }"
+          shape
+      in
+      match compile_src src with
+      | c -> (
+          let pdb = Pdt_analyzer.Analyzer.run c.Pdt.program in
+          let s = Pdt_pdb.Pdb_write.to_string pdb in
+          match Pdt_pdb.Pdb_parse.of_string s with
+          | _ -> ()
+          | exception e ->
+              Alcotest.failf "%S: emitted PDB failed to re-parse: %s" shape
+                (Printexc.to_string e))
+      | exception Pdt_util.Diag.Error _ -> ()
+      | exception e ->
+          Alcotest.failf "%S escaped the front end: %s" shape
+            (Printexc.to_string e))
+    shapes
+
 (* deep expression nesting: the parser-recursion budget turns a would-be
    stack overflow into a recorded Fatal and a partial AST *)
 let test_parse_depth_limit () =
@@ -376,6 +414,8 @@ let suite =
       test_recovery_collects_k_errors;
     Alcotest.test_case "--max-errors stops recovery" `Quick
       test_max_errors_stops_recovery;
+    Alcotest.test_case "spawn/join mutants degrade" `Quick
+      test_spawn_join_mutants_degrade;
     Alcotest.test_case "parser recursion budget" `Quick test_parse_depth_limit;
     Alcotest.test_case "macro expansion budget" `Quick test_macro_depth_limit;
     Alcotest.test_case "token count budget" `Quick test_token_limit;

@@ -80,7 +80,13 @@ let corpus : (string * (unit -> string)) list =
     ("parallel_stencil", fun () ->
         pdb_of_cpp ~vfs:(Pdt_workloads.Parallel_stencil.vfs ())
           Pdt_workloads.Parallel_stencil.main_file);
-    ("fortran_demo", fortran_pdb) ]
+    ("fortran_demo", fortran_pdb);
+    ("duchain_demo", fun () ->
+        pdb_of_cpp ~vfs:(Pdt_workloads.Duchain_demo.vfs ())
+          Pdt_workloads.Duchain_demo.main_file);
+    ("parallel_spawn", fun () ->
+        pdb_of_cpp ~vfs:(Pdt_workloads.Parallel_spawn.vfs ())
+          Pdt_workloads.Parallel_spawn.main_file) ]
 
 (* Under `dune runtest` the cwd is _build/default/test and dune has copied
    the goldens here via the glob dep; under `dune exec test/main.exe` from

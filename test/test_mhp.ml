@@ -1,0 +1,415 @@
+(* May-happen-in-parallel battery (the concurrency half of the semantic
+   analyses).
+
+   The MHP relation is derived at query time from the spawn/join
+   primitives the front end records in the PDB, so the battery pins both
+   layers: the spawn_site attribute itself (parse, persist, merge, build
+   paths) and the relation computed over it.  Soundness cases assert
+   known-concurrent pairs are present; precision cases assert
+   known-sequential pairs are absent — an analysis that says "everything
+   is parallel" fails the latter half.  The spawn/join syntax is
+   contextual (plain identifiers elsewhere), which gets its own cases
+   plus a mutation axis in the fuzz suite. *)
+
+module P = Pdt_pdb.Pdb
+module D = Pdt_ductape.Ductape
+module A = Pdt_analyzer.Analyzer
+module M = Pdt_analyzer.Mhp
+module W = Pdt_pdb.Pdb_write
+module B = Pdt_build.Build
+module I = Pdt_build.Incremental
+module Farm = Pdt_build.Farm
+module F = Pdt_util.Fault
+module Ps = Pdt_workloads.Parallel_spawn
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let ps_pdb () =
+  let c = Pdt.compile_exn ~vfs:(Ps.vfs ()) Ps.main_file in
+  A.run c.Pdt.program
+
+let routine pdb name =
+  match
+    List.find_opt (fun (r : P.routine_item) -> r.P.ro_name = name) pdb.P.routines
+  with
+  | Some r -> r
+  | None -> Alcotest.failf "routine %s not in PDB" name
+
+let rid pdb name = (routine pdb name).P.ro_id
+
+(* compile a micro program and answer may_parallel by routine name *)
+let mhp_of src =
+  let c = Pdt.compile_string src in
+  if Pdt_util.Diag.has_errors c.Pdt.diags then
+    Alcotest.failf "compile errors:\n%s" (Pdt_util.Diag.to_string c.Pdt.diags);
+  let pdb = A.run c.Pdt.program in
+  (pdb, M.compute pdb)
+
+let para (pdb, m) a b = M.may_parallel m (rid pdb a) (rid pdb b)
+
+(* ---------------- the spawn_site attribute ---------------- *)
+
+let test_spawn_sites_recorded () =
+  let pdb = ps_pdb () in
+  let main = routine pdb "main" in
+  let sites =
+    List.map
+      (fun (s : P.spawn) ->
+        ( (Option.get (P.find_routine pdb s.P.sp_callee)).P.ro_name,
+          s.P.sp_loc.P.lline,
+          Option.map (fun (j : P.loc) -> j.P.lline) s.P.sp_join ))
+      main.P.ro_spawns
+  in
+  Alcotest.(check (list (triple string int (option int))))
+    "three sites, source order, joins resolved"
+    [ ("work", 20, Some 22); ("helper", 23, Some 25); ("work", 24, Some 25) ]
+    sites
+
+let test_ascii_roundtrip_spawns () =
+  let text = W.to_string (ps_pdb ()) in
+  Alcotest.(check bool) "joined encoding" true
+    (contains text "rspawn ro#1 so#1 20 5 joined so#1 22 5");
+  let fast = Pdt_pdb.Pdb_parse.of_string text in
+  let ref_ = Pdt_pdb.Pdb_parse_ref.of_string text in
+  Alcotest.(check string) "fast parser round-trips" text (W.to_string fast);
+  Alcotest.(check string) "reference parser agrees" text (W.to_string ref_)
+
+let test_live_spawn_encoding () =
+  (* a spawn that is never joined serializes as "live" and reads back *)
+  let pdb, _ =
+    mhp_of "int f() { return 1; }\nint main() { spawn f(); return 0; }"
+  in
+  (match (routine pdb "main").P.ro_spawns with
+   | [ s ] -> Alcotest.(check bool) "join is None" true (s.P.sp_join = None)
+   | l -> Alcotest.failf "expected one spawn site, got %d" (List.length l));
+  let text = W.to_string pdb in
+  Alcotest.(check bool) "live keyword" true (contains text " live");
+  Alcotest.(check string) "round-trips" text
+    (W.to_string (Pdt_pdb.Pdb_parse.of_string text))
+
+let test_pdbb_roundtrip_spawns () =
+  let pdb = ps_pdb () in
+  let back = Pdt_pdb.Pdb_bin.of_string (Pdt_pdb.Pdb_bin.to_string pdb) in
+  Alcotest.(check string) "PDB-B preserves spawn sites" (W.to_string pdb)
+    (W.to_string back)
+
+let test_merge_remaps_spawns () =
+  let a = ps_pdb () in
+  let b =
+    A.run (Pdt.compile_exn ~vfs:(Pdt_workloads.Stack.vfs ())
+             Pdt_workloads.Stack.main_file).Pdt.program
+  in
+  (* merge in both orders: callee ids are remapped, the relation survives *)
+  let check_merged order =
+    let m = D.merge order in
+    let rel = M.compute m in
+    Alcotest.(check bool) "work ∥ logline after merge" true
+      (M.may_parallel rel (rid m "work") (rid m "logline"))
+  in
+  check_merged [ a; b ];
+  check_merged [ b; a ];
+  Alcotest.(check string) "merge is deterministic"
+    (W.to_string (D.merge [ a; b ]))
+    (W.to_string (D.merge [ ps_pdb (); b ]))
+
+(* ---------------- the relation: soundness ---------------- *)
+
+let test_oracle_pairs () =
+  let pdb = ps_pdb () in
+  let m = M.compute pdb in
+  let name id = (Option.get (P.find_routine pdb id)).P.ro_name in
+  let pairs =
+    List.sort compare (List.map (fun (a, b) -> (name a, name b)) (M.pairs m))
+  in
+  Alcotest.(check (list (pair string string))) "exactly the oracle pairs"
+    [ ("helper", "main"); ("work", "helper"); ("work", "logline");
+      ("work", "main"); ("work", "work") ]
+    (List.sort compare pairs)
+
+let test_concurrent_routines () =
+  let pdb = ps_pdb () in
+  let m = M.compute pdb in
+  let names =
+    List.map
+      (fun id -> (Option.get (P.find_routine pdb id)).P.ro_name)
+      (M.concurrent_routines m)
+  in
+  Alcotest.(check (list string)) "every routine in some pair, once"
+    [ "helper"; "logline"; "main"; "work" ]
+    (List.sort compare names)
+
+let test_spawned_routine_parallel_with_host () =
+  let r =
+    mhp_of
+      "int f() { return 1; }\nint main() { spawn f(); join; return 0; }"
+  in
+  Alcotest.(check bool) "f ∥ main" true (para r "f" "main")
+
+let test_call_in_window_is_concurrent () =
+  let r =
+    mhp_of
+      "int f() { return 1; }\nint g() { return 2; }\n\
+       int main() { spawn f(); g(); join; return 0; }"
+  in
+  Alcotest.(check bool) "f ∥ g (g called while f runs)" true (para r "f" "g")
+
+let test_spawned_closure_is_concurrent () =
+  (* spawn helper: everything helper may transitively call runs on the
+     spawned thread, so its callees are concurrent with the host too *)
+  let r =
+    mhp_of
+      "int w() { return 1; }\nint helper() { return w(); }\n\
+       int main() { spawn helper(); join; return 0; }"
+  in
+  Alcotest.(check bool) "w ∥ main" true (para r "w" "main");
+  Alcotest.(check bool) "helper ∥ main" true (para r "helper" "main")
+
+let test_overlapping_spawns_cross () =
+  let r =
+    mhp_of
+      "int f() { return 1; }\nint g() { return 2; }\n\
+       int main() { spawn f(); spawn g(); join; return 0; }"
+  in
+  Alcotest.(check bool) "f ∥ g (both live at once)" true (para r "f" "g")
+
+let test_live_spawn_reaches_later_calls () =
+  (* no join: the spawned routine may still be running at every later
+     call site *)
+  let r =
+    mhp_of
+      "int f() { return 1; }\nint g() { return 2; }\n\
+       int main() { spawn f(); return g(); }"
+  in
+  Alcotest.(check bool) "f ∥ g" true (para r "f" "g")
+
+(* ---------------- the relation: precision ---------------- *)
+
+let test_call_after_join_is_sequential () =
+  let r =
+    mhp_of
+      "int f() { return 1; }\nint g() { return 2; }\n\
+       int main() { spawn f(); join; g(); return 0; }"
+  in
+  Alcotest.(check bool) "g after join is NOT ∥ f" false (para r "f" "g")
+
+let test_serial_routine_in_no_pair () =
+  let pdb = ps_pdb () in
+  let m = M.compute pdb in
+  let serial = rid pdb "serial_part" in
+  List.iter
+    (fun (r : P.routine_item) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "serial_part vs %s" r.P.ro_name)
+        false
+        (M.may_parallel m serial r.P.ro_id))
+    pdb.P.routines
+
+let test_join_by_name_is_selective () =
+  (* join f closes only f's spawn; g stays live past the later call *)
+  let r =
+    mhp_of
+      "int f() { return 1; }\nint g() { return 2; }\nint h() { return 3; }\n\
+       int main() { spawn f(); spawn g(); join f; h(); return 0; }"
+  in
+  Alcotest.(check bool) "g (still live) ∥ h" true (para r "g" "h");
+  Alcotest.(check bool) "f (joined) NOT ∥ h" false (para r "f" "h")
+
+let test_no_spawns_no_pairs () =
+  let _, m =
+    mhp_of "int f() { return 1; }\nint main() { return f(); }"
+  in
+  Alcotest.(check int) "sequential program has an empty relation" 0
+    (List.length (M.pairs m))
+
+(* ---------------- syntax: contextual keywords and degradation -------- *)
+
+let test_spawn_join_as_identifiers () =
+  (* spawn/join are not reserved: ordinary code using the names still
+     parses and records no spawn sites *)
+  let pdb, m =
+    mhp_of
+      "int spawn = 1;\nint join = 2;\n\
+       int main() { spawn = spawn + join; return spawn; }"
+  in
+  Alcotest.(check int) "no sites" 0
+    (List.length (routine pdb "main").P.ro_spawns);
+  Alcotest.(check int) "no pairs" 0 (List.length (M.pairs m))
+
+let test_unmatched_join_warns () =
+  let c =
+    Pdt.compile_string
+      "int f() { return 1; }\nint main() { join f; return 0; }"
+  in
+  Alcotest.(check bool) "no hard errors" false
+    (Pdt_util.Diag.has_errors c.Pdt.diags);
+  Alcotest.(check bool) "warning names the join" true
+    (contains (Pdt_util.Diag.to_string c.Pdt.diags)
+       "join does not match any outstanding spawn")
+
+let test_spawn_of_non_call_degrades () =
+  (* "spawn x;" is not a call: the statement falls back to an ordinary
+     expression statement over an unknown name — diagnostics, no crash,
+     and no spawn site *)
+  let c = Pdt.compile_string "int main() { spawn 42 +; return 0; }" in
+  Alcotest.(check bool) "recovered with diagnostics" true
+    (Pdt_util.Diag.has_errors c.Pdt.diags
+     || Pdt_util.Diag.to_string c.Pdt.diags <> "");
+  let pdb = A.run c.Pdt.program in
+  List.iter
+    (fun (r : P.routine_item) ->
+      Alcotest.(check int) "no site recorded" 0 (List.length r.P.ro_spawns))
+    pdb.P.routines
+
+(* ---------------- downstream consumers ---------------- *)
+
+let test_pdbstats_mhp_lines () =
+  let out = Pdt_tools.Pdbstats.report (D.index (ps_pdb ())) in
+  Alcotest.(check bool) "spawn sites counted" true
+    (contains out "spawn sites       : 3");
+  Alcotest.(check bool) "pair count" true (contains out "MHP pairs         : 5")
+
+let test_pdbtree_spawn_tag () =
+  let out = Pdt_tools.Pdbtree.call_graph (D.index (ps_pdb ())) in
+  Alcotest.(check bool) "spawned edges tagged" true
+    (contains out "work (SPAWN)");
+  Alcotest.(check bool) "sequential edges untagged" true
+    (not (contains out "serial_part (SPAWN)"))
+
+let test_tau_mhp_only_filter () =
+  let d = D.index (ps_pdb ()) in
+  let plan = Pdt_tau.Instrument.plan d in
+  let filtered = Pdt_tau.Instrument.mhp_only d plan in
+  let names l =
+    List.sort_uniq compare
+      (List.map (fun ir -> ir.Pdt_tau.Instrument.ir_name) l)
+  in
+  Alcotest.(check bool) "a strict subset of the full plan" true
+    (List.length filtered < List.length plan && filtered <> []);
+  Alcotest.(check (list string)) "exactly the concurrent routines"
+    [ "helper"; "logline"; "main"; "work" ]
+    (names filtered);
+  Alcotest.(check bool) "serial_part excluded" true
+    (not (List.mem "serial_part" (names filtered)))
+
+let test_interp_schedule_is_deterministic () =
+  (* the reference schedule runs a spawned call eagerly and join as a
+     no-op, so the workload executes and returns serial_part(5) *)
+  let c = Pdt.compile_exn ~vfs:(Ps.vfs ()) Ps.main_file in
+  let r1 = Pdt_tau.Interp.run c.Pdt.program in
+  let r2 = Pdt_tau.Interp.run c.Pdt.program in
+  Alcotest.(check int) "exit code" 10 r1.Pdt_tau.Interp.exit_code;
+  Alcotest.(check int) "two runs agree" r1.Pdt_tau.Interp.exit_code
+    r2.Pdt_tau.Interp.exit_code
+
+(* ---------------- build-path byte identity ---------------- *)
+
+let fresh_dir () =
+  let f = Filename.temp_file "pdt-mhp-test" ".cache" in
+  Sys.remove f;
+  f
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let test_build_paths_byte_identical () =
+  let reference =
+    W.to_string
+      (B.build ~options:{ B.default_options with domains = 1 }
+         ~vfs:(Ps.vfs ()) [ Ps.main_file ])
+        .B.merged
+  in
+  Alcotest.(check bool) "reference carries the attribute" true
+    (contains reference "rspawn");
+  let pool =
+    B.build ~options:{ B.default_options with domains = 2 } ~vfs:(Ps.vfs ())
+      [ Ps.main_file ]
+  in
+  Alcotest.(check string) "Domain pool bytes" reference
+    (W.to_string pool.B.merged);
+  let farm =
+    Farm.build
+      ~config:{ Farm.default_config with Farm.workers = 2 }
+      ~options:B.default_options ~vfs:(Ps.vfs ()) [ Ps.main_file ]
+  in
+  Alcotest.(check string) "farm bytes" reference (W.to_string farm.B.merged);
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let incr =
+    I.build
+      ~options:
+        { I.default_options with
+          build = { B.default_options with domains = 1; cache_dir = Some dir } }
+      ~vfs:(Ps.vfs ()) [ Ps.main_file ]
+  in
+  Alcotest.(check string) "incremental bytes" reference
+    (W.to_string incr.I.merged)
+
+(* ---------------- the fault site ---------------- *)
+
+let test_mhp_fault_is_clean () =
+  let pdb = ps_pdb () in
+  let before = W.to_string pdb in
+  (match
+     F.with_faults ~sites:[ "analyzer.mhp" ] ~seed:5 ~rate:1.0 ~max_faults:1
+       (fun () -> M.compute pdb)
+   with
+  | exception F.Injected _ -> ()
+  | _ -> Alcotest.fail "armed mhp fault did not fire");
+  (* the relation is derived — a crash mid-query mutates nothing *)
+  Alcotest.(check string) "PDB untouched by the failed query" before
+    (W.to_string pdb);
+  let m = M.compute pdb in
+  Alcotest.(check int) "clean retry answers" 5 (List.length (M.pairs m))
+
+let suite =
+  [ Alcotest.test_case "spawn sites recorded with joins" `Quick
+      test_spawn_sites_recorded;
+    Alcotest.test_case "ASCII round-trip, both parsers" `Quick
+      test_ascii_roundtrip_spawns;
+    Alcotest.test_case "live spawn encoding" `Quick test_live_spawn_encoding;
+    Alcotest.test_case "PDB-B round-trip" `Quick test_pdbb_roundtrip_spawns;
+    Alcotest.test_case "merge remaps callee ids" `Quick test_merge_remaps_spawns;
+    Alcotest.test_case "oracle: exact pair set" `Quick test_oracle_pairs;
+    Alcotest.test_case "oracle: concurrent routines" `Quick
+      test_concurrent_routines;
+    Alcotest.test_case "sound: spawned ∥ host" `Quick
+      test_spawned_routine_parallel_with_host;
+    Alcotest.test_case "sound: call inside window" `Quick
+      test_call_in_window_is_concurrent;
+    Alcotest.test_case "sound: spawned closure" `Quick
+      test_spawned_closure_is_concurrent;
+    Alcotest.test_case "sound: overlapping spawns" `Quick
+      test_overlapping_spawns_cross;
+    Alcotest.test_case "sound: live spawn reaches later calls" `Quick
+      test_live_spawn_reaches_later_calls;
+    Alcotest.test_case "precise: call after join" `Quick
+      test_call_after_join_is_sequential;
+    Alcotest.test_case "precise: serial routine in no pair" `Quick
+      test_serial_routine_in_no_pair;
+    Alcotest.test_case "precise: join by name is selective" `Quick
+      test_join_by_name_is_selective;
+    Alcotest.test_case "precise: no spawns, no pairs" `Quick
+      test_no_spawns_no_pairs;
+    Alcotest.test_case "spawn/join stay ordinary identifiers" `Quick
+      test_spawn_join_as_identifiers;
+    Alcotest.test_case "unmatched join warns" `Quick test_unmatched_join_warns;
+    Alcotest.test_case "malformed spawn degrades" `Quick
+      test_spawn_of_non_call_degrades;
+    Alcotest.test_case "pdbstats mhp summary" `Quick test_pdbstats_mhp_lines;
+    Alcotest.test_case "pdbtree SPAWN tag" `Quick test_pdbtree_spawn_tag;
+    Alcotest.test_case "tau_instr --mhp-only filter" `Quick
+      test_tau_mhp_only_filter;
+    Alcotest.test_case "interp schedule deterministic" `Quick
+      test_interp_schedule_is_deterministic;
+    Alcotest.test_case "pool/farm/incremental byte identity" `Quick
+      test_build_paths_byte_identical;
+    Alcotest.test_case "fault mid-query stays clean" `Quick
+      test_mhp_fault_is_clean ]

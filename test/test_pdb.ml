@@ -53,7 +53,7 @@ let test_null_locations () =
     [ { P.ro_id = 1; ro_name = "f"; ro_loc = P.null_loc; ro_parent = P.Pnone;
         ro_acs = "NA"; ro_sig = P.Tyref 1; ro_link = "C++"; ro_store = "NA";
         ro_virt = "no"; ro_kind = "NA"; ro_static = false; ro_inline = false;
-        ro_templ = None; ro_calls = []; ro_pos = P.null_extent; ro_defined = false } ];
+        ro_templ = None; ro_calls = []; ro_spawns = []; ro_du = []; ro_pos = P.null_extent; ro_defined = false } ];
   pdb.P.types <-
     [ { P.ty_id = 1; ty_name = "void ()"; ty_loc = P.null_loc; ty_parent = P.Pnone;
         ty_acs = "NA";
@@ -131,8 +131,8 @@ let gen_pdb : P.t QCheck.Gen.t =
           { P.ro_id = i + 1; ro_name = n; ro_loc = l; ro_parent = P.Pnone;
             ro_acs = "pub"; ro_sig = P.Tyref 1; ro_link = "C++"; ro_store = "NA";
             ro_virt = "no"; ro_kind = "NA"; ro_static = i mod 2 = 0;
-            ro_inline = false; ro_templ = None; ro_calls = []; ro_pos = P.null_extent;
-            ro_defined = i mod 3 = 0 })
+            ro_inline = false; ro_templ = None; ro_calls = []; ro_spawns = [];
+            ro_du = []; ro_pos = P.null_extent; ro_defined = i mod 3 = 0 })
         routine_specs
     in
     let pdb = P.create () in

@@ -184,6 +184,21 @@ let test_conformance_session () =
           templ.P.te_id);
   send (Printf.sprintf {|{"id":19,"verb":"templateof","kind":"class","id":%d}|}
           inst.P.cl_id);
+  (* semantic analyses (define-use chains; spawn counts ride on item) *)
+  let du_var =
+    match main_r.P.ro_du with
+    | v :: _ -> v.P.v_name
+    | [] -> Alcotest.fail "stack main has no define-use data"
+  in
+  send (Printf.sprintf {|{"id":37,"verb":"defs","id":%d,"var":"%s"}|}
+          main_r.P.ro_id du_var);
+  send (Printf.sprintf {|{"id":38,"verb":"uses","id":%d,"var":"%s"}|}
+          main_r.P.ro_id du_var);
+  send (Printf.sprintf {|{"id":39,"verb":"duchain","id":%d,"var":"%s"}|}
+          main_r.P.ro_id du_var);
+  send (Printf.sprintf {|{"id":40,"verb":"defs","id":%d}|} main_r.P.ro_id);
+  send (Printf.sprintf {|{"id":41,"verb":"duchain","id":%d,"var":"nosuchvar"}|}
+          main_r.P.ro_id);
   (* tool views *)
   send {|{"id":20,"verb":"tree","which":"include"}|};
   send {|{"id":21,"verb":"tree","which":"class"}|};
@@ -249,7 +264,7 @@ let test_socket_smoke () =
   Alcotest.(check bool) "hello ok" true (reply_ok hello);
   Alcotest.(check bool) "advertises verbs" true
     (match J.member "verbs" hello with
-     | Some (J.List l) -> List.length l = 15
+     | Some (J.List l) -> List.length l = 18
      | _ -> false);
   let find =
     get_reply "find"

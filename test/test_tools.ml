@@ -39,7 +39,7 @@ let test_pdbconv_check_detects_dangling () =
         ro_virt = "no"; ro_kind = "NA"; ro_static = false; ro_inline = false;
         ro_templ = Some 7;
         ro_calls = [ { P.c_callee = 42; c_virt = false; c_loc = P.null_loc } ];
-        ro_pos = P.null_extent; ro_defined = false } ];
+        ro_spawns = []; ro_du = []; ro_pos = P.null_extent; ro_defined = false } ];
   let d = D.index pdb in
   let problems = Pdt_tools.Pdbconv.check d in
   Alcotest.(check int) "three dangling refs" 3 (List.length problems)
